@@ -1,0 +1,173 @@
+(* Benchmark harness.
+
+   Usage: main.exe [--quick] [--no-timing] [EXPERIMENT-ID ...]
+
+   Without ids, regenerates every experiment table of the paper reproduction
+   (E1..E13, see DESIGN.md and EXPERIMENTS.md) followed by the Bechamel
+   wall-clock suite (B1).  Exit status is non-zero if any table reports a
+   violated bound. *)
+
+module Expt = Ssreset_expt
+module Table = Ssreset_expt.Table
+
+let available =
+  [ "E1-E3"; "E4-E5"; "E6"; "E7"; "E8"; "E9-E10"; "E11"; "E12"; "E13"; "E14"; "E15"; "E16" ]
+
+let parse_args () =
+  let quick = ref false in
+  let timing = ref true in
+  let ids = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--quick" -> quick := true
+        | "--full" -> quick := false
+        | "--no-timing" -> timing := false
+        | "--help" | "-h" ->
+            Printf.printf
+              "usage: %s [--quick] [--no-timing] [EXPERIMENT-ID ...]\n\
+               experiments: %s\n"
+              Sys.argv.(0)
+              (String.concat " " available);
+            exit 0
+        | id when List.mem id available -> ids := id :: !ids
+        | other ->
+            Printf.eprintf "unknown argument %S (try --help)\n" other;
+            exit 2)
+    Sys.argv;
+  (!quick, !timing, List.rev !ids)
+
+(* A table passes when its last column is all "ok". *)
+let table_ok table =
+  let cols = List.length table.Table.headers in
+  match List.nth_opt table.Table.headers (cols - 1) with
+  | Some "ok" -> Table.all_ok table ~col:(cols - 1)
+  | _ -> true
+
+let run_experiments ~profile ~ids =
+  let failures = ref 0 in
+  let wanted (id, _) = ids = [] || List.mem id ids in
+  let selected = List.filter wanted (Expt.Experiments.all profile) in
+  List.iter
+    (fun (id, tables) ->
+      Printf.printf "== %s ==\n%!" id;
+      List.iter
+        (fun table ->
+          Table.print table;
+          if not (table_ok table) then begin
+            incr failures;
+            Printf.printf "  *** BOUND VIOLATED in this table ***\n"
+          end;
+          print_newline ())
+        tables)
+    selected;
+  !failures
+
+(* ------------------------------------------------------------------ *)
+(* B1: Bechamel wall-clock suite.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests ~quick =
+  let open Bechamel in
+  let n = if quick then 24 else 48 in
+  let graph = Ssreset_graph.Gen.ring n in
+  let er_graph =
+    Ssreset_graph.Gen.erdos_renyi (Random.State.make [| 11 |]) n 0.15
+  in
+  let stabilize_unison g () =
+    let obs =
+      Expt.Runner.unison_composed ~graph:g
+        ~daemon:(Ssreset_sim.Daemon.distributed_random 0.5)
+        ~seed:7 ()
+    in
+    assert obs.Expt.Runner.result_ok
+  in
+  let stabilize_fga g () =
+    let obs =
+      Expt.Runner.fga_composed ~spec:Ssreset_alliance.Spec.dominating_set
+        ~graph:g
+        ~daemon:(Ssreset_sim.Daemon.distributed_random 0.5)
+        ~seed:7 ()
+    in
+    assert obs.Expt.Runner.result_ok
+  in
+  let stabilize_tail g () =
+    let obs =
+      Expt.Runner.tail_unison ~graph:g
+        ~daemon:(Ssreset_sim.Daemon.distributed_random 0.5)
+        ~seed:7 ()
+    in
+    assert obs.Expt.Runner.result_ok
+  in
+  let engine_step =
+    (* One synchronous step of U∘SDR from a fixed arbitrary configuration:
+       the engine's hot path (guard evaluation over all processes). *)
+    let module U = Ssreset_unison.Unison.Make (struct
+      let k = (2 * n) + 2
+    end) in
+    let gen = U.Composed.generator ~inner:U.clock_gen ~max_d:(2 * n) in
+    let cfg =
+      Ssreset_sim.Fault.arbitrary (Random.State.make [| 3 |]) gen graph
+    in
+    let rng = Random.State.make [| 4 |] in
+    fun () ->
+      ignore
+        (Ssreset_sim.Engine.step ~rng ~algorithm:U.Composed.algorithm ~graph
+           ~daemon:Ssreset_sim.Daemon.synchronous ~step_index:0 cfg)
+  in
+  [ Test.make ~name:(Printf.sprintf "engine-step/unison-sdr-ring%d" n)
+      (Staged.stage engine_step);
+    Test.make ~name:(Printf.sprintf "stabilize/unison-sdr-ring%d" n)
+      (Staged.stage (stabilize_unison graph));
+    Test.make ~name:(Printf.sprintf "stabilize/unison-sdr-er%d" n)
+      (Staged.stage (stabilize_unison er_graph));
+    Test.make ~name:(Printf.sprintf "stabilize/fga-sdr-er%d" n)
+      (Staged.stage (stabilize_fga er_graph));
+    Test.make ~name:(Printf.sprintf "stabilize/tail-unison-ring%d" n)
+      (Staged.stage (stabilize_tail graph)) ]
+
+let run_bechamel ~quick =
+  let open Bechamel in
+  let open Toolkit in
+  Printf.printf "== B1 wall-clock (Bechamel, OLS on monotonic clock) ==\n%!";
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second (if quick then 0.25 else 1.0))
+      ~kde:None ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let result = Benchmark.run cfg instances elt in
+          let estimate = Analyze.one ols Instance.monotonic_clock result in
+          let ns =
+            match Analyze.OLS.estimates estimate with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          Printf.printf "  %-36s %14.0f ns/run\n%!" (Test.Elt.name elt) ns)
+        (Test.elements test))
+    (bechamel_tests ~quick)
+
+let () =
+  let quick, timing, ids = parse_args () in
+  let profile =
+    if quick then Expt.Experiments.quick else Expt.Experiments.full
+  in
+  Printf.printf
+    "Self-Stabilizing Distributed Cooperative Reset — experiment harness (%s \
+     profile)\n\n%!"
+    (if quick then "quick" else "full");
+  let failures = run_experiments ~profile ~ids in
+  if timing && ids = [] then run_bechamel ~quick;
+  if failures > 0 then begin
+    Printf.printf "\n%d table(s) with violated bounds\n" failures;
+    exit 1
+  end
+  else Printf.printf "\nall experiment tables pass\n"

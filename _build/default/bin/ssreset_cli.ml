@@ -1,0 +1,279 @@
+(* ssreset — command-line driver for the reproduction.
+
+   Subcommands run one system on one network under one daemon and print the
+   stabilization statistics; `experiments` regenerates the full table suite
+   (same as bench/main.exe). *)
+
+open Cmdliner
+
+module Graph = Ssreset_graph.Graph
+module Gen = Ssreset_graph.Gen
+module Metrics = Ssreset_graph.Metrics
+module Engine = Ssreset_sim.Engine
+module Fault = Ssreset_sim.Fault
+module Spec = Ssreset_alliance.Spec
+module Runner = Ssreset_expt.Runner
+module Workload = Ssreset_expt.Workload
+
+(* ---------------------------- common options ---------------------------- *)
+
+let family_conv =
+  let families =
+    [ ("ring", Workload.ring); ("path", Workload.path); ("star", Workload.star);
+      ("complete", Workload.complete); ("grid", Workload.grid);
+      ("binary-tree", Workload.binary_tree); ("random-tree", Workload.random_tree);
+      ("sparse-random", Workload.sparse_random); ("lollipop", Workload.lollipop);
+      ("er", Workload.erdos_renyi 0.2) ]
+  in
+  let parse s =
+    match List.assoc_opt s families with
+    | Some f -> Ok f
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown family %S (one of: %s)" s
+               (String.concat ", " (List.map fst families))))
+  in
+  let print ppf (f : Workload.family) =
+    Format.pp_print_string ppf f.Workload.family_name
+  in
+  Arg.conv (parse, print)
+
+let family =
+  Arg.(
+    value
+    & opt family_conv Workload.ring
+    & info [ "g"; "family" ] ~docv:"FAMILY"
+        ~doc:"Graph family (ring, path, star, complete, grid, binary-tree, \
+              random-tree, sparse-random, lollipop, er).")
+
+let size =
+  Arg.(
+    value & opt int 16
+    & info [ "n"; "size" ] ~docv:"N" ~doc:"Number of processes.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let daemon_name =
+  Arg.(
+    value & opt string "distributed-random"
+    & info [ "d"; "daemon" ] ~docv:"DAEMON"
+        ~doc:"Daemon: synchronous, central-random, central-first, \
+              central-last, round-robin, distributed-random, \
+              locally-central, adversarial, starve.")
+
+let spec_conv =
+  let parse s =
+    match s with
+    | "dominating-set" -> Ok Spec.dominating_set
+    | "global-offensive" -> Ok Spec.global_offensive
+    | "global-defensive" -> Ok Spec.global_defensive
+    | "global-powerful" -> Ok Spec.global_powerful
+    | s -> (
+        match String.index_opt s ',' with
+        | Some i -> (
+            try
+              let f = int_of_string (String.sub s 0 i) in
+              let g = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+              Ok (Spec.custom ~name:(Printf.sprintf "(%d,%d)" f g) ~f ~g)
+            with _ -> Error (`Msg "expected F,G with integer F and G"))
+        | None ->
+            Error
+              (`Msg
+                "unknown spec (named instance or F,G for constant functions)"))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf s.Spec.spec_name)
+
+let spec =
+  Arg.(
+    value
+    & opt spec_conv Spec.dominating_set
+    & info [ "spec" ] ~docv:"SPEC"
+        ~doc:"Alliance instance: dominating-set, global-offensive, \
+              global-defensive, global-powerful, or F,G constants.")
+
+let report name (obs : Runner.obs) =
+  Fmt.pr "%s@." name;
+  Fmt.pr "  outcome ok:        %b@." obs.Runner.outcome_ok;
+  Fmt.pr "  result ok:         %b@." obs.Runner.result_ok;
+  Fmt.pr "  rounds:            %d@." obs.Runner.rounds;
+  Fmt.pr "  steps:             %d@." obs.Runner.steps;
+  Fmt.pr "  moves:             %d@." obs.Runner.moves;
+  if obs.Runner.sdr_moves > 0 || obs.Runner.segments > 1 then begin
+    Fmt.pr "  SDR moves:         %d@." obs.Runner.sdr_moves;
+    Fmt.pr "  max SDR moves/proc:%d@." obs.Runner.max_proc_sdr_moves;
+    Fmt.pr "  segments:          %d@." obs.Runner.segments
+  end;
+  if obs.Runner.outcome_ok && obs.Runner.result_ok then 0 else 1
+
+let build family n seed =
+  let g = family.Workload.build ~seed ~n in
+  Fmt.pr "network: %s (%s)@." (Metrics.summary g) family.Workload.family_name;
+  g
+
+(* ------------------------------ subcommands ----------------------------- *)
+
+let unison_cmd =
+  let run family n seed daemon_name =
+    let graph = build family n seed in
+    let daemon = Runner.daemon_by_name daemon_name in
+    report "U∘SDR from an arbitrary configuration (stop at first normal)"
+      (Runner.unison_composed ~graph ~daemon ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "unison"
+       ~doc:"Self-stabilizing unison (U∘SDR) from an arbitrary configuration.")
+    Term.(const run $ family $ size $ seed $ daemon_name)
+
+let tail_cmd =
+  let run family n seed daemon_name =
+    let graph = build family n seed in
+    let daemon = Runner.daemon_by_name daemon_name in
+    report "tail-unison baseline from an arbitrary configuration"
+      (Runner.tail_unison ~graph ~daemon ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "tail-unison" ~doc:"Baseline unison with reset tails ([11]).")
+    Term.(const run $ family $ size $ seed $ daemon_name)
+
+let alliance_cmd =
+  let run family n seed daemon_name spec bare =
+    let graph = build family n seed in
+    if not (Spec.feasible spec graph) then begin
+      Fmt.epr "spec %s infeasible on this network@." spec.Spec.spec_name;
+      2
+    end
+    else begin
+      let daemon = Runner.daemon_by_name daemon_name in
+      if bare then
+        report
+          (Printf.sprintf "FGA(%s) from γ_init (non self-stabilizing run)"
+             spec.Spec.spec_name)
+          (Runner.fga_bare ~spec ~graph ~daemon ~seed ())
+      else
+        report
+          (Printf.sprintf "FGA(%s)∘SDR from an arbitrary configuration"
+             spec.Spec.spec_name)
+          (Runner.fga_composed ~spec ~graph ~daemon ~seed ())
+    end
+  in
+  let bare =
+    Arg.(value & flag & info [ "bare" ] ~doc:"Run FGA alone from γ_init.")
+  in
+  Cmd.v
+    (Cmd.info "alliance"
+       ~doc:"Silent self-stabilizing 1-minimal (f,g)-alliance (FGA∘SDR).")
+    Term.(const run $ family $ size $ seed $ daemon_name $ spec $ bare)
+
+let agr_unison_cmd =
+  let run family n seed daemon_name =
+    let graph = build family n seed in
+    let daemon = Runner.daemon_by_name daemon_name in
+    report
+      "U∘AGR (mono-initiator reset baseline; needs a weakly fair daemon)"
+      (Runner.unison_agr ~graph ~daemon ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "agr-unison"
+       ~doc:
+         "Unison over the mono-initiator Arora-Gouda-style reset baseline. \
+          Livelocks under unfair daemons such as central-first — that is \
+          the point of experiment E15.")
+    Term.(const run $ family $ size $ seed $ daemon_name)
+
+let matching_cmd =
+  let run family n seed daemon_name =
+    let graph = build family n seed in
+    let daemon = Runner.daemon_by_name daemon_name in
+    report "matching∘SDR from an arbitrary configuration"
+      (Runner.matching_composed ~graph ~daemon ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "matching" ~doc:"Silent self-stabilizing maximal matching.")
+    Term.(const run $ family $ size $ seed $ daemon_name)
+
+let coloring_cmd =
+  let run family n seed daemon_name =
+    let graph = build family n seed in
+    let daemon = Runner.daemon_by_name daemon_name in
+    report "coloring∘SDR from an arbitrary configuration"
+      (Runner.coloring_composed ~graph ~daemon ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "coloring" ~doc:"Silent self-stabilizing (Δ+1)-coloring.")
+    Term.(const run $ family $ size $ seed $ daemon_name)
+
+let mis_cmd =
+  let run family n seed daemon_name =
+    let graph = build family n seed in
+    let daemon = Runner.daemon_by_name daemon_name in
+    report "MIS∘SDR from an arbitrary configuration"
+      (Runner.mis_composed ~graph ~daemon ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "mis" ~doc:"Silent self-stabilizing maximal independent set.")
+    Term.(const run $ family $ size $ seed $ daemon_name)
+
+let graph_cmd =
+  let run family n seed dot =
+    let g = family.Workload.build ~seed ~n in
+    if dot then print_string (Graph.to_dot g)
+    else begin
+      Fmt.pr "%a@." Graph.pp g;
+      Fmt.pr "diameter: %d  radius: %d  cyclomatic: %d  bipartite: %b@."
+        (Metrics.diameter g) (Metrics.radius g) (Metrics.cyclomatic_number g)
+        (Metrics.is_bipartite g);
+      (match Metrics.girth g with
+      | Some girth -> Fmt.pr "girth: %d@." girth
+      | None -> Fmt.pr "girth: - (forest)@.");
+      Fmt.pr "degrees: %a@."
+        Fmt.(list ~sep:(any " ") (pair ~sep:(any "x") int int))
+        (List.map (fun (d, c) -> (c, d)) (Metrics.degree_histogram g))
+    end;
+    0
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz.") in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Inspect a generated network.")
+    Term.(const run $ family $ size $ seed $ dot)
+
+let experiments_cmd =
+  let run quick ids =
+    let profile =
+      if quick then Ssreset_expt.Experiments.quick
+      else Ssreset_expt.Experiments.full
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun (id, tables) ->
+        if ids = [] || List.mem id ids then begin
+          Fmt.pr "== %s ==@." id;
+          List.iter
+            (fun t ->
+              Ssreset_expt.Table.print t;
+              print_newline ())
+            tables
+        end)
+      (Ssreset_expt.Experiments.all profile);
+    !failures
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Small sweep.") in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the experiment tables.")
+    Term.(const run $ quick $ ids)
+
+let () =
+  let doc =
+    "self-stabilizing distributed cooperative reset (Devismes & Johnen, \
+     ICDCS 2019) — reproduction"
+  in
+  let info = Cmd.info "ssreset" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ unison_cmd; tail_cmd; agr_unison_cmd; alliance_cmd; coloring_cmd;
+            mis_cmd; matching_cmd; graph_cmd; experiments_cmd ]))

@@ -1,0 +1,1 @@
+examples/alliance_demo.ml: Fmt List Random Ssreset_alliance Ssreset_graph Ssreset_sim

@@ -1,0 +1,1 @@
+examples/alliance_demo.mli:

@@ -1,0 +1,1 @@
+examples/daemon_showcase.ml: Fmt List Random Ssreset_coloring Ssreset_graph Ssreset_sim

@@ -1,0 +1,1 @@
+examples/daemon_showcase.mli:

@@ -1,0 +1,1 @@
+examples/fault_recovery.ml: Array Fmt List Random Ssreset_graph Ssreset_mis Ssreset_sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmt Random Ssreset_graph Ssreset_sim Ssreset_unison

@@ -1,0 +1,1 @@
+examples/reset_anatomy.ml: Array Fmt List Printf Random Ssreset_core Ssreset_graph Ssreset_sim Ssreset_unison

@@ -1,0 +1,1 @@
+lib/agreset/agreset.ml: Array Fmt List Random Seq Ssreset_core Ssreset_graph Ssreset_sim

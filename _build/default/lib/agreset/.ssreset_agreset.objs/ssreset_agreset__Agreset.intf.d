@@ -1,0 +1,1 @@
+lib/agreset/agreset.mli: Ssreset_core Ssreset_graph Ssreset_sim

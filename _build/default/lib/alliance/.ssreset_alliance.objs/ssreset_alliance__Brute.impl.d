@@ -1,0 +1,1 @@
+lib/alliance/brute.ml: Array Spec Ssreset_graph Sys

@@ -1,0 +1,1 @@
+lib/alliance/brute.mli: Spec Ssreset_graph

@@ -1,0 +1,1 @@
+lib/alliance/checker.ml: Array List Spec Ssreset_graph

@@ -1,0 +1,1 @@
+lib/alliance/checker.mli: Spec Ssreset_graph

@@ -1,0 +1,1 @@
+lib/alliance/fga.ml: Array Fmt Printf Random Spec Ssreset_core Ssreset_graph Ssreset_sim

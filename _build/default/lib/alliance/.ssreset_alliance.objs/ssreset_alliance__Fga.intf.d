@@ -1,0 +1,1 @@
+lib/alliance/fga.mli: Fmt Spec Ssreset_core Ssreset_graph Ssreset_sim

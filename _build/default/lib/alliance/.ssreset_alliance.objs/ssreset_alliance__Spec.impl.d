@@ -1,0 +1,1 @@
+lib/alliance/spec.ml: List Printf Ssreset_graph

@@ -1,0 +1,1 @@
+lib/alliance/spec.mli: Ssreset_graph

@@ -1,0 +1,76 @@
+module Graph = Ssreset_graph.Graph
+
+let mask_of_set set =
+  let mask = ref 0 in
+  Array.iteri (fun u b -> if b then mask := !mask lor (1 lsl u)) set;
+  !mask
+
+let set_of_mask ~n mask = Array.init n (fun u -> mask land (1 lsl u) <> 0)
+
+let is_alliance_mask g spec mask =
+  let n = Graph.n g in
+  if n > Sys.int_size - 2 then invalid_arg "Brute: graph too large";
+  let in_set u = mask land (1 lsl u) <> 0 in
+  let ok u =
+    let count =
+      Graph.fold_neighbors g u ~init:0 ~f:(fun acc v ->
+          if in_set v then acc + 1 else acc)
+    in
+    count >= if in_set u then spec.Spec.g g u else spec.Spec.f g u
+  in
+  let rec loop u = u >= n || (ok u && loop (u + 1)) in
+  loop 0
+
+let proper_submasks_are_not_alliances g spec mask =
+  (* Enumerate all proper submasks of [mask] with the standard
+     (s-1) land mask trick. *)
+  let rec loop s =
+    if s = 0 then not (is_alliance_mask g spec 0)
+    else
+      (not (is_alliance_mask g spec s)) && loop ((s - 1) land mask)
+  in
+  mask = 0 || loop ((mask - 1) land mask)
+
+let is_minimal_mask g spec mask =
+  is_alliance_mask g spec mask && proper_submasks_are_not_alliances g spec mask
+
+let is_one_minimal_mask g spec mask =
+  is_alliance_mask g spec mask
+  && begin
+       let rec loop u =
+         u >= Graph.n g
+         || ((mask land (1 lsl u) = 0
+             || not (is_alliance_mask g spec (mask lxor (1 lsl u))))
+            && loop (u + 1))
+       in
+       loop 0
+     end
+
+let all_satisfying pred g spec =
+  let n = Graph.n g in
+  if n > 22 then invalid_arg "Brute: graph too large for enumeration";
+  let acc = ref [] in
+  for mask = (1 lsl n) - 1 downto 0 do
+    if pred g spec mask then acc := mask :: !acc
+  done;
+  !acc
+
+let all_one_minimal g spec = all_satisfying is_one_minimal_mask g spec
+let all_minimal g spec = all_satisfying is_minimal_mask g spec
+
+let minimum_size g spec =
+  let n = Graph.n g in
+  if n > 22 then invalid_arg "Brute: graph too large for enumeration";
+  let best = ref None in
+  let popcount mask =
+    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+    go mask 0
+  in
+  for mask = 0 to (1 lsl n) - 1 do
+    if is_alliance_mask g spec mask then
+      let size = popcount mask in
+      match !best with
+      | Some b when b <= size -> ()
+      | _ -> best := Some size
+  done;
+  !best

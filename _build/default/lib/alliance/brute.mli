@@ -1,0 +1,26 @@
+(** Exact brute-force reference for small graphs (n ≤ ~20).
+
+    Enumerates subsets as bitmasks.  Used by tests and by experiment E12 to
+    cross-check Property 1 (Dourado et al.): every minimal alliance is
+    1-minimal, and when f ≥ g everywhere every 1-minimal alliance is
+    minimal. *)
+
+val is_alliance_mask : Ssreset_graph.Graph.t -> Spec.t -> int -> bool
+(** Subset given as a bitmask over processes. *)
+
+val is_minimal_mask : Ssreset_graph.Graph.t -> Spec.t -> int -> bool
+(** An alliance no proper subset of which is an alliance.  Exponential in
+    the set size — only for small n. *)
+
+val is_one_minimal_mask : Ssreset_graph.Graph.t -> Spec.t -> int -> bool
+
+val all_one_minimal : Ssreset_graph.Graph.t -> Spec.t -> int list
+(** All 1-minimal alliances (bitmasks).  2^n enumeration. *)
+
+val all_minimal : Ssreset_graph.Graph.t -> Spec.t -> int list
+
+val minimum_size : Ssreset_graph.Graph.t -> Spec.t -> int option
+(** Cardinality of a minimum alliance, [None] if none exists. *)
+
+val mask_of_set : bool array -> int
+val set_of_mask : n:int -> int -> bool array

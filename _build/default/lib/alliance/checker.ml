@@ -1,0 +1,39 @@
+module Graph = Ssreset_graph.Graph
+
+let count_in g set u =
+  Graph.fold_neighbors g u ~init:0 ~f:(fun acc v ->
+      if set.(v) then acc + 1 else acc)
+
+let node_ok g spec set u =
+  let need =
+    if set.(u) then spec.Spec.g g u else spec.Spec.f g u
+  in
+  count_in g set u >= need
+
+let is_alliance g spec set =
+  let rec loop u = u >= Graph.n g || (node_ok g spec set u && loop (u + 1)) in
+  loop 0
+
+let is_one_minimal g spec set =
+  is_alliance g spec set
+  && begin
+       let breaks u =
+         set.(u)
+         &&
+         (set.(u) <- false;
+          let still = is_alliance g spec set in
+          set.(u) <- true;
+          not still)
+       in
+       let rec loop u =
+         u >= Graph.n g || (((not set.(u)) || breaks u) && loop (u + 1))
+       in
+       loop 0
+     end
+
+let size set = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 set
+
+let members set =
+  let acc = ref [] in
+  Array.iteri (fun u b -> if b then acc := u :: !acc) set;
+  List.rev !acc

@@ -1,0 +1,15 @@
+(** Verification of (f,g)-alliance outputs. *)
+
+val count_in : Ssreset_graph.Graph.t -> bool array -> int -> int
+(** Number of neighbors of [u] inside the set. *)
+
+val is_alliance : Ssreset_graph.Graph.t -> Spec.t -> bool array -> bool
+(** Is the set an (f,g)-alliance? *)
+
+val is_one_minimal : Ssreset_graph.Graph.t -> Spec.t -> bool array -> bool
+(** Is it an alliance such that removing any single member breaks it? *)
+
+val size : bool array -> int
+(** Cardinality of the set. *)
+
+val members : bool array -> int list

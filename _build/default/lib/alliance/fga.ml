@@ -1,0 +1,270 @@
+module Algorithm = Ssreset_sim.Algorithm
+module Graph = Ssreset_graph.Graph
+module Sdr = Ssreset_core.Sdr
+
+type state = {
+  id : int;
+  f_u : int;
+  g_u : int;
+  col : bool;
+  scr : int;
+  can_q : bool;
+  ptr : int option;
+}
+
+let pp_state ppf s =
+  Fmt.pf ppf "{id=%d;%s;scr=%d;%s;ptr=%a}" s.id
+    (if s.col then "in" else "out")
+    s.scr
+    (if s.can_q then "canQ" else "noQ")
+    Fmt.(option ~none:(any "⊥") int)
+    s.ptr
+
+let equal_state a b =
+  a.id = b.id && a.f_u = b.f_u && a.g_u = b.g_u && a.col = b.col
+  && a.scr = b.scr && a.can_q = b.can_q && a.ptr = b.ptr
+
+let rule_clr = "FGA-Clr"
+let rule_p1 = "FGA-P1"
+let rule_p2 = "FGA-P2"
+let rule_q = "FGA-Q"
+
+(* Macros of Algorithm 3, evaluated on a view.  Several of them must be
+   re-evaluated inside an action after the own state changed (the macro
+   [upd(u)] runs after [col := false] in rule Clr); they therefore take the
+   own state explicitly. *)
+
+let in_all (v : state Algorithm.view) =
+  Array.fold_left (fun acc s -> if s.col then acc + 1 else acc) 0 v.Algorithm.nbrs
+
+let real_scr self v =
+  let count = in_all v in
+  let threshold = if self.col then self.g_u else self.f_u in
+  if count < threshold then -1 else if count = threshold then 0 else 1
+
+let p_can_quit self v =
+  self.col
+  && in_all v >= self.f_u
+  && Array.for_all (fun s -> s.scr = 1) v.Algorithm.nbrs
+
+let p_to_quit self v =
+  p_can_quit self v
+  && self.ptr = Some self.id
+  && Array.for_all (fun s -> s.ptr = Some self.id) v.Algorithm.nbrs
+
+(* bestPtr(u).  Deviation from the printed macro (see DESIGN.md): the
+   printed version returns ⊥ whenever scr_u ≤ 0, which also blocks u from
+   approving {e itself}; a member m with #InAll(m) = g(m) > f(m) is then
+   stuck even when A \ {m} is an alliance, and the run terminates at a
+   non-1-minimal alliance (Theorem 8 breaks for g > f).  Since u leaving
+   does not cost u an alliance neighbor, self-approval only needs canQ_u;
+   approving a {e neighbor} still requires scr_u = 1 (u must afford losing
+   it). *)
+let best_ptr self v =
+  let best = ref (if self.can_q then Some self.id else None) in
+  if self.scr = 1 then
+    Array.iter
+      (fun s ->
+        if s.can_q then
+          match !best with
+          | None -> best := Some s.id
+          | Some b -> if s.id < b then best := Some s.id)
+      v.Algorithm.nbrs;
+  !best
+
+(* col_{ptr_u}: membership of the pointed member of the closed
+   neighborhood.  The pointer domain is N[u] ∪ {⊥}, so the lookup always
+   succeeds on domain-respecting states; a dangling id (impossible in the
+   model, conceivable only through a buggy generator) is conservatively
+   treated as "in the alliance" so that P_ICorrect rejects the state. *)
+let col_of_ptr self v ptr_id =
+  if ptr_id = self.id then self.col
+  else
+    match Array.find_opt (fun s -> s.id = ptr_id) v.Algorithm.nbrs with
+    | Some s -> s.col
+    | None -> true
+
+(* P_ICorrect(u) of Algorithm 3, extended with one disjunct matching the
+   bestPtr deviation above: a member may point at itself with scr = realScr
+   ∈ {0, 1} (the printed invariant forces scr = 1 for any non-⊥ pointer). *)
+let p_icorrect (v : state Algorithm.view) =
+  let self = v.Algorithm.state in
+  let rs = real_scr self v in
+  rs >= 0
+  && ((self.scr = 1 && rs = 1)
+     || self.ptr = None
+     || (self.ptr = Some self.id && self.col && self.scr = rs)
+     ||
+     match self.ptr with
+     | Some p -> self.scr = 1 && not (col_of_ptr self v p)
+     | None -> false)
+
+(* The macros exactly as printed in the paper, kept for the regression test
+   that demonstrates the non-1-minimal terminal configuration. *)
+let printed_best_ptr self v =
+  if self.scr <= 0 then None
+  else begin
+    let best = ref (if self.can_q then Some self.id else None) in
+    Array.iter
+      (fun s ->
+        if s.can_q then
+          match !best with
+          | None -> best := Some s.id
+          | Some b -> if s.id < b then best := Some s.id)
+      v.Algorithm.nbrs;
+    !best
+  end
+
+let printed_p_icorrect (v : state Algorithm.view) =
+  let self = v.Algorithm.state in
+  let rs = real_scr self v in
+  rs >= 0
+  && ((self.scr = 1 && rs = 1)
+     || self.ptr = None
+     ||
+     match self.ptr with
+     | Some p -> self.scr = 1 && not (col_of_ptr self v p)
+     | None -> false)
+
+(* cmpVar(u): scr := realScr(u); canQ := P_canQuit(u). *)
+let cmp_var self v =
+  { self with scr = real_scr self v; can_q = p_can_quit self v }
+
+(* The four rules of Algorithm 3, parameterized over the two macros that
+   differ between the fixed and the printed variants. *)
+let make_rules ~p_icorrect ~best_ptr =
+  let p_upd_ptr self v =
+    (not (p_to_quit self v)) && self.ptr <> best_ptr self v
+  in
+  (* upd(u): cmpVar(u); ptr := bestPtr(u). *)
+  let upd self v =
+    let self = cmp_var self v in
+    { self with ptr = best_ptr self v }
+  in
+  let action_clr (v : state Algorithm.view) =
+    upd { v.Algorithm.state with col = false } v
+  in
+  let action_p1 (v : state Algorithm.view) =
+    cmp_var { v.Algorithm.state with ptr = None } v
+  in
+  let action_p2 (v : state Algorithm.view) = upd v.Algorithm.state v in
+  let action_q (v : state Algorithm.view) =
+    let self = cmp_var v.Algorithm.state v in
+    if self.scr <= 0 then { self with ptr = None } else self
+  in
+  [ { Algorithm.rule_name = rule_clr;
+      guard = (fun v -> p_icorrect v && p_to_quit v.Algorithm.state v);
+      action = action_clr };
+    { Algorithm.rule_name = rule_p1;
+      guard =
+        (fun v ->
+          let self = v.Algorithm.state in
+          p_icorrect v && p_upd_ptr self v && self.ptr <> None);
+      action = action_p1 };
+    { Algorithm.rule_name = rule_p2;
+      guard =
+        (fun v ->
+          let self = v.Algorithm.state in
+          p_icorrect v && p_upd_ptr self v && self.ptr = None);
+      action = action_p2 };
+    { Algorithm.rule_name = rule_q;
+      guard =
+        (fun v ->
+          let self = v.Algorithm.state in
+          p_icorrect v
+          && (not (p_to_quit self v))
+          && (not (p_upd_ptr self v))
+          && (self.scr <> real_scr self v || self.can_q <> p_can_quit self v));
+      action = action_q } ]
+
+let rules = make_rules ~p_icorrect ~best_ptr
+
+let printed_rules =
+  make_rules ~p_icorrect:printed_p_icorrect ~best_ptr:printed_best_ptr
+
+module Make (P : sig
+  val graph : Graph.t
+  val spec : Spec.t
+  val ids : int array option
+end) =
+struct
+  let graph = P.graph
+
+  let ids =
+    match P.ids with
+    | None -> Array.init (Graph.n graph) (fun u -> u)
+    | Some ids ->
+        if Array.length ids <> Graph.n graph then
+          invalid_arg "Fga.Make: ids length mismatch";
+        let sorted = Array.copy ids in
+        Array.sort compare sorted;
+        Array.iteri
+          (fun i x ->
+            if i > 0 && sorted.(i - 1) = x then
+              invalid_arg "Fga.Make: duplicate identifier")
+          sorted;
+        ids
+
+  let () =
+    if not (Spec.feasible P.spec graph) then
+      invalid_arg
+        (Printf.sprintf
+           "Fga.Make: spec %s infeasible (need degree >= max(f,g) everywhere)"
+           P.spec.Spec.spec_name)
+
+  module Input = struct
+    type nonrec state = state
+
+    let name = "fga-" ^ P.spec.Spec.spec_name
+    let equal = equal_state
+    let pp = pp_state
+    let p_icorrect = p_icorrect
+    let p_reset s = s.col && s.ptr = None && s.can_q && s.scr = 1
+    let reset s = { s with col = true; ptr = None; can_q = true; scr = 1 }
+    let rules = rules
+  end
+
+  module Composed = Sdr.Make (Input)
+
+  let bare : state Algorithm.t =
+    { Algorithm.name = Input.name ^ "-bare";
+      rules;
+      equal = equal_state;
+      pp = pp_state }
+
+  let bare_printed : state Algorithm.t =
+    { Algorithm.name = Input.name ^ "-printed";
+      rules = printed_rules;
+      equal = equal_state;
+      pp = pp_state }
+
+  let init_state u =
+    { id = ids.(u);
+      f_u = P.spec.Spec.f graph u;
+      g_u = P.spec.Spec.g graph u;
+      col = true;
+      scr = 1;
+      can_q = true;
+      ptr = None }
+
+  let gamma_init () = Array.init (Graph.n graph) init_state
+
+  let gen rng u =
+    let base = init_state u in
+    let nbrs = Graph.neighbors graph u in
+    let ptr =
+      (* Uniform over N[u] ∪ {⊥}: 0 = ⊥, 1 = self, 2.. = neighbors. *)
+      match Random.State.int rng (Array.length nbrs + 2) with
+      | 0 -> None
+      | 1 -> Some base.id
+      | i -> Some ids.(nbrs.(i - 2))
+    in
+    { base with
+      col = Random.State.bool rng;
+      scr = Random.State.int rng 3 - 1;
+      can_q = Random.State.bool rng;
+      ptr }
+
+  let alliance cfg = Array.map (fun s -> s.col) cfg
+  let alliance_of_composed cfg = Array.map (fun s -> s.Sdr.inner.col) cfg
+end

@@ -1,0 +1,74 @@
+(** Algorithm FGA — 1-minimal (f,g)-alliance (Algorithm 3 of the paper).
+
+    Works on identified networks where δ_u ≥ max(f(u), g(u)).  Starting from
+    the pre-defined initial configuration (everybody in the alliance), FGA
+    shrinks the alliance until it is 1-minimal; removals are locally central
+    thanks to the pointer handshake (a process leaves only with the full
+    approval of its whole closed neighborhood).  FGA alone terminates in
+    O(Δ·m) moves (Theorem 9) and 5n+4 rounds from a clean configuration
+    (Theorem 10); composed with SDR it is a {e silent} self-stabilizing
+    1-minimal (f,g)-alliance algorithm stabilizing in O(Δ·n·m) moves
+    (Theorem 13) and 8n+4 rounds (Theorem 14). *)
+
+module Sdr = Ssreset_core.Sdr
+
+type state = {
+  id : int;  (** unique identifier — constant from the system *)
+  f_u : int;  (** f(u) — constant *)
+  g_u : int;  (** g(u) — constant *)
+  col : bool;  (** alliance membership — the output *)
+  scr : int;  (** score in {-1,0,1}: slack of the local constraint *)
+  can_q : bool;  (** whether u believes it can quit the alliance *)
+  ptr : int option;
+      (** approval pointer: the id of the member of N[u] that u approves
+          for leaving, or [None] (⊥) *)
+}
+
+val pp_state : state Fmt.t
+val equal_state : state -> state -> bool
+
+val rule_clr : string
+(** ["FGA-Clr"]: leave the alliance. *)
+
+val rule_p1 : string
+(** ["FGA-P1"]: first half of a pointer switch (to ⊥). *)
+
+val rule_p2 : string
+(** ["FGA-P2"]: second half of a pointer switch (to the best candidate). *)
+
+val rule_q : string
+(** ["FGA-Q"]: refresh score and can-quit after a neighborhood change. *)
+
+module Make (P : sig
+  val graph : Ssreset_graph.Graph.t
+  val spec : Spec.t
+
+  val ids : int array option
+  (** Identifier assignment; [None] = identity.  Must be injective. *)
+end) : sig
+  module Input : Sdr.INPUT with type state = state
+  module Composed : Sdr.S with type inner = state
+
+  val bare : state Ssreset_sim.Algorithm.t
+  (** FGA alone, for runs from γ_init (Theorems 9 and 10). *)
+
+  val bare_printed : state Ssreset_sim.Algorithm.t
+  (** FGA with the macros {e exactly as printed} in the paper.  When
+      g(u) > f(u) is possible, this variant can terminate at a
+      non-1-minimal alliance: the printed [bestPtr] returns ⊥ whenever
+      scr_u ≤ 0, so a member m with #InAll(m) = g(m) can never approve
+      itself even when A \ {m} is still an alliance.  Kept for the
+      regression test documenting the discrepancy (see DESIGN.md). *)
+
+  val gamma_init : unit -> state array
+  (** Everybody in the alliance: col = true, scr = 1, canQ = true, ptr = ⊥. *)
+
+  val gen : state Ssreset_sim.Fault.generator
+  (** Domain-respecting arbitrary state: constants (id, f, g) are preserved;
+      col, scr, canQ arbitrary; ptr drawn from N[u] ∪ {⊥}. *)
+
+  val alliance : state array -> bool array
+  (** The output col vector of a bare configuration. *)
+
+  val alliance_of_composed : state Sdr.state array -> bool array
+end

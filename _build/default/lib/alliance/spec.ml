@@ -1,0 +1,54 @@
+module Graph = Ssreset_graph.Graph
+
+type t = {
+  spec_name : string;
+  f : Graph.t -> int -> int;
+  g : Graph.t -> int -> int;
+}
+
+let const k = fun _ _ -> k
+let half_up graph u = (Graph.degree graph u + 1 + 1) / 2
+let half_down graph u = (Graph.degree graph u + 1) / 2
+
+let dominating_set = { spec_name = "dominating-set"; f = const 1; g = const 0 }
+
+let k_domination k =
+  { spec_name = Printf.sprintf "%d-domination" k; f = const k; g = const 0 }
+
+let k_tuple_domination k =
+  if k < 1 then invalid_arg "k_tuple_domination: need k >= 1";
+  { spec_name = Printf.sprintf "%d-tuple-domination" k;
+    f = const k;
+    g = const (k - 1) }
+
+let global_offensive =
+  { spec_name = "global-offensive"; f = half_up; g = const 0 }
+
+let global_defensive =
+  { spec_name = "global-defensive"; f = const 1; g = half_up }
+
+let global_powerful =
+  { spec_name = "global-powerful"; f = half_up; g = half_down }
+
+let custom ~name ~f ~g =
+  if f < 0 || g < 0 then invalid_arg "Spec.custom: need f, g >= 0";
+  { spec_name = name; f = const f; g = const g }
+
+let feasible spec graph =
+  let ok u =
+    Graph.degree graph u >= max (spec.f graph u) (spec.g graph u)
+  in
+  let rec loop u = u >= Graph.n graph || (ok u && loop (u + 1)) in
+  loop 0
+
+let f_geq_g spec graph =
+  let rec loop u =
+    u >= Graph.n graph || (spec.f graph u >= spec.g graph u && loop (u + 1))
+  in
+  loop 0
+
+let all_named ~max_k =
+  let ks = List.init max_k (fun i -> i + 1) in
+  [ dominating_set; global_offensive; global_defensive; global_powerful ]
+  @ List.map k_domination ks
+  @ List.map k_tuple_domination ks

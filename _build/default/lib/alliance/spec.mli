@@ -1,0 +1,44 @@
+(** (f,g)-alliance problem instances (§6.1).
+
+    Given non-negative functions f and g on nodes, a set A is an
+    (f,g)-alliance iff every node outside A has ≥ f(u) neighbors in A and
+    every node inside A has ≥ g(u) neighbors in A.  The six named instances
+    below are the classical special cases listed in the paper. *)
+
+type t = {
+  spec_name : string;
+  f : Ssreset_graph.Graph.t -> int -> int;
+  g : Ssreset_graph.Graph.t -> int -> int;
+}
+
+val dominating_set : t
+(** (1,0)-alliance. *)
+
+val k_domination : int -> t
+(** (k,0)-alliance. *)
+
+val k_tuple_domination : int -> t
+(** (k,k-1)-alliance. *)
+
+val global_offensive : t
+(** f(u) = ⌈(δ_u+1)/2⌉, g = 0. *)
+
+val global_defensive : t
+(** f = 1, g(u) = ⌈(δ_u+1)/2⌉. *)
+
+val global_powerful : t
+(** f(u) = ⌈(δ_u+1)/2⌉, g(u) = ⌈δ_u/2⌉. *)
+
+val custom : name:string -> f:int -> g:int -> t
+(** Constant functions. *)
+
+val feasible : t -> Ssreset_graph.Graph.t -> bool
+(** The paper's assumption: δ_u ≥ max(f(u), g(u)) for every u (guarantees a
+    solution exists — V itself is an alliance). *)
+
+val f_geq_g : t -> Ssreset_graph.Graph.t -> bool
+(** Does f(u) ≥ g(u) hold everywhere?  (Property 1.2: then 1-minimal
+    implies minimal.) *)
+
+val all_named : max_k:int -> t list
+(** The six instances (k-variants for k in [1..max_k]). *)

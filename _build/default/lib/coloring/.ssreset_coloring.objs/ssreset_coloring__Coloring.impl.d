@@ -1,0 +1,1 @@
+lib/coloring/coloring.ml: Array Fmt List Option Random Ssreset_core Ssreset_graph Ssreset_sim

@@ -1,0 +1,1 @@
+lib/coloring/coloring.mli: Fmt Ssreset_core Ssreset_graph Ssreset_sim

@@ -1,0 +1,109 @@
+module Algorithm = Ssreset_sim.Algorithm
+module Graph = Ssreset_graph.Graph
+module Sdr = Ssreset_core.Sdr
+
+type state = {
+  id : int;
+  color : int option;
+}
+
+let pp_state ppf s =
+  Fmt.pf ppf "{id=%d;col=%a}" s.id Fmt.(option ~none:(any "⊥") int) s.color
+
+let rule_pick = "COL-pick"
+
+(* Smallest color not used by a defined neighbor; at most δ_u since there
+   are δ_u neighbors. *)
+let mex (v : state Algorithm.view) =
+  let used = Array.make (Array.length v.Algorithm.nbrs + 1) false in
+  Array.iter
+    (fun s ->
+      match s.color with
+      | Some c when c < Array.length used -> used.(c) <- true
+      | _ -> ())
+    v.Algorithm.nbrs;
+  let rec first c = if used.(c) then first (c + 1) else c in
+  first 0
+
+let p_icorrect (v : state Algorithm.view) =
+  match v.Algorithm.state.color with
+  | None -> true
+  | Some c ->
+      c >= 0
+      && c <= Array.length v.Algorithm.nbrs
+      && Array.for_all (fun s -> s.color <> Some c) v.Algorithm.nbrs
+
+let guard_pick (v : state Algorithm.view) =
+  let self = v.Algorithm.state in
+  p_icorrect v
+  && self.color = None
+  && Array.for_all
+       (fun s -> s.color <> None || s.id < self.id)
+       v.Algorithm.nbrs
+
+let rules =
+  [ { Algorithm.rule_name = rule_pick;
+      guard = guard_pick;
+      action = (fun v -> { v.Algorithm.state with color = Some (mex v) }) } ]
+
+module Make (P : sig
+  val graph : Graph.t
+  val ids : int array option
+end) =
+struct
+  let graph = P.graph
+
+  let ids =
+    match P.ids with
+    | None -> Array.init (Graph.n graph) (fun u -> u)
+    | Some ids ->
+        if Array.length ids <> Graph.n graph then
+          invalid_arg "Coloring.Make: ids length mismatch";
+        ids
+
+  module Input = struct
+    type nonrec state = state
+
+    let name = "coloring"
+    let equal (a : state) b = a = b
+    let pp = pp_state
+    let p_icorrect = p_icorrect
+    let p_reset s = s.color = None
+    let reset s = { s with color = None }
+    let rules = rules
+  end
+
+  module Composed = Sdr.Make (Input)
+
+  let bare : state Algorithm.t =
+    { Algorithm.name = "coloring-bare";
+      rules;
+      equal = Input.equal;
+      pp = pp_state }
+
+  let gamma_init () =
+    Array.init (Graph.n graph) (fun u -> { id = ids.(u); color = None })
+
+  let gen rng u =
+    let color =
+      match Random.State.int rng (Graph.degree graph u + 2) with
+      | 0 -> None
+      | c -> Some (c - 1)
+    in
+    { id = ids.(u); color }
+
+  let coloring cfg = Array.map (fun s -> s.color) cfg
+  let coloring_of_composed cfg = Array.map (fun s -> s.Sdr.inner.color) cfg
+
+  let is_proper colors =
+    Array.for_all Option.is_some colors
+    && Array.for_all
+         (fun u ->
+           match colors.(u) with
+           | Some c -> c >= 0 && c <= Graph.degree graph u
+           | None -> false)
+         (Array.init (Graph.n graph) (fun u -> u))
+    && List.for_all
+         (fun (u, v) -> colors.(u) <> colors.(v))
+         (Graph.edges graph)
+end

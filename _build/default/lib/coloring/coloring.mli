@@ -1,0 +1,44 @@
+(** Greedy (Δ+1)-coloring as an SDR input algorithm.
+
+    A third instantiation supporting the paper's generality claim (§1.1):
+    any locally checkable, locally resettable algorithm self-stabilizes when
+    composed with SDR, and static specifications become {e silent}.
+
+    The input algorithm works on identified networks: an uncolored process
+    whose uncolored neighbors all have smaller identifiers picks the
+    smallest color unused in its neighborhood (hence ≤ δ_u, so at most
+    Δ+1 colors overall).  This is locally checkable (a defined color is
+    correct iff it differs from every defined neighbor color and fits the
+    domain) and resets to "uncolored". *)
+
+module Sdr = Ssreset_core.Sdr
+
+type state = {
+  id : int;  (** constant *)
+  color : int option;  (** [None] = not yet colored *)
+}
+
+val pp_state : state Fmt.t
+val rule_pick : string
+(** ["COL-pick"]. *)
+
+module Make (P : sig
+  val graph : Ssreset_graph.Graph.t
+
+  val ids : int array option
+  (** [None] = identity. *)
+end) : sig
+  module Input : Sdr.INPUT with type state = state
+  module Composed : Sdr.S with type inner = state
+
+  val bare : state Ssreset_sim.Algorithm.t
+  val gamma_init : unit -> state array
+  val gen : state Ssreset_sim.Fault.generator
+  (** Arbitrary color in [{⊥} ∪ {0..δ_u}]. *)
+
+  val coloring : state array -> int option array
+  val coloring_of_composed : state Sdr.state array -> int option array
+
+  val is_proper : int option array -> bool
+  (** All colors defined, within [0..δ_u], and no monochromatic edge. *)
+end

@@ -1,0 +1,1 @@
+lib/core/requirements.ml: Array Fmt Format List Random Sdr Ssreset_graph Ssreset_sim

@@ -1,0 +1,1 @@
+lib/core/requirements.mli: Fmt Sdr Ssreset_graph Ssreset_sim

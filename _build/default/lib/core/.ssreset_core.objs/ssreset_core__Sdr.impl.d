@@ -1,0 +1,1 @@
+lib/core/sdr.ml: Array Fmt List Random Ssreset_graph Ssreset_sim

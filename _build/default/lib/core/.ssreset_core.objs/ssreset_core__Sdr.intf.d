@@ -1,0 +1,1 @@
+lib/core/sdr.mli: Fmt Ssreset_graph Ssreset_sim

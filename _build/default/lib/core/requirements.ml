@@ -1,0 +1,94 @@
+module Algorithm = Ssreset_sim.Algorithm
+module Engine = Ssreset_sim.Engine
+module Daemon = Ssreset_sim.Daemon
+module Fault = Ssreset_sim.Fault
+module Graph = Ssreset_graph.Graph
+
+type violation = {
+  requirement : string;
+  detail : string;
+}
+
+let pp_violation ppf v = Fmt.pf ppf "requirement %s: %s" v.requirement v.detail
+
+let check (type s) (module I : Sdr.INPUT with type state = s)
+    ~(gen : s Fault.generator) ~graphs ~seed ~trials =
+  let violations = ref [] in
+  let report requirement fmt =
+    Format.kasprintf
+      (fun detail -> violations := { requirement; detail } :: !violations)
+      fmt
+  in
+  let bare : s Algorithm.t =
+    { Algorithm.name = I.name; rules = I.rules; equal = I.equal; pp = I.pp }
+  in
+  let rng = Random.State.make [| seed |] in
+  List.iter
+    (fun g ->
+      for trial = 1 to trials do
+        let cfg = Fault.arbitrary rng gen g in
+        (* 2e: reset always reaches a p_reset state. *)
+        Array.iteri
+          (fun u s ->
+            if not (I.p_reset (I.reset s)) then
+              report "2e" "trial %d: reset of process %d state %a misses P_reset"
+                trial u I.pp s)
+          cfg;
+        (* 2d: all-reset closed neighborhoods are locally correct. *)
+        let reset_cfg = Array.map I.reset cfg in
+        Array.iteri
+          (fun u _ ->
+            let v = Algorithm.view g reset_cfg u in
+            if not (I.p_icorrect v) then
+              report "2d" "trial %d: all-reset neighborhood of %d not P_ICorrect"
+                trial u)
+          reset_cfg;
+        (* 2c: input rules are disabled on locally incorrect views. *)
+        Array.iteri
+          (fun u _ ->
+            let v = Algorithm.view g cfg u in
+            if not (I.p_icorrect v) then
+              List.iter
+                (fun (r : s Algorithm.rule) ->
+                  if r.Algorithm.guard v then
+                    report "2c"
+                      "trial %d: rule %s enabled at %d while not P_ICorrect"
+                      trial r.Algorithm.rule_name u)
+                I.rules)
+          cfg;
+        (* 2a: p_icorrect is closed by steps of the bare input algorithm.
+           Walk a short random execution and check every step. *)
+        let correct_before = Array.make (Graph.n g) false in
+        let record_correct cfg =
+          Array.iteri
+            (fun u _ ->
+              correct_before.(u) <- I.p_icorrect (Algorithm.view g cfg u))
+            cfg
+        in
+        record_correct cfg;
+        let current = ref cfg in
+        (try
+           for step_index = 0 to 20 do
+             match
+               Engine.step ~rng ~algorithm:bare ~graph:g
+                 ~daemon:(Daemon.distributed_random 0.5) ~step_index !current
+             with
+             | None -> raise Exit
+             | Some (next, _) ->
+                 Array.iteri
+                   (fun u _ ->
+                     if
+                       correct_before.(u)
+                       && not (I.p_icorrect (Algorithm.view g next u))
+                     then
+                       report "2a"
+                         "trial %d: P_ICorrect(%d) not closed at step %d" trial
+                         u step_index)
+                   next;
+                 record_correct next;
+                 current := next
+           done
+         with Exit -> ())
+      done)
+    graphs;
+  List.rev !violations

@@ -1,0 +1,34 @@
+(** Dynamic checker for the SDR input requirements (§3.5).
+
+    Requirements 1 and 2b are discharged by typing (the input algorithm
+    cannot even name the SDR variables, and [p_reset] only receives the
+    process's own state).  The remaining obligations are checked by random
+    exploration:
+
+    - 2a: [p_icorrect] is closed by the input algorithm;
+    - 2c (first half): no input rule is enabled on a view violating
+      [p_icorrect] (the [P_Clean] half is enforced by the composition);
+    - 2d: an all-reset closed neighborhood satisfies [p_icorrect];
+    - 2e: [p_reset (reset s)] for every state [s].
+
+    The checker is used by the test suites of every instantiation (unison,
+    alliance, coloring, MIS). *)
+
+type violation = {
+  requirement : string;  (** e.g. ["2a"] *)
+  detail : string;
+}
+
+val pp_violation : violation Fmt.t
+
+val check :
+  (module Sdr.INPUT with type state = 's) ->
+  gen:'s Ssreset_sim.Fault.generator ->
+  graphs:Ssreset_graph.Graph.t list ->
+  seed:int ->
+  trials:int ->
+  violation list
+(** Runs [trials] random explorations per requirement per graph.  The
+    generator must respect variable domains and constants for the given
+    graph (same contract as fault injection).  Returns all violations found
+    (empty = no counterexample). *)

@@ -1,0 +1,1 @@
+lib/expt/experiments.ml: Array List Printf Random Runner Ssreset_alliance Ssreset_graph Ssreset_mis Ssreset_sim Ssreset_unison Table Workload

@@ -1,0 +1,1 @@
+lib/expt/runner.ml: Array List Random Ssreset_agreset Ssreset_alliance Ssreset_coloring Ssreset_core Ssreset_graph Ssreset_matching Ssreset_mis Ssreset_sim Ssreset_unison String

@@ -1,0 +1,1 @@
+lib/expt/runner.mli: Ssreset_alliance Ssreset_graph Ssreset_sim

@@ -1,0 +1,1 @@
+lib/expt/table.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/expt/workload.ml: Array List Printf Random Ssreset_graph

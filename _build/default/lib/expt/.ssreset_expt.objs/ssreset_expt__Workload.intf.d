@@ -1,0 +1,1 @@
+lib/expt/workload.mli: Ssreset_graph

@@ -1,0 +1,78 @@
+(** The experiment suite — one entry per item of the per-experiment index in
+    DESIGN.md.  The paper is a theory paper, so each "table" validates one
+    proven bound or correctness theorem empirically; the [ok] column of each
+    table reports whether the bound/property held on every sampled run. *)
+
+type profile = {
+  sizes : int list;  (** network sizes for the sweeps *)
+  fga_sizes : int list;  (** smaller sizes for the costlier FGA sweeps *)
+  seeds : int;  (** random repetitions per cell *)
+  bare_steps_factor : int;  (** step budget per process for liveness runs *)
+}
+
+val quick : profile
+(** Small sweep (< 1 min total) used by [bench --quick] and CI. *)
+
+val full : profile
+(** The default bench profile. *)
+
+val e1_e2_e3 : profile -> Table.t list
+(** Convergence of I ∘ SDR to a normal configuration:
+    E1 rounds ≤ 3n (Corollary 5), E2 per-process SDR moves ≤ 3n+3
+    (Corollary 4), E3 segments ≤ n+1 and alive-root monotonicity
+    (Remarks 4–5).  Runs both U ∘ SDR and FGA ∘ SDR. *)
+
+val e4_e5 : profile -> Table.t list
+(** U ∘ SDR stabilization: E4 moves vs the O(D·n²) shape (Theorem 6),
+    E5 rounds ≤ 3n (Theorem 7). *)
+
+val e6 : profile -> Table.t
+(** Move-count comparison of U ∘ SDR against the tail-unison baseline on
+    identical (graph, seed, daemon) triples (§5.3 claim). *)
+
+val e7 : profile -> Table.t
+(** Bare U from γ_init: safety never violated, every process increments
+    (Theorem 5). *)
+
+val e8 : profile -> Table.t
+(** Bare FGA from γ_init: terminal, 1-minimal, rounds ≤ 5n+4 (Corollary 12)
+    and the per-process move bound of Lemma 25. *)
+
+val e9_e10 : profile -> Table.t list
+(** FGA ∘ SDR from arbitrary configurations: silence (termination),
+    E9 rounds ≤ 8n+4 (Theorem 14) and moves vs the O(Δ·n·m) shape
+    (Theorem 13), E10 terminal configuration is a 1-minimal alliance
+    (Theorem 11). *)
+
+val e11 : profile -> Table.t
+(** Daemon ablation: rounds/moves of U ∘ SDR and FGA ∘ SDR under each
+    daemon of the zoo on a fixed graph. *)
+
+val e12 : unit -> Table.t
+(** Property 1 of Dourado et al., checked exhaustively on every labeled
+    connected graph with up to 5 processes, plus cross-checking FGA's output
+    against the brute-force 1-minimal enumeration. *)
+
+val e13 : profile -> Table.t
+(** Generality: coloring ∘ SDR and MIS ∘ SDR are silent self-stabilizing
+    (terminate with correct outputs from arbitrary configurations). *)
+
+val e14 : profile -> Table.t
+(** Recovery cost as a function of transient-fault burst size: legitimate
+    configurations are silent, and small bursts recover with few moves —
+    the cooperative resets stay partial. *)
+
+val e15 : profile -> Table.t
+(** Reset-architecture comparison on identical workloads: SDR (cooperative,
+    multi-initiator) versus an Arora-Gouda-style mono-initiator tree-wave
+    reset.  Under fair daemons both stabilize (SDR in fewer rounds); under
+    the unfair central-first daemon SDR keeps its bounds while the
+    mono-initiator design livelocks — the paper's §1 motivation. *)
+
+val e16 : profile -> Table.t
+(** Parameter ablation: U ∘ SDR with K ∈ {n+1, 2n+2, n²+1} (the bounds are
+    K-independent for any K > n) and the tail baseline with α ∈
+    {n/2, n, 2n} (moves grow with α, part of its O(D·n³+α·n²) complexity). *)
+
+val all : profile -> (string * Table.t list) list
+(** Every experiment, in order, tagged with its id. *)

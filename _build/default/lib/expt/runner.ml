@@ -1,0 +1,319 @@
+module Algorithm = Ssreset_sim.Algorithm
+module Daemon = Ssreset_sim.Daemon
+module Engine = Ssreset_sim.Engine
+module Fault = Ssreset_sim.Fault
+module Graph = Ssreset_graph.Graph
+module Sdr = Ssreset_core.Sdr
+
+type obs = {
+  outcome_ok : bool;
+  result_ok : bool;
+  rounds : int;
+  moves : int;
+  steps : int;
+  sdr_moves : int;
+  max_proc_moves : int;
+  max_proc_sdr_moves : int;
+  segments : int;
+  ar_monotone : bool;
+}
+
+let max_int_array = Array.fold_left max 0
+
+let is_sdr_rule name =
+  String.length name >= 4 && String.equal (String.sub name 0 4) "SDR-"
+
+(* Observers shared by all composed runs: per-process SDR move counts,
+   segment counting, and the subset check of Remark 4 (alive-root sets only
+   shrink). *)
+let composed_observers (type s) (module C : Sdr.S with type inner = s) graph
+    cfg0 =
+  let per_proc_sdr = Array.make (Graph.n graph) 0 in
+  let segments = C.Segments.create graph cfg0 in
+  let last_roots = ref (C.alive_roots graph cfg0) in
+  let monotone = ref true in
+  let observer ~step ~moved cfg =
+    List.iter
+      (fun (u, name) ->
+        if is_sdr_rule name then per_proc_sdr.(u) <- per_proc_sdr.(u) + 1)
+      moved;
+    C.Segments.observer segments ~step ~moved cfg;
+    let roots = C.alive_roots graph cfg in
+    if not (List.for_all (fun u -> List.mem u !last_roots) roots) then
+      monotone := false;
+    last_roots := roots
+  in
+  let finish (result : _ Engine.result) ~outcome_ok ~result_ok =
+    { outcome_ok;
+      result_ok;
+      rounds = result.Engine.rounds;
+      moves = result.Engine.moves;
+      steps = result.Engine.steps;
+      sdr_moves =
+        Engine.moves_of_rules result.Engine.moves_per_rule ~prefixes:[ "SDR-" ];
+      max_proc_moves = max_int_array result.Engine.moves_per_process;
+      max_proc_sdr_moves = max_int_array per_proc_sdr;
+      segments = C.Segments.count segments;
+      ar_monotone = !monotone }
+  in
+  (observer, finish)
+
+let bare_obs (result : _ Engine.result) ~outcome_ok ~result_ok =
+  { outcome_ok;
+    result_ok;
+    rounds = result.Engine.rounds;
+    moves = result.Engine.moves;
+    steps = result.Engine.steps;
+    sdr_moves = 0;
+    max_proc_moves = max_int_array result.Engine.moves_per_process;
+    max_proc_sdr_moves = 0;
+    segments = 1;
+    ar_monotone = true }
+
+let rngs seed = (Random.State.make [| seed; 17 |], Random.State.make [| seed; 91 |])
+
+let unison_composed ?(max_steps = 20_000_000) ~graph ~daemon ~seed () =
+  let n = Graph.n graph in
+  let module U = Ssreset_unison.Unison.Make (struct
+    let k = (2 * n) + 2
+  end) in
+  let cfg_rng, run_rng = rngs seed in
+  let gen = U.Composed.generator ~inner:U.clock_gen ~max_d:(2 * n) in
+  let cfg = Fault.arbitrary cfg_rng gen graph in
+  let observer, finish =
+    composed_observers (module U.Composed) graph cfg
+  in
+  let result =
+    Engine.run ~rng:run_rng ~max_steps ~observer
+      ~stop:(U.Composed.is_normal graph)
+      ~algorithm:U.Composed.algorithm ~graph ~daemon cfg
+  in
+  let stabilized = result.Engine.outcome = Engine.Stabilized in
+  finish result ~outcome_ok:stabilized
+    ~result_ok:(stabilized && U.Composed.is_normal graph result.Engine.final)
+
+let unison_bare ~steps ~graph ~daemon ~seed () =
+  let n = Graph.n graph in
+  let module U = Ssreset_unison.Unison.Make (struct
+    let k = (2 * n) + 2
+  end) in
+  let _, run_rng = rngs seed in
+  let monitor = Ssreset_unison.Checker.create_monitor ~k:U.k graph in
+  let counter = ref 0 in
+  let observer ~step ~moved cfg =
+    incr counter;
+    Ssreset_unison.Checker.observe_bare monitor ~step ~moved cfg
+  in
+  let result =
+    Engine.run ~rng:run_rng ~max_steps:steps ~observer
+      ~algorithm:U.bare ~graph ~daemon (U.gamma_init graph)
+  in
+  (* U never terminates from γ_init (Lemma 18), so exhausting the step
+     budget is the expected outcome here. *)
+  let outcome_ok = result.Engine.outcome = Engine.Step_limit in
+  let result_ok =
+    Ssreset_unison.Checker.safety_violations monitor = 0
+    && Ssreset_unison.Checker.min_increments monitor > 0
+  in
+  bare_obs result ~outcome_ok ~result_ok
+
+let tail_unison ?(max_steps = 50_000_000) ~graph ~daemon ~seed () =
+  let n = Graph.n graph in
+  let module T = Ssreset_unison.Tail_unison.Make (struct
+    let k = (2 * n) + 2
+    let alpha = n
+  end) in
+  let cfg_rng, run_rng = rngs seed in
+  let cfg = Fault.arbitrary cfg_rng T.clock_gen graph in
+  let result =
+    Engine.run ~rng:run_rng ~max_steps
+      ~stop:(T.is_legitimate graph)
+      ~algorithm:T.algorithm ~graph ~daemon cfg
+  in
+  let stabilized = result.Engine.outcome = Engine.Stabilized in
+  bare_obs result ~outcome_ok:stabilized
+    ~result_ok:(stabilized && T.is_legitimate graph result.Engine.final)
+
+let unison_agr ?(max_steps = 2_000_000) ~graph ~daemon ~seed () =
+  let n = Graph.n graph in
+  let module U = Ssreset_unison.Unison.Make (struct
+    let k = (2 * n) + 2
+  end) in
+  let module A =
+    Ssreset_agreset.Agreset.Make
+      (U.Input)
+      (struct
+        let graph = graph
+        let root = 0
+      end)
+  in
+  let cfg_rng, run_rng = rngs seed in
+  let gen = A.generator ~inner:U.clock_gen in
+  let cfg = Fault.arbitrary cfg_rng gen graph in
+  let result =
+    Engine.run ~rng:run_rng ~max_steps
+      ~stop:(A.is_normal graph)
+      ~algorithm:A.algorithm ~graph ~daemon cfg
+  in
+  let stabilized = result.Engine.outcome = Engine.Stabilized in
+  bare_obs result ~outcome_ok:stabilized
+    ~result_ok:(stabilized && A.is_normal graph result.Engine.final)
+
+let min_unison ?(max_steps = 50_000_000) ~graph ~daemon ~seed () =
+  let n = Graph.n graph in
+  let module M = Ssreset_unison.Min_unison.Make (struct
+    let k = (n * n) + 1
+  end) in
+  let cfg_rng, run_rng = rngs seed in
+  let cfg = Fault.arbitrary cfg_rng M.clock_gen graph in
+  let result =
+    Engine.run ~rng:run_rng ~max_steps
+      ~stop:(M.is_legitimate graph)
+      ~algorithm:M.algorithm ~graph ~daemon cfg
+  in
+  let stabilized = result.Engine.outcome = Engine.Stabilized in
+  bare_obs result ~outcome_ok:stabilized
+    ~result_ok:(stabilized && M.is_legitimate graph result.Engine.final)
+
+let lemma25_bound graph u =
+  let deg = Graph.degree graph u in
+  let delta = Graph.max_degree graph in
+  (8 * deg * delta) + (18 * deg) + 24
+
+let fga_bare ?(max_steps = 20_000_000) ~spec ~graph ~daemon ~seed () =
+  let module F = Ssreset_alliance.Fga.Make (struct
+    let graph = graph
+    let spec = spec
+    let ids = None
+  end) in
+  let _, run_rng = rngs seed in
+  let result =
+    Engine.run ~rng:run_rng ~max_steps ~algorithm:F.bare ~graph ~daemon
+      (F.gamma_init ())
+  in
+  let terminal = result.Engine.outcome = Engine.Terminal in
+  let moves_ok =
+    Array.for_all
+      (fun u -> result.Engine.moves_per_process.(u) <= lemma25_bound graph u)
+      (Array.init (Graph.n graph) (fun u -> u))
+  in
+  bare_obs result ~outcome_ok:terminal
+    ~result_ok:
+      (terminal && moves_ok
+      && Ssreset_alliance.Checker.is_one_minimal graph spec
+           (F.alliance result.Engine.final))
+
+let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false) ~spec
+    ~graph ~daemon ~seed () =
+  let n = Graph.n graph in
+  let module F = Ssreset_alliance.Fga.Make (struct
+    let graph = graph
+    let spec = spec
+    let ids = None
+  end) in
+  let cfg_rng, run_rng = rngs seed in
+  let gen = F.Composed.generator ~inner:F.gen ~max_d:(2 * n) in
+  let cfg = Fault.arbitrary cfg_rng gen graph in
+  let observer, finish = composed_observers (module F.Composed) graph cfg in
+  let stop =
+    if stop_at_normal then F.Composed.is_normal graph else fun _ -> false
+  in
+  let result =
+    Engine.run ~rng:run_rng ~max_steps ~observer ~stop
+      ~algorithm:F.Composed.algorithm ~graph ~daemon cfg
+  in
+  if stop_at_normal then
+    let stabilized = result.Engine.outcome = Engine.Stabilized in
+    finish result ~outcome_ok:stabilized
+      ~result_ok:(stabilized && F.Composed.is_normal graph result.Engine.final)
+  else
+    let terminal = result.Engine.outcome = Engine.Terminal in
+    finish result ~outcome_ok:terminal
+      ~result_ok:
+        (terminal
+        && Ssreset_alliance.Checker.is_one_minimal graph spec
+             (F.alliance_of_composed result.Engine.final))
+
+let coloring_composed ?(max_steps = 20_000_000) ~graph ~daemon ~seed () =
+  let n = Graph.n graph in
+  let module C = Ssreset_coloring.Coloring.Make (struct
+    let graph = graph
+    let ids = None
+  end) in
+  let cfg_rng, run_rng = rngs seed in
+  let gen = C.Composed.generator ~inner:C.gen ~max_d:(2 * n) in
+  let cfg = Fault.arbitrary cfg_rng gen graph in
+  let observer, finish = composed_observers (module C.Composed) graph cfg in
+  let result =
+    Engine.run ~rng:run_rng ~max_steps ~observer
+      ~algorithm:C.Composed.algorithm ~graph ~daemon cfg
+  in
+  let terminal = result.Engine.outcome = Engine.Terminal in
+  finish result ~outcome_ok:terminal
+    ~result_ok:
+      (terminal
+      && C.is_proper (C.coloring_of_composed result.Engine.final))
+
+let mis_composed ?(max_steps = 20_000_000) ~graph ~daemon ~seed () =
+  let n = Graph.n graph in
+  let module M = Ssreset_mis.Mis.Make (struct
+    let graph = graph
+    let ids = None
+  end) in
+  let cfg_rng, run_rng = rngs seed in
+  let gen = M.Composed.generator ~inner:M.gen ~max_d:(2 * n) in
+  let cfg = Fault.arbitrary cfg_rng gen graph in
+  let observer, finish = composed_observers (module M.Composed) graph cfg in
+  let result =
+    Engine.run ~rng:run_rng ~max_steps ~observer
+      ~algorithm:M.Composed.algorithm ~graph ~daemon cfg
+  in
+  let terminal = result.Engine.outcome = Engine.Terminal in
+  finish result ~outcome_ok:terminal
+    ~result_ok:
+      (terminal
+      && M.is_mis (M.independent_set_of_composed result.Engine.final))
+
+let matching_composed ?(max_steps = 20_000_000) ~graph ~daemon ~seed () =
+  let n = Graph.n graph in
+  let module M = Ssreset_matching.Matching.Make (struct
+    let graph = graph
+    let ids = None
+  end) in
+  let cfg_rng, run_rng = rngs seed in
+  let gen = M.Composed.generator ~inner:M.gen ~max_d:(2 * n) in
+  let cfg = Fault.arbitrary cfg_rng gen graph in
+  let observer, finish = composed_observers (module M.Composed) graph cfg in
+  let result =
+    Engine.run ~rng:run_rng ~max_steps ~observer
+      ~algorithm:M.Composed.algorithm ~graph ~daemon cfg
+  in
+  let terminal = result.Engine.outcome = Engine.Terminal in
+  finish result ~outcome_ok:terminal
+    ~result_ok:
+      (terminal
+      && M.is_maximal_matching (M.matching_of_composed result.Engine.final))
+
+let daemon_by_name = function
+  | "synchronous" -> Daemon.synchronous
+  | "central-random" -> Daemon.central_random
+  | "central-first" -> Daemon.central_first
+  | "central-last" -> Daemon.central_last
+  | "round-robin" -> Daemon.round_robin ()
+  | "distributed-random" -> Daemon.distributed_random 0.5
+  | "locally-central" -> Daemon.locally_central_random
+  | "adversarial" ->
+      Daemon.adversarial_rule
+        ~prefer:[ "U-inc"; "FGA-Clr"; "FGA-P1"; "FGA-P2"; "FGA-Q" ]
+  | "starve" -> Daemon.starve 0
+  | name -> invalid_arg ("unknown daemon: " ^ name)
+
+let experiment_daemons () =
+  [ Daemon.synchronous;
+    Daemon.central_random;
+    Daemon.distributed_random 0.3;
+    Daemon.distributed_random 0.8;
+    Daemon.locally_central_random;
+    Daemon.round_robin ();
+    Daemon.adversarial_rule
+      ~prefer:[ "U-inc"; "FGA-Clr"; "FGA-P1"; "FGA-P2"; "FGA-Q" ] ]

@@ -1,0 +1,133 @@
+(** One-shot measured runs of every system, with the observers needed by
+    the experiments (per-process SDR move counts, segment counting,
+    alive-root monotonicity). *)
+
+type obs = {
+  outcome_ok : bool;
+      (** the run ended the way the theory predicts (stabilized for unison,
+          terminal for the silent systems, step budget not exhausted) *)
+  result_ok : bool;
+      (** problem-specific output check: normal configuration reached,
+          1-minimal alliance, proper coloring, MIS, safety… *)
+  rounds : int;
+  moves : int;
+  steps : int;
+  sdr_moves : int;  (** moves of SDR rules only (0 for bare runs) *)
+  max_proc_moves : int;
+  max_proc_sdr_moves : int;  (** per-process maximum of SDR moves *)
+  segments : int;  (** 1 for bare runs *)
+  ar_monotone : bool;
+      (** alive-root sets only ever shrink (Remark 4); true for bare runs *)
+}
+
+val unison_composed :
+  ?max_steps:int ->
+  graph:Ssreset_graph.Graph.t ->
+  daemon:Ssreset_sim.Daemon.t ->
+  seed:int ->
+  unit ->
+  obs
+(** U ∘ SDR with K = 2n+2 from an arbitrary configuration, run until the
+    first normal configuration. *)
+
+val unison_bare :
+  steps:int ->
+  graph:Ssreset_graph.Graph.t ->
+  daemon:Ssreset_sim.Daemon.t ->
+  seed:int ->
+  unit ->
+  obs
+(** U alone from γ_init for a fixed number of steps; [result_ok] = no safety
+    violation and every process incremented at least once (liveness proxy —
+    use a generous step budget). *)
+
+val tail_unison :
+  ?max_steps:int ->
+  graph:Ssreset_graph.Graph.t ->
+  daemon:Ssreset_sim.Daemon.t ->
+  seed:int ->
+  unit ->
+  obs
+(** The baseline with K = 2n+2, α = n, from an arbitrary configuration, run
+    until legitimate. *)
+
+val unison_agr :
+  ?max_steps:int ->
+  graph:Ssreset_graph.Graph.t ->
+  daemon:Ssreset_sim.Daemon.t ->
+  seed:int ->
+  unit ->
+  obs
+(** U composed with the mono-initiator AGR reset baseline (root = process
+    0), run until the first normal configuration.  AGR needs a weakly fair
+    daemon (see {!Ssreset_agreset.Agreset}); under unfair schedules such as
+    ["central-first"] it can livelock, which experiment E15 demonstrates
+    deliberately (a [Step_limit] outcome then yields [outcome_ok = false]). *)
+
+val min_unison :
+  ?max_steps:int ->
+  graph:Ssreset_graph.Graph.t ->
+  daemon:Ssreset_sim.Daemon.t ->
+  seed:int ->
+  unit ->
+  obs
+(** The Couvreur-style baseline with K = n²+1, from an arbitrary
+    configuration, run until legitimate. *)
+
+val fga_bare :
+  ?max_steps:int ->
+  spec:Ssreset_alliance.Spec.t ->
+  graph:Ssreset_graph.Graph.t ->
+  daemon:Ssreset_sim.Daemon.t ->
+  seed:int ->
+  unit ->
+  obs
+(** FGA from γ_init until terminal; [result_ok] = 1-minimal alliance and the
+    per-process move bound of Lemma 25 (8δΔ + 18δ + 24) holds. *)
+
+val fga_composed :
+  ?max_steps:int ->
+  ?stop_at_normal:bool ->
+  spec:Ssreset_alliance.Spec.t ->
+  graph:Ssreset_graph.Graph.t ->
+  daemon:Ssreset_sim.Daemon.t ->
+  seed:int ->
+  unit ->
+  obs
+(** FGA ∘ SDR from an arbitrary configuration until terminal (silence), or
+    until the first normal configuration when [stop_at_normal] is set. *)
+
+val coloring_composed :
+  ?max_steps:int ->
+  graph:Ssreset_graph.Graph.t ->
+  daemon:Ssreset_sim.Daemon.t ->
+  seed:int ->
+  unit ->
+  obs
+
+val mis_composed :
+  ?max_steps:int ->
+  graph:Ssreset_graph.Graph.t ->
+  daemon:Ssreset_sim.Daemon.t ->
+  seed:int ->
+  unit ->
+  obs
+
+val matching_composed :
+  ?max_steps:int ->
+  graph:Ssreset_graph.Graph.t ->
+  daemon:Ssreset_sim.Daemon.t ->
+  seed:int ->
+  unit ->
+  obs
+
+val daemon_by_name : string -> Ssreset_sim.Daemon.t
+(** Fresh daemon from one of the standard names (["synchronous"],
+    ["central-random"], ["distributed-random"], ["locally-central"],
+    ["round-robin"], ["adversarial"], …).
+    @raise Invalid_argument on unknown names. *)
+
+val experiment_daemons : unit -> Ssreset_sim.Daemon.t list
+(** The pool used by the sweeps: synchronous, central-random,
+    distributed-random (0.3 and 0.8), locally-central, round-robin and an
+    adversarial-rule daemon preferring input moves over resets. *)

@@ -1,0 +1,27 @@
+(** Plain-text tables for the experiment reports. *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  title:string -> headers:string list -> ?notes:string list ->
+  string list list -> t
+
+val render : t -> string
+(** Fixed-width rendering with a title line, a header rule and the notes. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_int : int -> string
+val cell_float : float -> string
+val cell_bool : bool -> string
+(** ["ok"] / ["FAIL"]. *)
+
+val all_ok : t -> col:int -> bool
+(** Does every row show ["ok"] in the given 0-based column?  Used by the
+    bench harness to summarize pass/fail per experiment. *)

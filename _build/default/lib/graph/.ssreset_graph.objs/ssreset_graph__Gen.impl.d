@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Format Graph Hashtbl List Random

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Buffer Fmt Format Hashtbl List Printf Queue

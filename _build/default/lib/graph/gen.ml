@@ -1,0 +1,200 @@
+let fail fmt = Format.kasprintf invalid_arg fmt
+
+let ring n =
+  if n < 3 then fail "ring: need n >= 3, got %d" n;
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  Graph.make ~n ~edges
+
+let path n =
+  if n < 1 then fail "path: need n >= 1, got %d" n;
+  let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+  Graph.make ~n ~edges
+
+let star n =
+  if n < 2 then fail "star: need n >= 2, got %d" n;
+  let edges = List.init (n - 1) (fun i -> (0, i + 1)) in
+  Graph.make ~n ~edges
+
+let complete n =
+  if n < 1 then fail "complete: need n >= 1, got %d" n;
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.make ~n ~edges:!edges
+
+let complete_bipartite a b =
+  if a < 1 || b < 1 then fail "complete_bipartite: need a,b >= 1";
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.make ~n:(a + b) ~edges:!edges
+
+let grid w h =
+  if w < 1 || h < 1 then fail "grid: need w,h >= 1";
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then edges := (id x y, id (x + 1) y) :: !edges;
+      if y + 1 < h then edges := (id x y, id x (y + 1)) :: !edges
+    done
+  done;
+  Graph.make ~n:(w * h) ~edges:!edges
+
+let torus w h =
+  if w < 3 || h < 3 then fail "torus: need w,h >= 3 to stay simple";
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      edges := (id x y, id ((x + 1) mod w) y) :: !edges;
+      edges := (id x y, id x ((y + 1) mod h)) :: !edges
+    done
+  done;
+  Graph.make ~n:(w * h) ~edges:!edges
+
+let hypercube d =
+  if d < 1 then fail "hypercube: need d >= 1, got %d" d;
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let v = u lxor (1 lsl bit) in
+      if u < v then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.make ~n ~edges:!edges
+
+let binary_tree n =
+  if n < 1 then fail "binary_tree: need n >= 1, got %d" n;
+  let edges = List.init (n - 1) (fun i -> (i + 1, i / 2)) in
+  Graph.make ~n ~edges
+
+let wheel n =
+  if n < 4 then fail "wheel: need n >= 4, got %d" n;
+  let rim = n - 1 in
+  let spokes = List.init rim (fun i -> (0, i + 1)) in
+  let cycle = List.init rim (fun i -> (1 + i, 1 + ((i + 1) mod rim))) in
+  Graph.make ~n ~edges:(spokes @ cycle)
+
+let lollipop k p =
+  if k < 3 then fail "lollipop: need clique size >= 3, got %d" k;
+  if p < 1 then fail "lollipop: need path length >= 1, got %d" p;
+  let edges = ref [] in
+  for u = 0 to k - 1 do
+    for v = u + 1 to k - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  (* Path hangs off process [k-1]. *)
+  for i = 0 to p - 1 do
+    let prev = if i = 0 then k - 1 else k + i - 1 in
+    edges := (prev, k + i) :: !edges
+  done;
+  Graph.make ~n:(k + p) ~edges:!edges
+
+let caterpillar spine legs =
+  if spine < 1 then fail "caterpillar: need spine >= 1";
+  if legs < 0 then fail "caterpillar: need legs >= 0";
+  let edges = ref [] in
+  for i = 0 to spine - 2 do
+    edges := (i, i + 1) :: !edges
+  done;
+  for i = 0 to spine - 1 do
+    for l = 0 to legs - 1 do
+      edges := (i, spine + (i * legs) + l) :: !edges
+    done
+  done;
+  Graph.make ~n:(spine + (spine * legs)) ~edges:!edges
+
+let random_tree rng n =
+  if n < 1 then fail "random_tree: need n >= 1, got %d" n;
+  let edges = List.init (n - 1) (fun i -> (i + 1, Random.State.int rng (i + 1))) in
+  Graph.make ~n ~edges
+
+(* A uniformly random spanning tree backbone keeps every randomized
+   generator connected without rejection sampling. *)
+let random_spanning_tree_edges rng n =
+  let order = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  List.init (n - 1) (fun i ->
+      let u = order.(i + 1) and v = order.(Random.State.int rng (i + 1)) in
+      (u, v))
+
+let erdos_renyi rng n p =
+  if n < 1 then fail "erdos_renyi: need n >= 1, got %d" n;
+  if p < 0.0 || p > 1.0 then fail "erdos_renyi: need 0 <= p <= 1";
+  let tree = random_spanning_tree_edges rng n in
+  let present = Hashtbl.create (4 * n) in
+  List.iter (fun (u, v) -> Hashtbl.replace present (min u v, max u v) ()) tree;
+  let extra = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if (not (Hashtbl.mem present (u, v))) && Random.State.float rng 1.0 < p
+      then extra := (u, v) :: !extra
+    done
+  done;
+  Graph.make ~n ~edges:(tree @ !extra)
+
+let random_connected rng n m =
+  if n < 1 then fail "random_connected: need n >= 1, got %d" n;
+  let max_m = n * (n - 1) / 2 in
+  if m < n - 1 || m > max_m then
+    fail "random_connected: need %d <= m <= %d, got %d" (n - 1) max_m m;
+  let tree = random_spanning_tree_edges rng n in
+  let present = Hashtbl.create (4 * n) in
+  List.iter (fun (u, v) -> Hashtbl.replace present (min u v, max u v) ()) tree;
+  let extra = ref [] in
+  let missing = ref (m - (n - 1)) in
+  while !missing > 0 do
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v then begin
+      let key = (min u v, max u v) in
+      if not (Hashtbl.mem present key) then begin
+        Hashtbl.replace present key ();
+        extra := key :: !extra;
+        decr missing
+      end
+    end
+  done;
+  Graph.make ~n ~edges:(tree @ !extra)
+
+let random_regular_ish rng n k =
+  if n < 3 then fail "random_regular_ish: need n >= 3, got %d" n;
+  if k < 2 then fail "random_regular_ish: need k >= 2, got %d" k;
+  let k = min k (n - 1) in
+  let target_m = min (n * k / 2) (n * (n - 1) / 2) in
+  let present = Hashtbl.create (4 * n) in
+  let edges = ref [] in
+  (* Ring backbone gives connectivity and minimum degree 2. *)
+  for i = 0 to n - 1 do
+    let key = (min i ((i + 1) mod n), max i ((i + 1) mod n)) in
+    Hashtbl.replace present key ();
+    edges := key :: !edges
+  done;
+  let missing = ref (max 0 (target_m - n)) in
+  let attempts = ref (20 * n * k) in
+  while !missing > 0 && !attempts > 0 do
+    decr attempts;
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v then begin
+      let key = (min u v, max u v) in
+      if not (Hashtbl.mem present key) then begin
+        Hashtbl.replace present key ();
+        edges := key :: !edges;
+        decr missing
+      end
+    end
+  done;
+  Graph.make ~n ~edges:!edges

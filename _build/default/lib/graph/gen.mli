@@ -1,0 +1,63 @@
+(** Graph generators.
+
+    All generators return connected simple graphs (the model assumes
+    connected networks).  Randomized generators take an explicit
+    [Random.State.t] so every experiment is reproducible from its seed. *)
+
+val ring : int -> Graph.t
+(** Cycle C_n, n ≥ 3. *)
+
+val path : int -> Graph.t
+(** Path P_n, n ≥ 1. *)
+
+val star : int -> Graph.t
+(** Star with one center (process 0) and [n-1] leaves, n ≥ 2. *)
+
+val complete : int -> Graph.t
+(** Clique K_n, n ≥ 1. *)
+
+val complete_bipartite : int -> int -> Graph.t
+(** K_{a,b}: processes [0..a-1] on one side, [a..a+b-1] on the other. *)
+
+val grid : int -> int -> Graph.t
+(** [grid w h]: w×h king-free grid (4-neighborhood), w·h processes. *)
+
+val torus : int -> int -> Graph.t
+(** [torus w h]: grid with wrap-around edges; requires w ≥ 3 and h ≥ 3 to
+    stay simple. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d]: the d-dimensional hypercube Q_d (2^d processes), d ≥ 1. *)
+
+val binary_tree : int -> Graph.t
+(** Complete binary tree layout on [n] processes (heap indexing), n ≥ 1. *)
+
+val wheel : int -> Graph.t
+(** Wheel W_n: a cycle on [n-1] processes plus a hub (process 0), n ≥ 4. *)
+
+val lollipop : int -> int -> Graph.t
+(** [lollipop k p]: a clique K_k attached to a path of [p] extra processes.
+    High-diameter, high-degree mix; a classic stress topology. *)
+
+val caterpillar : int -> int -> Graph.t
+(** [caterpillar spine legs]: a path of [spine] processes, each carrying
+    [legs] pendant leaves. *)
+
+val random_tree : Random.State.t -> int -> Graph.t
+(** Uniform-ish random tree: each process [i > 0] attaches to a uniformly
+    random earlier process (random recursive tree). *)
+
+val erdos_renyi : Random.State.t -> int -> float -> Graph.t
+(** [erdos_renyi rng n p]: G(n,p) conditioned on connectivity — a random
+    spanning tree is added first so the result is always connected; each
+    remaining pair is an edge with probability [p]. *)
+
+val random_connected : Random.State.t -> int -> int -> Graph.t
+(** [random_connected rng n m]: connected graph with exactly [m] edges,
+    [n-1 ≤ m ≤ n(n-1)/2]: random spanning tree plus [m-n+1] distinct random
+    chords. *)
+
+val random_regular_ish : Random.State.t -> int -> int -> Graph.t
+(** [random_regular_ish rng n k]: connected graph where every process has
+    degree ≥ min(k, n-1) and close to k on average (ring + random chords;
+    not exactly regular). *)

@@ -1,0 +1,119 @@
+type t = {
+  size : int;
+  adj : int array array;
+  edge_count : int;
+}
+
+exception Invalid_graph of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_graph s)) fmt
+
+let make ~n ~edges =
+  if n <= 0 then invalid "graph must have at least one process, got n=%d" n;
+  let seen = Hashtbl.create (2 * List.length edges) in
+  let buckets = Array.make n [] in
+  let add_edge (u, v) =
+    if u = v then invalid "self-loop on process %d" u;
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid "edge (%d,%d) out of range [0,%d)" u v n;
+    let key = (min u v, max u v) in
+    if Hashtbl.mem seen key then invalid "duplicate edge (%d,%d)" u v;
+    Hashtbl.add seen key ();
+    buckets.(u) <- v :: buckets.(u);
+    buckets.(v) <- u :: buckets.(v)
+  in
+  List.iter add_edge edges;
+  let adj =
+    Array.map
+      (fun l ->
+        let a = Array.of_list l in
+        Array.sort compare a;
+        a)
+      buckets
+  in
+  { size = n; adj; edge_count = Hashtbl.length seen }
+
+let n g = g.size
+let m g = g.edge_count
+let neighbors g u = g.adj.(u)
+let degree g u = Array.length g.adj.(u)
+
+let max_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+
+let min_degree g =
+  Array.fold_left (fun acc a -> min acc (Array.length a)) max_int g.adj
+
+let has_edge g u v =
+  (* Binary search in the sorted adjacency array of [u]. *)
+  let a = g.adj.(u) in
+  let rec search lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then search (mid + 1) hi
+      else search lo mid
+  in
+  search 0 (Array.length a)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.size - 1 downto 0 do
+    let a = g.adj.(u) in
+    for i = Array.length a - 1 downto 0 do
+      if u < a.(i) then acc := (u, a.(i)) :: !acc
+    done
+  done;
+  !acc
+
+let label_of g u v =
+  let a = g.adj.(u) in
+  let rec search lo hi =
+    if lo >= hi then raise Not_found
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then mid
+      else if a.(mid) < v then search (mid + 1) hi
+      else search lo mid
+  in
+  search 0 (Array.length a)
+
+let fold_neighbors g u ~init ~f = Array.fold_left f init g.adj.(u)
+let exists_neighbor g u ~f = Array.exists f g.adj.(u)
+let for_all_neighbors g u ~f = Array.for_all f g.adj.(u)
+
+let is_connected g =
+  let visited = Array.make g.size false in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  visited.(0) <- true;
+  let count = ref 1 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          incr count;
+          Queue.add v queue
+        end)
+      g.adj.(u)
+  done;
+  !count = g.size
+
+let pp ppf g =
+  Fmt.pf ppf "graph(n=%d, m=%d)" g.size g.edge_count;
+  Array.iteri
+    (fun u a ->
+      Fmt.pf ppf "@.  %d: %a" u Fmt.(array ~sep:(any " ") int) a)
+    g.adj
+
+let to_dot g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "graph G {\n";
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    (edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(** Simple undirected graphs used as communication networks.
+
+    Processes are numbered [0 .. n-1].  A graph is immutable once built.
+    Neighbor arrays are sorted in increasing order; the index of a neighbor
+    inside [neighbors g u] is the {e local label} of that neighbor at [u]
+    (the "indirect naming" of the computational model, §2.2 of the paper). *)
+
+type t
+(** A simple undirected graph. *)
+
+exception Invalid_graph of string
+(** Raised by {!make} on self-loops, duplicate edges or out-of-range
+    endpoints. *)
+
+val make : n:int -> edges:(int * int) list -> t
+(** [make ~n ~edges] builds the graph with vertex set [0..n-1] and the given
+    undirected edge list.  Edges may be given in either orientation.
+    @raise Invalid_graph on self-loops, duplicates or endpoints outside
+    [0..n-1]. *)
+
+val n : t -> int
+(** Number of processes. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val neighbors : t -> int -> int array
+(** [neighbors g u] is the sorted array of [u]'s neighbors.  The returned
+    array is owned by the graph and must not be mutated. *)
+
+val degree : t -> int -> int
+(** [degree g u] is the number of neighbors of [u]. *)
+
+val max_degree : t -> int
+(** Δ, the maximum degree. *)
+
+val min_degree : t -> int
+(** The minimum degree. *)
+
+val has_edge : t -> int -> int -> bool
+(** [has_edge g u v] tests adjacency in O(log δ). *)
+
+val edges : t -> (int * int) list
+(** All edges as pairs [(u, v)] with [u < v], sorted. *)
+
+val label_of : t -> int -> int -> int
+(** [label_of g u v] is the local label (index in [neighbors g u]) of
+    neighbor [v] at [u].
+    @raise Not_found if [v] is not a neighbor of [u]. *)
+
+val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold over the neighbors of a process. *)
+
+val exists_neighbor : t -> int -> f:(int -> bool) -> bool
+(** Does some neighbor satisfy [f]? *)
+
+val for_all_neighbors : t -> int -> f:(int -> bool) -> bool
+(** Do all neighbors satisfy [f]? *)
+
+val is_connected : t -> bool
+(** Is the graph connected?  (The model assumes connected networks; graph
+    generators guarantee it, but arbitrary [make] inputs may not.) *)
+
+val pp : t Fmt.t
+(** Prints ["graph(n=…, m=…)"] followed by the adjacency lists. *)
+
+val to_dot : t -> string
+(** Graphviz rendering, for debugging and examples. *)

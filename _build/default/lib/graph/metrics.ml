@@ -1,0 +1,125 @@
+let bfs_distances g src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+let eccentricity g u =
+  Array.fold_left max 0 (bfs_distances g u)
+
+let diameter g =
+  let best = ref 0 in
+  for u = 0 to Graph.n g - 1 do
+    best := max !best (eccentricity g u)
+  done;
+  !best
+
+let radius g =
+  let best = ref max_int in
+  for u = 0 to Graph.n g - 1 do
+    best := min !best (eccentricity g u)
+  done;
+  !best
+
+let average_degree g = 2.0 *. float_of_int (Graph.m g) /. float_of_int (Graph.n g)
+let cyclomatic_number g = Graph.m g - Graph.n g + 1
+
+(* Shortest cycle through [src]: BFS recording parents; a non-tree edge
+   (u,v) with u,v both reached closes a cycle of length
+   dist(u)+dist(v)+1 — taking the minimum over all BFS roots gives the
+   girth for unweighted graphs. *)
+let shortest_cycle_through g src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  let best = ref max_int in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.add v queue
+        end
+        else if parent.(u) <> v && parent.(v) <> u then
+          (* Cross or back edge: closes a cycle through the BFS tree. *)
+          best := min !best (dist.(u) + dist.(v) + 1))
+      (Graph.neighbors g u)
+  done;
+  !best
+
+let girth g =
+  if Graph.m g < Graph.n g then
+    if Graph.is_connected g then None
+    else begin
+      (* Disconnected with few edges can still contain a cycle; fall through
+         to the generic scan below. *)
+      let best = ref max_int in
+      for u = 0 to Graph.n g - 1 do
+        best := min !best (shortest_cycle_through g u)
+      done;
+      if !best = max_int then None else Some !best
+    end
+  else begin
+    let best = ref max_int in
+    for u = 0 to Graph.n g - 1 do
+      best := min !best (shortest_cycle_through g u)
+    done;
+    if !best = max_int then None else Some !best
+  end
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  for u = 0 to Graph.n g - 1 do
+    let d = Graph.degree g u in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort compare
+
+let is_tree g = Graph.is_connected g && Graph.m g = Graph.n g - 1
+
+let is_bipartite g =
+  let n = Graph.n g in
+  let color = Array.make n (-1) in
+  let ok = ref true in
+  for src = 0 to n - 1 do
+    if color.(src) = -1 then begin
+      color.(src) <- 0;
+      let queue = Queue.create () in
+      Queue.add src queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Array.iter
+          (fun v ->
+            if color.(v) = -1 then begin
+              color.(v) <- 1 - color.(u);
+              Queue.add v queue
+            end
+            else if color.(v) = color.(u) then ok := false)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  !ok
+
+let summary g =
+  Printf.sprintf "n=%d m=%d maxdeg=%d D=%d" (Graph.n g) (Graph.m g)
+    (Graph.max_degree g)
+    (if Graph.is_connected g then diameter g else -1)

@@ -1,0 +1,40 @@
+(** Graph metrics used by the experiments and the complexity bounds.
+
+    The paper's bounds are expressed in n (processes), m (edges), Δ (max
+    degree) and D (diameter); these are computed here. *)
+
+val bfs_distances : Graph.t -> int -> int array
+(** [bfs_distances g src] gives the hop distance from [src] to every
+    process ([max_int] for unreachable processes of a disconnected graph). *)
+
+val eccentricity : Graph.t -> int -> int
+(** Maximum distance from a process to any other. *)
+
+val diameter : Graph.t -> int
+(** D, the maximum eccentricity.  O(n·(n+m)). *)
+
+val radius : Graph.t -> int
+(** Minimum eccentricity. *)
+
+val average_degree : Graph.t -> float
+(** 2m/n. *)
+
+val cyclomatic_number : Graph.t -> int
+(** m - n + 1 for a connected graph: the number of independent cycles.
+    (The baseline unison's period constraint involves the cyclomatic
+    characteristic; this is the standard upper-bound proxy we report.) *)
+
+val girth : Graph.t -> int option
+(** Length of a shortest cycle, [None] for forests.  O(n·(n+m)). *)
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, how many processes)] pairs, sorted by degree. *)
+
+val is_tree : Graph.t -> bool
+(** Connected and m = n - 1. *)
+
+val is_bipartite : Graph.t -> bool
+(** 2-colorability test by BFS. *)
+
+val summary : Graph.t -> string
+(** One-line "n=… m=… Δ=… D=…" summary used in experiment tables. *)

@@ -1,0 +1,1 @@
+lib/matching/matching.ml: Array Fmt Hashtbl List Random Ssreset_core Ssreset_graph Ssreset_sim

@@ -1,0 +1,1 @@
+lib/matching/matching.mli: Fmt Ssreset_core Ssreset_graph Ssreset_sim

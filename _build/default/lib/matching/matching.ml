@@ -1,0 +1,178 @@
+module Algorithm = Ssreset_sim.Algorithm
+module Graph = Ssreset_graph.Graph
+module Sdr = Ssreset_core.Sdr
+
+type state = {
+  id : int;
+  ptr : int option;
+}
+
+let pp_state ppf s =
+  Fmt.pf ppf "{id=%d;ptr=%a}" s.id Fmt.(option ~none:(any "⊥") int) s.ptr
+
+let rule_accept = "M-accept"
+let rule_propose = "M-propose"
+let rule_withdraw = "M-withdraw"
+
+let nbr_by_id (v : state Algorithm.view) target =
+  Array.find_opt (fun s -> s.id = target) v.Algorithm.nbrs
+
+(* Smallest-id neighbor pointing at u (a proposer). *)
+let best_proposer (v : state Algorithm.view) =
+  let self = v.Algorithm.state in
+  Array.fold_left
+    (fun acc s ->
+      if s.ptr = Some self.id then
+        match acc with
+        | Some b when b <= s.id -> acc
+        | _ -> Some s.id
+      else acc)
+    None v.Algorithm.nbrs
+
+(* Smallest-id pointer-free neighbor with a smaller identifier — the only
+   processes u may propose to (downward proposals keep pointer structures
+   acyclic). *)
+let best_target (v : state Algorithm.view) =
+  let self = v.Algorithm.state in
+  Array.fold_left
+    (fun acc s ->
+      if s.ptr = None && s.id < self.id then
+        match acc with
+        | Some b when b <= s.id -> acc
+        | _ -> Some s.id
+      else acc)
+    None v.Algorithm.nbrs
+
+(* Any pointer must go to an actual smaller-id neighbor (proposal) or be
+   reciprocated (match); everything else — dangling ids, upward
+   unreciprocated pointers, pointer cycles — is locally incorrect and left
+   to the reset layer. *)
+let p_icorrect (v : state Algorithm.view) =
+  let self = v.Algorithm.state in
+  match self.ptr with
+  | None -> true
+  | Some target -> (
+      match nbr_by_id v target with
+      | None -> false
+      | Some s -> target < self.id || s.ptr = Some self.id)
+
+let rules =
+  [ { Algorithm.rule_name = rule_accept;
+      guard =
+        (fun v ->
+          p_icorrect v
+          && v.Algorithm.state.ptr = None
+          && best_proposer v <> None);
+      action =
+        (fun v ->
+          { v.Algorithm.state with ptr = best_proposer v }) };
+    { Algorithm.rule_name = rule_propose;
+      guard =
+        (fun v ->
+          p_icorrect v
+          && v.Algorithm.state.ptr = None
+          && best_proposer v = None
+          && best_target v <> None);
+      action = (fun v -> { v.Algorithm.state with ptr = best_target v }) };
+    { Algorithm.rule_name = rule_withdraw;
+      guard =
+        (fun v ->
+          let self = v.Algorithm.state in
+          p_icorrect v
+          &&
+          match self.ptr with
+          | None -> false
+          | Some target -> (
+              match nbr_by_id v target with
+              | None -> false
+              | Some s -> s.ptr <> None && s.ptr <> Some self.id));
+      action = (fun v -> { v.Algorithm.state with ptr = None }) } ]
+
+module Make (P : sig
+  val graph : Graph.t
+  val ids : int array option
+end) =
+struct
+  let graph = P.graph
+
+  let ids =
+    match P.ids with
+    | None -> Array.init (Graph.n graph) (fun u -> u)
+    | Some ids ->
+        if Array.length ids <> Graph.n graph then
+          invalid_arg "Matching.Make: ids length mismatch";
+        ids
+
+  let index_of_id =
+    let tbl = Hashtbl.create (Graph.n graph) in
+    Array.iteri (fun u id -> Hashtbl.replace tbl id u) ids;
+    fun id -> Hashtbl.find tbl id
+
+  module Input = struct
+    type nonrec state = state
+
+    let name = "matching"
+    let equal (a : state) b = a = b
+    let pp = pp_state
+    let p_icorrect = p_icorrect
+    let p_reset s = s.ptr = None
+    let reset s = { s with ptr = None }
+    let rules = rules
+  end
+
+  module Composed = Sdr.Make (Input)
+
+  let bare : state Algorithm.t =
+    { Algorithm.name = "matching-bare";
+      rules;
+      equal = Input.equal;
+      pp = pp_state }
+
+  let gamma_init () =
+    Array.init (Graph.n graph) (fun u -> { id = ids.(u); ptr = None })
+
+  let gen rng u =
+    let nbrs = Graph.neighbors graph u in
+    let ptr =
+      match Random.State.int rng (Array.length nbrs + 1) with
+      | 0 -> None
+      | i -> Some ids.(nbrs.(i - 1))
+    in
+    { id = ids.(u); ptr }
+
+  let matching_of_inner inner =
+    let pairs = ref [] in
+    Array.iteri
+      (fun u (s : state) ->
+        match s.ptr with
+        | Some target ->
+            let v = index_of_id target in
+            if u < v && inner.(v).ptr = Some s.id then pairs := (u, v) :: !pairs
+        | None -> ())
+      inner;
+    List.rev !pairs
+
+  let matching cfg = matching_of_inner cfg
+
+  let matching_of_composed cfg =
+    matching_of_inner (Array.map (fun s -> s.Sdr.inner) cfg)
+
+  let is_maximal_matching pairs =
+    let n = Graph.n graph in
+    let matched = Array.make n false in
+    let disjoint =
+      List.for_all
+        (fun (u, v) ->
+          let ok =
+            (not matched.(u)) && (not matched.(v)) && Graph.has_edge graph u v
+          in
+          matched.(u) <- true;
+          matched.(v) <- true;
+          ok)
+        pairs
+    in
+    disjoint
+    && List.for_all
+         (fun (u, v) -> matched.(u) || matched.(v))
+         (Graph.edges graph)
+end

@@ -1,0 +1,58 @@
+(** Maximal matching as an SDR input algorithm.
+
+    Fifth instantiation of the reset-based method (generality claim, §1.1).
+    Identified networks.  Each process holds a pointer [ptr ∈ N(u) ∪ {⊥}]
+    (stored as the neighbor's identifier):
+
+    - a process {e proposes} to its smallest-identifier unmatched pointer-free
+      neighbor of smaller identifier;
+    - a process with proposers {e accepts} the smallest one;
+    - a process chained to a neighbor that got matched elsewhere
+      {e withdraws}.
+
+    Local checkability: any pointer must either go to a smaller identifier
+    (a proposal, which only ever targets smaller ids) or be reciprocated (a
+    match).  Upward unreciprocated pointers — which arbitrary faults can
+    arrange into deadlocked pointer cycles — are locally incorrect and make
+    SDR reset the region.  Terminal configurations of the composition carry
+    a maximal matching (the reciprocated pairs). *)
+
+module Sdr = Ssreset_core.Sdr
+
+type state = {
+  id : int;  (** constant *)
+  ptr : int option;  (** identifier of the pointed neighbor, or ⊥ *)
+}
+
+val pp_state : state Fmt.t
+
+val rule_accept : string
+(** ["M-accept"]. *)
+
+val rule_propose : string
+(** ["M-propose"]. *)
+
+val rule_withdraw : string
+(** ["M-withdraw"]. *)
+
+module Make (P : sig
+  val graph : Ssreset_graph.Graph.t
+  val ids : int array option
+end) : sig
+  module Input : Sdr.INPUT with type state = state
+  module Composed : Sdr.S with type inner = state
+
+  val bare : state Ssreset_sim.Algorithm.t
+  val gamma_init : unit -> state array
+  val gen : state Ssreset_sim.Fault.generator
+  (** Arbitrary pointer drawn from N(u) ∪ {⊥}. *)
+
+  val matching : state array -> (int * int) list
+  (** The reciprocated pairs [(u, v)], u < v, as process indices. *)
+
+  val matching_of_composed : state Sdr.state array -> (int * int) list
+
+  val is_maximal_matching : (int * int) list -> bool
+  (** The pairs are disjoint edges and no edge joins two unmatched
+      processes. *)
+end

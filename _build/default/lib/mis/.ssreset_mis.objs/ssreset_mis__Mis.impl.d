@@ -1,0 +1,1 @@
+lib/mis/mis.ml: Array Fmt List Random Ssreset_core Ssreset_graph Ssreset_sim

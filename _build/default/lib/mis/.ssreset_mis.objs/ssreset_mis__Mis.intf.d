@@ -1,0 +1,1 @@
+lib/mis/mis.mli: Fmt Ssreset_core Ssreset_graph Ssreset_sim

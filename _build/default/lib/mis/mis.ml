@@ -1,0 +1,96 @@
+module Algorithm = Ssreset_sim.Algorithm
+module Graph = Ssreset_graph.Graph
+module Sdr = Ssreset_core.Sdr
+
+type membership = Undecided | In | Out
+
+type state = {
+  id : int;
+  m : membership;
+}
+
+let pp_state ppf s =
+  Fmt.pf ppf "{id=%d;%s}" s.id
+    (match s.m with Undecided -> "?" | In -> "in" | Out -> "out")
+
+let rule_join = "MIS-join"
+let rule_out = "MIS-out"
+
+let p_icorrect (v : state Algorithm.view) =
+  match v.Algorithm.state.m with
+  | Undecided -> true
+  | In -> Array.for_all (fun s -> s.m <> In) v.Algorithm.nbrs
+  | Out -> Array.exists (fun s -> s.m = In) v.Algorithm.nbrs
+
+let rules =
+  [ { Algorithm.rule_name = rule_join;
+      guard =
+        (fun v ->
+          let self = v.Algorithm.state in
+          p_icorrect v
+          && self.m = Undecided
+          && Array.for_all
+               (fun s -> s.m = Out || (s.m = Undecided && s.id < self.id))
+               v.Algorithm.nbrs);
+      action = (fun v -> { v.Algorithm.state with m = In }) };
+    { Algorithm.rule_name = rule_out;
+      guard =
+        (fun v ->
+          p_icorrect v
+          && v.Algorithm.state.m = Undecided
+          && Array.exists (fun s -> s.m = In) v.Algorithm.nbrs);
+      action = (fun v -> { v.Algorithm.state with m = Out }) } ]
+
+module Make (P : sig
+  val graph : Graph.t
+  val ids : int array option
+end) =
+struct
+  let graph = P.graph
+
+  let ids =
+    match P.ids with
+    | None -> Array.init (Graph.n graph) (fun u -> u)
+    | Some ids ->
+        if Array.length ids <> Graph.n graph then
+          invalid_arg "Mis.Make: ids length mismatch";
+        ids
+
+  module Input = struct
+    type nonrec state = state
+
+    let name = "mis"
+    let equal (a : state) b = a = b
+    let pp = pp_state
+    let p_icorrect = p_icorrect
+    let p_reset s = s.m = Undecided
+    let reset s = { s with m = Undecided }
+    let rules = rules
+  end
+
+  module Composed = Sdr.Make (Input)
+
+  let bare : state Algorithm.t =
+    { Algorithm.name = "mis-bare"; rules; equal = Input.equal; pp = pp_state }
+
+  let gamma_init () =
+    Array.init (Graph.n graph) (fun u -> { id = ids.(u); m = Undecided })
+
+  let gen rng u =
+    let m =
+      match Random.State.int rng 3 with 0 -> Undecided | 1 -> In | _ -> Out
+    in
+    { id = ids.(u); m }
+
+  let independent_set cfg = Array.map (fun s -> s.m = In) cfg
+
+  let independent_set_of_composed cfg =
+    Array.map (fun s -> s.Sdr.inner.m = In) cfg
+
+  let is_mis set =
+    List.for_all (fun (u, v) -> not (set.(u) && set.(v))) (Graph.edges graph)
+    && Array.for_all
+         (fun u ->
+           set.(u) || Graph.exists_neighbor graph u ~f:(fun v -> set.(v)))
+         (Array.init (Graph.n graph) (fun u -> u))
+end

@@ -1,0 +1,45 @@
+(** Maximal independent set as an SDR input algorithm.
+
+    Fourth instantiation of the reset-based method (generality, §1.1).
+    Identified networks; each process is [Undecided], [In] or [Out].  An
+    undecided process joins the set when it has no [In] neighbor and every
+    undecided neighbor has a smaller identifier; it leaves (becomes [Out])
+    as soon as a neighbor is [In].  Locally checkable: [In] forbids [In]
+    neighbors, [Out] requires an [In] neighbor, [Undecided] is always
+    locally consistent.  Composed with SDR this yields a silent
+    self-stabilizing MIS. *)
+
+module Sdr = Ssreset_core.Sdr
+
+type membership = Undecided | In | Out
+
+type state = {
+  id : int;  (** constant *)
+  m : membership;
+}
+
+val pp_state : state Fmt.t
+val rule_join : string
+(** ["MIS-join"]. *)
+
+val rule_out : string
+(** ["MIS-out"]. *)
+
+module Make (P : sig
+  val graph : Ssreset_graph.Graph.t
+  val ids : int array option
+end) : sig
+  module Input : Sdr.INPUT with type state = state
+  module Composed : Sdr.S with type inner = state
+
+  val bare : state Ssreset_sim.Algorithm.t
+  val gamma_init : unit -> state array
+  val gen : state Ssreset_sim.Fault.generator
+
+  val independent_set : state array -> bool array
+  val independent_set_of_composed : state Sdr.state array -> bool array
+
+  val is_mis : bool array -> bool
+  (** Independent (no edge inside) and maximal (every outside process has a
+      neighbor inside). *)
+end

@@ -1,0 +1,1 @@
+lib/sim/algorithm.ml: Array Fmt List Ssreset_graph

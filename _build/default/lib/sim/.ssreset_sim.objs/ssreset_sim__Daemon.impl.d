@@ -1,0 +1,1 @@
+lib/sim/daemon.ml: Array Hashtbl List Printf Random Ssreset_graph String

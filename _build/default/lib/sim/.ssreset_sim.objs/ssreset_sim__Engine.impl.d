@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Algorithm Array Daemon Hashtbl List Option Random Ssreset_graph String

@@ -1,0 +1,1 @@
+lib/sim/fault.ml: Array List Random Ssreset_graph

@@ -1,0 +1,1 @@
+lib/sim/fault.mli: Random Ssreset_graph

@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Algorithm Daemon Engine Fmt Random Ssreset_graph

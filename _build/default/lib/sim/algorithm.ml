@@ -1,0 +1,47 @@
+module Graph = Ssreset_graph.Graph
+
+type 'state view = {
+  state : 'state;
+  nbrs : 'state array;
+}
+
+type 'state rule = {
+  rule_name : string;
+  guard : 'state view -> bool;
+  action : 'state view -> 'state;
+}
+
+type 'state t = {
+  name : string;
+  rules : 'state rule list;
+  equal : 'state -> 'state -> bool;
+  pp : 'state Fmt.t;
+}
+
+let view g cfg u =
+  let nbr_ids = Graph.neighbors g u in
+  { state = cfg.(u); nbrs = Array.map (fun v -> cfg.(v)) nbr_ids }
+
+let views g cfg = Array.init (Graph.n g) (view g cfg)
+
+let enabled_rule algo v = List.find_opt (fun r -> r.guard v) algo.rules
+let is_enabled algo v = List.exists (fun r -> r.guard v) algo.rules
+
+let enabled_processes algo g cfg =
+  let acc = ref [] in
+  for u = Graph.n g - 1 downto 0 do
+    if is_enabled algo (view g cfg u) then acc := u :: !acc
+  done;
+  !acc
+
+let is_terminal algo g cfg = enabled_processes algo g cfg = []
+
+let for_all_views g cfg ~f =
+  let n = Graph.n g in
+  let rec loop u = u >= n || (f u (view g cfg u) && loop (u + 1)) in
+  loop 0
+
+let exclusive_rules algo v =
+  List.filter_map
+    (fun r -> if r.guard v then Some r.rule_name else None)
+    algo.rules

@@ -1,0 +1,56 @@
+(** Distributed algorithms in the locally shared memory model.
+
+    A distributed algorithm (§2.2 of the paper) is a finite set of guarded
+    rules [label : guard -> action].  A process evaluates guards over its
+    {e view}: its own state plus the states of its neighbors, accessed
+    through local labels (indirect naming).  Processes are anonymous — a
+    view carries no global identity; algorithms for identified networks
+    store the identifier as an immutable field of their own state. *)
+
+type 'state view = {
+  state : 'state;  (** the process's own state *)
+  nbrs : 'state array;
+      (** neighbor states, indexed by local label; do not mutate *)
+}
+
+type 'state rule = {
+  rule_name : string;  (** used in traces, daemons and tests *)
+  guard : 'state view -> bool;
+  action : 'state view -> 'state;
+}
+
+type 'state t = {
+  name : string;
+  rules : 'state rule list;
+      (** evaluated in order; the first enabled rule is executed.  All
+          algorithms in this repository have pairwise mutually exclusive
+          rules (Lemma 5), which the test suite checks. *)
+  equal : 'state -> 'state -> bool;
+  pp : 'state Fmt.t;
+}
+
+val view : Ssreset_graph.Graph.t -> 'state array -> int -> 'state view
+(** [view g cfg u] builds the view of process [u] in configuration [cfg]. *)
+
+val views : Ssreset_graph.Graph.t -> 'state array -> 'state view array
+(** All views of a configuration. *)
+
+val enabled_rule : 'state t -> 'state view -> 'state rule option
+(** First enabled rule of a process, if any. *)
+
+val is_enabled : 'state t -> 'state view -> bool
+
+val enabled_processes : 'state t -> Ssreset_graph.Graph.t -> 'state array -> int list
+(** Sorted list of enabled processes in a configuration. *)
+
+val is_terminal : 'state t -> Ssreset_graph.Graph.t -> 'state array -> bool
+(** No process is enabled. *)
+
+val for_all_views :
+  Ssreset_graph.Graph.t -> 'state array -> f:(int -> 'state view -> bool) -> bool
+(** Does [f u (view u)] hold for every process?  Used to express
+    configuration predicates such as "normal configuration". *)
+
+val exclusive_rules : 'state t -> 'state view -> string list
+(** Names of all rules enabled on a view — used by tests to check pairwise
+    mutual exclusion (at most one name for every reachable view). *)

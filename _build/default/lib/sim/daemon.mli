@@ -1,0 +1,67 @@
+(** Daemons — the scheduling adversaries of the model (§2.2).
+
+    A daemon selects, at each step, a nonempty subset of the enabled
+    processes.  The {e distributed unfair} daemon of the paper is the set of
+    all such selection functions; every daemon below is an instance of it,
+    so any bound proven under the unfair daemon must hold under each of
+    them.  Randomized daemons draw from the [Random.State.t] passed by the
+    engine, keeping runs reproducible. *)
+
+type context = {
+  step : int;  (** 0-based step index *)
+  graph : Ssreset_graph.Graph.t;
+  enabled : int list;  (** nonempty, sorted *)
+  rule_name : int -> string;
+      (** name of the rule the process would execute if activated *)
+}
+
+type t = {
+  daemon_name : string;
+  select : Random.State.t -> context -> int list;
+      (** must return a nonempty subset of [ctx.enabled] *)
+}
+
+val synchronous : t
+(** Activates every enabled process. *)
+
+val central_random : t
+(** Activates exactly one enabled process, uniformly at random. *)
+
+val central_first : t
+(** Activates the enabled process with the smallest index — a deterministic
+    central daemon. *)
+
+val central_last : t
+(** Activates the enabled process with the largest index. *)
+
+val round_robin : unit -> t
+(** Central daemon cycling through process indices; fresh mutable cursor per
+    call, so build one per run. *)
+
+val distributed_random : float -> t
+(** [distributed_random p] activates each enabled process independently with
+    probability [p]; if the coin flips select nobody, one random enabled
+    process is activated (the daemon must be distributed). *)
+
+val locally_central_random : t
+(** Activates a random maximal subset of enabled processes that is
+    independent in the graph (no two activated processes are neighbors). *)
+
+val adversarial_rule : prefer:string list -> t
+(** Central daemon that prefers processes whose enabled rule's name appears
+    in [prefer] (earlier in the list = higher priority); used to stress
+    specific phases, e.g. starving resets by preferring input-algorithm
+    rules. *)
+
+val starve : int -> t
+(** [starve u] never activates process [u] unless it is the only enabled
+    process — the canonical unfairness witness. *)
+
+val check_selection : context -> int list -> unit
+(** Validates a selection (nonempty, subset of enabled); raises
+    [Invalid_argument] otherwise.  The engine calls this on every step. *)
+
+val all_standard : unit -> t list
+(** A representative daemon zoo used by tests and experiments: synchronous,
+    central (first/last/random/round-robin), distributed-random at several
+    densities, locally-central, and starvation. *)

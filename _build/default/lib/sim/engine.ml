@@ -1,0 +1,153 @@
+module Graph = Ssreset_graph.Graph
+
+type outcome = Stabilized | Terminal | Step_limit
+
+type 'state result = {
+  outcome : outcome;
+  final : 'state array;
+  steps : int;
+  moves : int;
+  moves_per_process : int array;
+  moves_per_rule : (string * int) list;
+  rounds : int;
+}
+
+(* Enabled rule of every process, or None.  This is the hot path: it is
+   recomputed from scratch every step, which is simple and fast enough for
+   the experiment sizes used here (n <= a few hundred). *)
+let enabled_table algo g cfg =
+  Array.init (Graph.n g) (fun u ->
+      Algorithm.enabled_rule algo (Algorithm.view g cfg u))
+
+let step ?rng ~algorithm ~graph ~daemon ~step_index cfg =
+  let rng = match rng with Some r -> r | None -> Random.State.make [| 0 |] in
+  let table = enabled_table algorithm graph cfg in
+  let enabled = ref [] in
+  for u = Graph.n graph - 1 downto 0 do
+    if table.(u) <> None then enabled := u :: !enabled
+  done;
+  match !enabled with
+  | [] -> None
+  | enabled ->
+      let ctx =
+        {
+          Daemon.step = step_index;
+          graph;
+          enabled;
+          rule_name =
+            (fun u ->
+              match table.(u) with
+              | Some r -> r.Algorithm.rule_name
+              | None -> invalid_arg "rule_name: disabled process");
+        }
+      in
+      let chosen = daemon.Daemon.select rng ctx in
+      Daemon.check_selection ctx chosen;
+      let next = Array.copy cfg in
+      let moved =
+        List.map
+          (fun u ->
+            match table.(u) with
+            | Some r ->
+                next.(u) <- r.Algorithm.action (Algorithm.view graph cfg u);
+                (u, r.Algorithm.rule_name)
+            | None -> assert false)
+          chosen
+      in
+      Some (next, moved)
+
+let run ?rng ?(max_steps = 10_000_000) ?observer ?(stop = fun _ -> false)
+    ~algorithm ~graph ~daemon cfg0 =
+  let rng = match rng with Some r -> r | None -> Random.State.make [| 0 |] in
+  let n = Graph.n graph in
+  let moves_per_process = Array.make n 0 in
+  let moves_per_rule = Hashtbl.create 8 in
+  let bump_rule name =
+    Hashtbl.replace moves_per_rule name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt moves_per_rule name))
+  in
+  (* Round accounting (§2.4): [pending] holds the processes enabled at the
+     start of the current round that have neither executed a rule nor been
+     neutralized yet.  When it empties, a round is complete. *)
+  let pending = Hashtbl.create n in
+  let completed_rounds = ref 0 in
+  let steps_in_round = ref 0 in
+  let refill_pending cfg =
+    Hashtbl.reset pending;
+    List.iter
+      (fun u -> Hashtbl.replace pending u ())
+      (Algorithm.enabled_processes algorithm graph cfg)
+  in
+  refill_pending cfg0;
+  let total_moves = ref 0 in
+  let steps = ref 0 in
+  let cfg = ref cfg0 in
+  let outcome = ref Step_limit in
+  (try
+     if stop !cfg then begin
+       outcome := Stabilized;
+       raise Exit
+     end;
+     while !steps < max_steps do
+       match step ~rng ~algorithm ~graph ~daemon ~step_index:!steps !cfg with
+       | None ->
+           outcome := Terminal;
+           raise Exit
+       | Some (next, moved) ->
+           incr steps;
+           incr steps_in_round;
+           List.iter
+             (fun (u, name) ->
+               incr total_moves;
+               moves_per_process.(u) <- moves_per_process.(u) + 1;
+               bump_rule name;
+               Hashtbl.remove pending u)
+             moved;
+           (* Neutralization: pending processes that were enabled before the
+              step (by definition of pending) and are disabled after it. *)
+           Hashtbl.iter
+             (fun u () ->
+               if not (Algorithm.is_enabled algorithm (Algorithm.view graph next u))
+               then Hashtbl.remove pending u)
+             (Hashtbl.copy pending);
+           if Hashtbl.length pending = 0 then begin
+             incr completed_rounds;
+             steps_in_round := 0;
+             refill_pending next
+           end;
+           cfg := next;
+           (match observer with
+           | Some f -> f ~step:(!steps - 1) ~moved next
+           | None -> ());
+           if stop next then begin
+             outcome := Stabilized;
+             raise Exit
+           end
+     done
+   with Exit -> ());
+  let rounds = !completed_rounds + if !steps_in_round > 0 then 1 else 0 in
+  let moves_per_rule =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) moves_per_rule []
+    |> List.sort compare
+  in
+  {
+    outcome = !outcome;
+    final = !cfg;
+    steps = !steps;
+    moves = !total_moves;
+    moves_per_process;
+    moves_per_rule;
+    rounds;
+  }
+
+let moves_of_rules per_rule ~prefixes =
+  let matches name =
+    List.exists
+      (fun p ->
+        String.length name >= String.length p
+        && String.equal (String.sub name 0 (String.length p)) p)
+      prefixes
+  in
+  List.fold_left
+    (fun acc (name, c) -> if matches name then acc + c else acc)
+    0 per_rule

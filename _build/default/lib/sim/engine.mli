@@ -1,0 +1,59 @@
+(** Execution engine: atomic steps, moves, rounds, stabilization runs.
+
+    Implements the semantics of §2.2–2.4 of the paper: at each step the
+    daemon activates a nonempty subset of the enabled processes; every
+    activated process atomically executes its enabled rule, all of them
+    reading the {e same} (pre-step) configuration — composite atomicity.
+    Moves and rounds are counted exactly per the paper's definitions,
+    including neutralization-based rounds. *)
+
+type outcome =
+  | Stabilized  (** the [stop] predicate became true *)
+  | Terminal  (** no process is enabled (and [stop] was false) *)
+  | Step_limit  (** [max_steps] was exhausted first *)
+
+type 'state result = {
+  outcome : outcome;
+  final : 'state array;
+  steps : int;  (** atomic steps executed *)
+  moves : int;  (** total rule executions *)
+  moves_per_process : int array;
+  moves_per_rule : (string * int) list;  (** sorted by rule name *)
+  rounds : int;
+      (** index of the round in which the run ended: the number of complete
+          rounds executed, plus one if the final (partial) round contains at
+          least one step.  "Stabilizes within r rounds" = [rounds <= r]. *)
+}
+
+val run :
+  ?rng:Random.State.t ->
+  ?max_steps:int ->
+  ?observer:(step:int -> moved:(int * string) list -> 'state array -> unit) ->
+  ?stop:('state array -> bool) ->
+  algorithm:'state Algorithm.t ->
+  graph:Ssreset_graph.Graph.t ->
+  daemon:Daemon.t ->
+  'state array ->
+  'state result
+(** [run ~algorithm ~graph ~daemon cfg] executes from [cfg] until [stop]
+    holds (checked on every configuration, including the initial one), the
+    configuration is terminal, or [max_steps] (default 10_000_000) is
+    reached.  [observer] is called after each step with the activated
+    (process, rule-name) pairs and the {e new} configuration.  The initial
+    configuration is not copied; pass a fresh array. *)
+
+val step :
+  ?rng:Random.State.t ->
+  algorithm:'state Algorithm.t ->
+  graph:Ssreset_graph.Graph.t ->
+  daemon:Daemon.t ->
+  step_index:int ->
+  'state array ->
+  ('state array * (int * string) list) option
+(** One atomic step: [None] if the configuration is terminal, otherwise the
+    next configuration and the activated (process, rule) pairs.  Exposed for
+    fine-grained tests and traces. *)
+
+val moves_of_rules : (string * int) list -> prefixes:string list -> int
+(** Sum of the move counts of rules whose name starts with one of the given
+    prefixes — e.g. counting only SDR moves in a composed run. *)

@@ -1,0 +1,23 @@
+module Graph = Ssreset_graph.Graph
+
+type 'state generator = Random.State.t -> int -> 'state
+
+let arbitrary rng gen g = Array.init (Graph.n g) (fun u -> gen rng u)
+
+let corrupt_processes rng gen victims cfg =
+  let next = Array.copy cfg in
+  List.iter (fun u -> next.(u) <- gen rng u) victims;
+  next
+
+let corrupt rng gen ~k cfg =
+  let n = Array.length cfg in
+  let k = min k n in
+  (* Partial Fisher-Yates: the first [k] entries are a uniform sample. *)
+  let order = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + Random.State.int rng (n - i) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  corrupt_processes rng gen (Array.to_list (Array.sub order 0 k)) cfg

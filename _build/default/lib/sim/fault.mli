@@ -1,0 +1,29 @@
+(** Transient faults and arbitrary initial configurations.
+
+    Self-stabilization quantifies over {e every} initial configuration.  We
+    model this with per-algorithm state generators: given the process index
+    and an RNG, a generator returns a state drawn from the variable domains
+    (keeping "constants from the system" — identifiers, parameters — at
+    their correct values, since transient faults do not alter them). *)
+
+type 'state generator = Random.State.t -> int -> 'state
+(** [gen rng u] draws an arbitrary state for process [u]. *)
+
+val arbitrary :
+  Random.State.t -> 'state generator -> Ssreset_graph.Graph.t -> 'state array
+(** A fully arbitrary configuration: every process state is drawn by the
+    generator. *)
+
+val corrupt :
+  Random.State.t ->
+  'state generator ->
+  k:int ->
+  'state array ->
+  'state array
+(** [corrupt rng gen ~k cfg] returns a copy of [cfg] where [k] distinct
+    random processes got their state replaced by an arbitrary one — a
+    transient-fault burst hitting [k] processes.  [k] is clamped to [n]. *)
+
+val corrupt_processes :
+  Random.State.t -> 'state generator -> int list -> 'state array -> 'state array
+(** Corrupt exactly the given processes. *)

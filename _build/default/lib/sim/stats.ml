@@ -1,0 +1,29 @@
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  stddev : float;
+}
+
+let summarize = function
+  | [] -> { count = 0; mean = 0.; min = 0.; max = 0.; stddev = 0. }
+  | xs ->
+      let count = List.length xs in
+      let fcount = float_of_int count in
+      let total = List.fold_left ( +. ) 0. xs in
+      let mean = total /. fcount in
+      let mn = List.fold_left min infinity xs in
+      let mx = List.fold_left max neg_infinity xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. fcount
+      in
+      { count; mean; min = mn; max = mx; stddev = sqrt var }
+
+let summarize_ints xs = summarize (List.map float_of_int xs)
+let max_int_list = List.fold_left max 0
+let ratio a b = if b = 0 then 0. else float_of_int a /. float_of_int b
+
+let pp_summary ppf s =
+  Fmt.pf ppf "mean=%.1f min=%.0f max=%.0f sd=%.1f (%d samples)" s.mean s.min
+    s.max s.stddev s.count

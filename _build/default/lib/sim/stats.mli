@@ -1,0 +1,23 @@
+(** Small numeric helpers for summarizing experiment measurements. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  stddev : float;
+}
+
+val summarize : float list -> summary
+(** Summary of a sample; all fields are 0 for the empty sample. *)
+
+val summarize_ints : int list -> summary
+
+val max_int_list : int list -> int
+(** Maximum of a list of ints, 0 for the empty list. *)
+
+val ratio : int -> int -> float
+(** [ratio a b] = a/b as floats; 0 when [b = 0]. *)
+
+val pp_summary : summary Fmt.t
+(** "mean=… min=… max=… sd=… (k samples)". *)

@@ -1,0 +1,1 @@
+lib/unison/checker.ml: Array List Ssreset_graph String Unison

@@ -1,0 +1,1 @@
+lib/unison/checker.mli: Ssreset_core Ssreset_graph

@@ -1,0 +1,1 @@
+lib/unison/min_unison.ml: Array Fmt List Random Ssreset_graph Ssreset_sim

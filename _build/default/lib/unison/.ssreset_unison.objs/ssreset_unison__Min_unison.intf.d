@@ -1,0 +1,1 @@
+lib/unison/min_unison.mli: Ssreset_graph Ssreset_sim

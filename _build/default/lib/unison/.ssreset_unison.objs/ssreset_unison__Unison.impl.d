@@ -1,0 +1,1 @@
+lib/unison/unison.ml: Array Fmt Random Ssreset_core Ssreset_graph Ssreset_sim

@@ -1,0 +1,1 @@
+lib/unison/unison.mli: Ssreset_core Ssreset_graph Ssreset_sim

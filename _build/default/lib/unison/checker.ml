@@ -1,0 +1,35 @@
+module Graph = Ssreset_graph.Graph
+
+let safety_ok ~k g cfg =
+  List.for_all
+    (fun (u, v) ->
+      let a = cfg.(u) and b = cfg.(v) in
+      b = a || b = (a + 1) mod k || b = (a + k - 1) mod k)
+    (Graph.edges g)
+
+type monitor = {
+  k : int;
+  graph : Graph.t;
+  increments : int array;
+  mutable violations : int;
+}
+
+let create_monitor ~k g =
+  { k; graph = g; increments = Array.make (Graph.n g) 0; violations = 0 }
+
+let count_increments m moved =
+  List.iter
+    (fun (u, name) ->
+      if String.equal name Unison.rule_inc then
+        m.increments.(u) <- m.increments.(u) + 1)
+    moved
+
+let observe_bare m ~step:_ ~moved cfg =
+  count_increments m moved;
+  if not (safety_ok ~k:m.k m.graph cfg) then m.violations <- m.violations + 1
+
+let observe_composed m ~step:_ ~moved _cfg = count_increments m moved
+
+let increments m = m.increments
+let safety_violations m = m.violations
+let min_increments m = Array.fold_left min max_int m.increments

@@ -1,0 +1,46 @@
+module Algorithm = Ssreset_sim.Algorithm
+module Graph = Ssreset_graph.Graph
+
+type clock = int
+
+let rule_tick = "MU-tick"
+let rule_zero = "MU-zero"
+
+module Make (P : sig
+  val k : int
+end) =
+struct
+  let k = P.k
+  let () = if k < 4 then invalid_arg "Min_unison.Make: need K >= 4"
+
+  let ring_ok a b = b = a || b = (a + 1) mod k || b = (a + k - 1) mod k
+
+  let tick =
+    { Algorithm.rule_name = rule_tick;
+      guard =
+        (fun v ->
+          let c = v.Algorithm.state in
+          Array.for_all (fun b -> b = c || b = (c + 1) mod k) v.Algorithm.nbrs);
+      action = (fun v -> (v.Algorithm.state + 1) mod k) }
+
+  let zero =
+    { Algorithm.rule_name = rule_zero;
+      guard =
+        (fun v ->
+          let c = v.Algorithm.state in
+          c <> 0
+          && Array.exists (fun b -> not (ring_ok c b)) v.Algorithm.nbrs);
+      action = (fun _ -> 0) }
+
+  let algorithm : clock Algorithm.t =
+    { Algorithm.name = "min-unison";
+      rules = [ zero; tick ];
+      equal = (fun (a : clock) b -> a = b);
+      pp = Fmt.int }
+
+  let gamma_init g = Array.make (Graph.n g) 0
+  let clock_gen rng _u = Random.State.int rng k
+
+  let is_legitimate g cfg =
+    List.for_all (fun (u, v) -> ring_ok cfg.(u) cfg.(v)) (Graph.edges g)
+end

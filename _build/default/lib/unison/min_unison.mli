@@ -1,0 +1,34 @@
+(** Baseline: self-stabilizing unison in the style of Couvreur, Francez &
+    Gouda (ICDCS 1992) — reference [20] of the paper.
+
+    A single clock per process with a large period K > n²: a process
+    increments when every neighbor is at its value or one ahead (exactly
+    rule U), and {e resets to 0} as soon as some neighbor is incompatible
+    (more than one increment away, modulo K).  The paper notes (§5.2,
+    following Boulinier's parametric analysis) that this solution works
+    under the distributed unfair daemon with a stabilization time of
+    O(D·n) rounds.  As with the tail baseline, the original pseudo-code is
+    not part of the reproduced text; this reconstruction is validated by
+    stabilization tests and serves as a second comparison point for E6. *)
+
+type clock = int
+
+val rule_tick : string
+(** ["MU-tick"]. *)
+
+val rule_zero : string
+(** ["MU-zero"]: reset to 0 on local incompatibility. *)
+
+module Make (P : sig
+  val k : int
+  (** Use [K > n²]. *)
+end) : sig
+  val k : int
+
+  val algorithm : clock Ssreset_sim.Algorithm.t
+  val gamma_init : Ssreset_graph.Graph.t -> clock array
+  val clock_gen : clock Ssreset_sim.Fault.generator
+
+  val is_legitimate : Ssreset_graph.Graph.t -> clock array -> bool
+  (** Every neighbor pair within one increment (ring distance ≤ 1). *)
+end

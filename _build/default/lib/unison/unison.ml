@@ -1,0 +1,53 @@
+module Algorithm = Ssreset_sim.Algorithm
+module Graph = Ssreset_graph.Graph
+module Sdr = Ssreset_core.Sdr
+
+type clock = int
+
+let rule_inc = "U-inc"
+
+module Make (P : sig
+  val k : int
+end) =
+struct
+  let k = P.k
+  let () = if k < 2 then invalid_arg "Unison.Make: need K >= 2"
+
+  (* P_Ok(u,v) of Algorithm 2: v's clock is within one increment of u's. *)
+  let p_ok cu cv = cv = cu || cv = (cu + 1) mod k || cv = (cu + k - 1) mod k
+
+  (* P_Up(u) of Algorithm 2: every neighbor is at u's value or one ahead. *)
+  let p_up (v : clock Algorithm.view) =
+    let cu = v.Algorithm.state in
+    Array.for_all (fun cv -> cv = cu || cv = (cu + 1) mod k) v.Algorithm.nbrs
+
+  module Input = struct
+    type state = clock
+
+    let name = "unison"
+    let equal (a : clock) b = a = b
+    let pp = Fmt.int
+
+    let p_icorrect (v : clock Algorithm.view) =
+      Array.for_all (p_ok v.Algorithm.state) v.Algorithm.nbrs
+
+    let p_reset c = c = 0
+    let reset _ = 0
+
+    let rules =
+      [ { Algorithm.rule_name = rule_inc;
+          guard = p_up;
+          action = (fun v -> (v.Algorithm.state + 1) mod k) } ]
+  end
+
+  module Composed = Sdr.Make (Input)
+
+  let bare : clock Algorithm.t =
+    { Algorithm.name = "unison-bare";
+      rules = Input.rules;
+      equal = Input.equal;
+      pp = Input.pp }
+
+  let gamma_init g = Array.make (Graph.n g) 0
+  let clock_gen rng _u = Random.State.int rng k
+end

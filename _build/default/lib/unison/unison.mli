@@ -1,0 +1,40 @@
+(** Algorithm U — asynchronous unison (Algorithm 2 of the paper).
+
+    Each process holds a periodic clock [c ∈ {0..K-1}], [K > n].  A process
+    increments (mod K) when every neighbor is at its value or one increment
+    ahead.  U alone is a correct {e non}-self-stabilizing unison from the
+    pre-defined initial configuration (Theorem 5); composed with SDR it is
+    self-stabilizing with stabilization time ≤ 3n rounds (Theorem 7) and
+    O(D·n²) moves (Theorem 6). *)
+
+module Sdr = Ssreset_core.Sdr
+
+type clock = int
+(** Clock value in [0..K-1]. *)
+
+val rule_inc : string
+(** Name of U's increment rule, ["U-inc"]. *)
+
+module Make (P : sig
+  val k : int
+  (** The period; must satisfy [K > n] for the network it is used on. *)
+end) : sig
+  val k : int
+
+  module Input : Sdr.INPUT with type state = clock
+  (** U as an SDR input algorithm: [P_ICorrect] = all neighbors within one
+      increment; [P_reset] = clock is 0; the single rule {!rule_inc}. *)
+
+  module Composed : Sdr.S with type inner = clock
+  (** [U ∘ SDR] and its observers. *)
+
+  val bare : clock Ssreset_sim.Algorithm.t
+  (** U alone, for runs from the pre-defined initial configuration
+      (Theorem 5 experiments).  Same single rule, no SDR gate. *)
+
+  val gamma_init : Ssreset_graph.Graph.t -> clock array
+  (** The pre-defined initial configuration: every clock at 0. *)
+
+  val clock_gen : clock Ssreset_sim.Fault.generator
+  (** Arbitrary clock in [0..K-1] (fault injection). *)
+end

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest List Random Ssreset_core Ssreset_graph Ssreset_sim String

@@ -1,0 +1,1 @@
+test/test_agreset.ml: Alcotest Array Helpers List Ssreset_agreset Ssreset_graph Ssreset_sim Ssreset_unison

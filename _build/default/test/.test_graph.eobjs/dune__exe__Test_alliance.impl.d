@@ -1,0 +1,1 @@
+test/test_alliance.ml: Alcotest Array Helpers List Ssreset_alliance Ssreset_graph Ssreset_sim String

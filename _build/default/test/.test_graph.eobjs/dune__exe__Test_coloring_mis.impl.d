@@ -1,0 +1,1 @@
+test/test_coloring_mis.ml: Alcotest Array Fun Hashtbl Helpers List Option Ssreset_coloring Ssreset_graph Ssreset_mis Ssreset_sim

@@ -1,0 +1,1 @@
+test/test_expt.ml: Alcotest Astring_like Helpers List Ssreset_alliance Ssreset_expt Ssreset_graph Ssreset_sim String

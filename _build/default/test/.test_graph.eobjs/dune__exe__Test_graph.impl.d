@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Astring_like Helpers Ssreset_graph

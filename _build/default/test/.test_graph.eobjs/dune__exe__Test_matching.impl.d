@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array Helpers List Option Ssreset_graph Ssreset_matching Ssreset_sim String

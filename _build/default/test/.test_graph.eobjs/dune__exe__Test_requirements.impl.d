@@ -1,0 +1,1 @@
+test/test_requirements.ml: Alcotest Fmt Helpers Int List Random Ssreset_alliance Ssreset_coloring Ssreset_core Ssreset_graph Ssreset_matching Ssreset_mis Ssreset_sim Ssreset_unison String

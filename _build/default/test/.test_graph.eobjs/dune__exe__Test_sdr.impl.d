@@ -1,0 +1,1 @@
+test/test_sdr.ml: Alcotest Array Fmt Hashtbl Helpers List Option Ssreset_coloring Ssreset_core Ssreset_graph Ssreset_sim Ssreset_unison String

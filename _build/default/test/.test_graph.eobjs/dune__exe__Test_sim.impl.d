@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fmt Fun Hashtbl Helpers Int List Ssreset_graph Ssreset_sim

@@ -1,0 +1,1 @@
+test/test_unison.ml: Alcotest Array Helpers List Option Ssreset_graph Ssreset_sim Ssreset_unison String

@@ -1,0 +1,10 @@
+(* Minimal substring search used by the test suites (avoids a dependency). *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then false
+    else if String.equal (String.sub haystack i nn) needle then true
+    else at (i + 1)
+  in
+  nn = 0 || at 0

@@ -1,0 +1,435 @@
+open Helpers
+module Graph = Ssreset_graph.Graph
+module Gen = Ssreset_graph.Gen
+module Algorithm = Ssreset_sim.Algorithm
+module Daemon = Ssreset_sim.Daemon
+module Engine = Ssreset_sim.Engine
+module Fault = Ssreset_sim.Fault
+module Spec = Ssreset_alliance.Spec
+module Fga = Ssreset_alliance.Fga
+module Checker = Ssreset_alliance.Checker
+module Brute = Ssreset_alliance.Brute
+
+(* -------------------------------- Spec --------------------------------- *)
+
+let spec_tests =
+  [ test "named instances compute the advertised thresholds" (fun () ->
+        let g = Gen.star 6 in
+        (* hub degree 5, leaves degree 1 *)
+        check_int "domset f" 1 (Spec.dominating_set.Spec.f g 0);
+        check_int "domset g" 0 (Spec.dominating_set.Spec.g g 0);
+        check_int "offensive hub" 3 (Spec.global_offensive.Spec.f g 0);
+        check_int "offensive leaf" 1 (Spec.global_offensive.Spec.f g 1);
+        check_int "defensive hub" 3 (Spec.global_defensive.Spec.g g 0);
+        check_int "powerful hub f" 3 (Spec.global_powerful.Spec.f g 0);
+        check_int "powerful hub g" 3 (Spec.global_powerful.Spec.g g 0);
+        check_int "2-dom" 2 ((Spec.k_domination 2).Spec.f g 0);
+        check_int "3-tuple f" 3 ((Spec.k_tuple_domination 3).Spec.f g 0);
+        check_int "3-tuple g" 2 ((Spec.k_tuple_domination 3).Spec.g g 0));
+    test "feasible: degree must dominate max(f,g)" (fun () ->
+        let star = Gen.star 5 in
+        check_true "domset on star" (Spec.feasible Spec.dominating_set star);
+        check_false "2-dom on star (leaves have degree 1)"
+          (Spec.feasible (Spec.k_domination 2) star);
+        check_true "2-dom on ring"
+          (Spec.feasible (Spec.k_domination 2) (Gen.ring 5)));
+    test "f_geq_g distinguishes the defensive instance" (fun () ->
+        let g = Gen.ring 8 in
+        check_true "domset" (Spec.f_geq_g Spec.dominating_set g);
+        check_true "offensive" (Spec.f_geq_g Spec.global_offensive g);
+        check_false "defensive" (Spec.f_geq_g Spec.global_defensive g));
+    test "custom validates non-negativity and all_named count" (fun () ->
+        check_true "negative rejected"
+          (match Spec.custom ~name:"bad" ~f:(-1) ~g:0 with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        check_int "all_named" (4 + 2 + 2)
+          (List.length (Spec.all_named ~max_k:2))) ]
+
+(* ------------------------------- Checker ------------------------------- *)
+
+let checker_tests =
+  [ test "is_alliance on hand-built sets" (fun () ->
+        let g = Gen.ring 6 in
+        let spec = Spec.dominating_set in
+        check_true "alternating"
+          (Checker.is_alliance g spec
+             [| true; false; true; false; true; false |]);
+        check_false "too sparse"
+          (Checker.is_alliance g spec
+             [| true; false; false; false; false; false |]);
+        check_true "everything" (Checker.is_alliance g spec (Array.make 6 true)));
+    test "is_one_minimal accepts exact covers and rejects slack" (fun () ->
+        let g = Gen.ring 6 in
+        let spec = Spec.dominating_set in
+        check_true "alternating is 1-minimal"
+          (Checker.is_one_minimal g spec
+             [| true; false; true; false; true; false |]);
+        check_false "full set is not"
+          (Checker.is_one_minimal g spec (Array.make 6 true)));
+    test "is_one_minimal does not mutate its argument" (fun () ->
+        let g = Gen.ring 4 in
+        let set = [| true; false; true; false |] in
+        let copy = Array.copy set in
+        ignore (Checker.is_one_minimal g Spec.dominating_set set);
+        check (Alcotest.array Alcotest.bool) "unchanged" copy set);
+    test "count_in, size, members" (fun () ->
+        let g = Gen.star 5 in
+        let set = [| true; false; true; true; false |] in
+        check_int "hub sees 2" 2 (Checker.count_in g set 0);
+        check_int "leaf sees hub" 1 (Checker.count_in g set 1);
+        check_int "size" 3 (Checker.size set);
+        check (Alcotest.list Alcotest.int) "members" [ 0; 2; 3 ]
+          (Checker.members set)) ]
+
+(* -------------------------------- Brute -------------------------------- *)
+
+let brute_tests =
+  [ test "mask/set conversions roundtrip" (fun () ->
+        let set = [| true; false; true; true |] in
+        check (Alcotest.array Alcotest.bool) "roundtrip" set
+          (Brute.set_of_mask ~n:4 (Brute.mask_of_set set)));
+    test "is_alliance_mask agrees with Checker on all sets of an 8-graph"
+      (fun () ->
+        let g = Gen.erdos_renyi (rng 9) 8 0.4 in
+        List.iter
+          (fun spec ->
+            for mask = 0 to 255 do
+              check_bool "agree"
+                (Checker.is_alliance g spec (Brute.set_of_mask ~n:8 mask))
+                (Brute.is_alliance_mask g spec mask)
+            done)
+          [ Spec.dominating_set; Spec.global_powerful ]);
+    test "every minimal alliance is 1-minimal (Property 1.1)" (fun () ->
+        let g = Gen.wheel 6 in
+        List.iter
+          (fun spec ->
+            List.iter
+              (fun mask ->
+                check_true "1-minimal" (Brute.is_one_minimal_mask g spec mask))
+              (Brute.all_minimal g spec))
+          [ Spec.dominating_set; Spec.global_defensive ]);
+    test "with f ≥ g, 1-minimal implies minimal (Property 1.2)" (fun () ->
+        let g = Gen.wheel 6 in
+        List.iter
+          (fun spec ->
+            if Spec.f_geq_g spec g then
+              List.iter
+                (fun mask ->
+                  check_true "minimal" (Brute.is_minimal_mask g spec mask))
+                (Brute.all_one_minimal g spec))
+          [ Spec.dominating_set; Spec.global_offensive ]);
+    test "(0,2) on K4: 1-minimal does not imply minimal" (fun () ->
+        let g = Gen.complete 4 in
+        let spec = Spec.custom ~name:"(0,2)" ~f:0 ~g:2 in
+        check (Alcotest.option Alcotest.int) "minimum" (Some 0)
+          (Brute.minimum_size g spec);
+        let triangle = Brute.mask_of_set [| true; true; true; false |] in
+        check_true "alliance" (Brute.is_alliance_mask g spec triangle);
+        check_true "1-minimal" (Brute.is_one_minimal_mask g spec triangle);
+        check_false "not minimal" (Brute.is_minimal_mask g spec triangle));
+    test "minimum_size matches hand-computed values" (fun () ->
+        check (Alcotest.option Alcotest.int) "ring6 domset" (Some 2)
+          (Brute.minimum_size (Gen.ring 6) Spec.dominating_set);
+        check (Alcotest.option Alcotest.int) "star domset" (Some 1)
+          (Brute.minimum_size (Gen.star 6) Spec.dominating_set)) ]
+
+(* ------------------------------ FGA runs ------------------------------- *)
+
+let fga_graphs () =
+  [ ("ring8", Gen.ring 8); ("wheel7", Gen.wheel 7);
+    ("er10", Gen.erdos_renyi (rng 14) 10 0.4); ("complete6", Gen.complete 6);
+    ("grid3x3", Gen.grid 3 3) ]
+
+let fga_specs =
+  [ Spec.dominating_set; Spec.global_offensive; Spec.global_defensive;
+    Spec.global_powerful ]
+
+let bare_tests =
+  [ test "γ_init state and generator respect domains" (fun () ->
+        let g = Gen.ring 6 in
+        let module F = Fga.Make (struct
+          let graph = g
+          let spec = Spec.dominating_set
+          let ids = None
+        end) in
+        Array.iteri
+          (fun u s ->
+            check_int "id" u s.Fga.id;
+            check_true "in" s.Fga.col;
+            check_int "scr" 1 s.Fga.scr;
+            check_true "canQ" s.Fga.can_q;
+            check_true "ptr" (s.Fga.ptr = None))
+          (F.gamma_init ());
+        for seed = 1 to 60 do
+          let u = seed mod 6 in
+          let s = F.gen (rng seed) u in
+          check_int "const id" u s.Fga.id;
+          (match s.Fga.ptr with
+          | None -> ()
+          | Some p ->
+              check_true "ptr in closed neighborhood"
+                (p = u || Graph.has_edge g u p));
+          check_true "scr domain" (s.Fga.scr >= -1 && s.Fga.scr <= 1)
+        done);
+    test "Make rejects infeasible specs and bad id vectors" (fun () ->
+        let g = Gen.star 5 in
+        check_true "infeasible"
+          (match
+             let module F = Fga.Make (struct
+               let graph = g
+               let spec = Spec.k_domination 2
+               let ids = None
+             end) in
+             F.gamma_init ()
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        check_true "duplicate ids"
+          (match
+             let module F = Fga.Make (struct
+               let graph = g
+               let spec = Spec.dominating_set
+               let ids = Some [| 1; 1; 2; 3; 4 |]
+             end) in
+             F.gamma_init ()
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    test "bare FGA from γ_init terminates at a 1-minimal alliance" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            List.iter
+              (fun spec ->
+                if Spec.feasible spec g then begin
+                  let module F = Fga.Make (struct
+                    let graph = g
+                    let spec = spec
+                    let ids = None
+                  end) in
+                  List.iter
+                    (fun daemon ->
+                      let r =
+                        run ~seed:5 ~algorithm:F.bare ~graph:g ~daemon
+                          (F.gamma_init ())
+                      in
+                      if r.Engine.outcome <> Engine.Terminal then
+                        Alcotest.failf "%s/%s: no termination" name
+                          spec.Spec.spec_name;
+                      if
+                        not
+                          (Checker.is_one_minimal g spec
+                             (F.alliance r.Engine.final))
+                      then
+                        Alcotest.failf "%s/%s: not 1-minimal" name
+                          spec.Spec.spec_name)
+                    (daemons ())
+                end)
+              fga_specs)
+          (fga_graphs ()));
+    test "identifier assignment does not affect correctness (permuted ids)"
+      (fun () ->
+        let g = Gen.erdos_renyi (rng 23) 9 0.4 in
+        let ids = Some [| 42; 7; 13; 99; 0; 55; 21; 8; 77 |] in
+        List.iter
+          (fun spec ->
+            let module F = Fga.Make (struct
+              let graph = g
+              let spec = spec
+              let ids = ids
+            end) in
+            let r =
+              run ~seed:2 ~algorithm:F.bare ~graph:g
+                ~daemon:Daemon.central_random (F.gamma_init ())
+            in
+            check_true "terminal" (r.Engine.outcome = Engine.Terminal);
+            check_true "1-minimal"
+              (Checker.is_one_minimal g spec (F.alliance r.Engine.final)))
+          fga_specs);
+    test "total moves stay within 16Δm + 36m + 24n (Corollary 11)" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let bound =
+              (16 * Graph.max_degree g * Graph.m g)
+              + (36 * Graph.m g) + (24 * Graph.n g)
+            in
+            let module F = Fga.Make (struct
+              let graph = g
+              let spec = Spec.dominating_set
+              let ids = None
+            end) in
+            List.iter
+              (fun daemon ->
+                let r =
+                  run ~seed:3 ~algorithm:F.bare ~graph:g ~daemon
+                    (F.gamma_init ())
+                in
+                if r.Engine.moves > bound then
+                  Alcotest.failf "%s: %d moves > %d" name r.Engine.moves bound)
+              (daemons ()))
+          (fga_graphs ()));
+    test "FGA rules are mutually exclusive on arbitrary states" (fun () ->
+        let g = Gen.erdos_renyi (rng 33) 9 0.4 in
+        let module F = Fga.Make (struct
+          let graph = g
+          let spec = Spec.global_powerful
+          let ids = None
+        end) in
+        for seed = 1 to 50 do
+          let cfg = Fault.arbitrary (rng seed) F.gen g in
+          for u = 0 to Graph.n g - 1 do
+            let enabled =
+              Algorithm.exclusive_rules F.bare (Algorithm.view g cfg u)
+            in
+            if List.length enabled > 1 then
+              Alcotest.failf "rules %s enabled together"
+                (String.concat "," enabled)
+          done
+        done);
+    test "removals are locally central: at most one Clr per closed \
+          neighborhood per step" (fun () ->
+        let g = Gen.complete 7 in
+        let module F = Fga.Make (struct
+          let graph = g
+          let spec = Spec.k_tuple_domination 2
+          let ids = None
+        end) in
+        let trace, _ =
+          Ssreset_sim.Trace.record ~rng:(rng 4) ~algorithm:F.bare ~graph:g
+            ~daemon:Daemon.synchronous (F.gamma_init ())
+        in
+        List.iter
+          (fun entry ->
+            let clrs =
+              List.filter
+                (fun (_, name) -> String.equal name Fga.rule_clr)
+                entry.Ssreset_sim.Trace.moved
+            in
+            (* on a complete graph every pair shares a closed neighborhood:
+               at most one removal per step overall *)
+            check_true "locally central" (List.length clrs <= 1))
+          trace.Ssreset_sim.Trace.entries) ]
+
+(* --------------------------- FGA ∘ SDR runs ---------------------------- *)
+
+let composed_tests =
+  [ test "silent self-stabilization: terminal + 1-minimal from arbitrary \
+          configurations (Thms 11-13)" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            List.iter
+              (fun spec ->
+                if Spec.feasible spec g then begin
+                  let module F = Fga.Make (struct
+                    let graph = g
+                    let spec = spec
+                    let ids = None
+                  end) in
+                  let gen =
+                    F.Composed.generator ~inner:F.gen ~max_d:(Graph.n g)
+                  in
+                  List.iter
+                    (fun daemon ->
+                      let cfg = Fault.arbitrary (rng 6) gen g in
+                      let r =
+                        run ~seed:7 ~algorithm:F.Composed.algorithm ~graph:g
+                          ~daemon cfg
+                      in
+                      if r.Engine.outcome <> Engine.Terminal then
+                        Alcotest.failf "%s/%s: not silent" name
+                          spec.Spec.spec_name;
+                      if
+                        not
+                          (Checker.is_one_minimal g spec
+                             (F.alliance_of_composed r.Engine.final))
+                      then
+                        Alcotest.failf "%s/%s: bad output" name
+                          spec.Spec.spec_name)
+                    (daemons ())
+                end)
+              fga_specs)
+          (fga_graphs ()));
+    test "8n+4 round bound holds (Theorem 14)" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let n = Graph.n g in
+            let module F = Fga.Make (struct
+              let graph = g
+              let spec = Spec.dominating_set
+              let ids = None
+            end) in
+            let gen = F.Composed.generator ~inner:F.gen ~max_d:n in
+            List.iter
+              (fun daemon ->
+                for seed = 1 to 2 do
+                  let cfg = Fault.arbitrary (rng (seed * 13)) gen g in
+                  let r =
+                    run ~seed ~algorithm:F.Composed.algorithm ~graph:g ~daemon
+                      cfg
+                  in
+                  check_true "terminal" (r.Engine.outcome = Engine.Terminal);
+                  if r.Engine.rounds > (8 * n) + 4 then
+                    Alcotest.failf "%s: %d rounds > 8n+4" name r.Engine.rounds
+                done)
+              (daemons ()))
+          (fga_graphs ())) ]
+
+(* ------------------------ printed-variant regression ------------------- *)
+
+let regression_tests =
+  [ test "printed bestPtr can terminate at a non-1-minimal alliance (g > f)"
+      (fun () ->
+        (* witness found by search: G(7, 0.5) with seed 5, global defensive *)
+        let g = Gen.erdos_renyi (rng 5) 7 0.5 in
+        let spec = Spec.global_defensive in
+        let module F = Fga.Make (struct
+          let graph = g
+          let spec = spec
+          let ids = None
+        end) in
+        let r =
+          run ~seed:1 ~algorithm:F.bare_printed ~graph:g
+            ~daemon:Daemon.central_random (F.gamma_init ())
+        in
+        check_true "terminates" (r.Engine.outcome = Engine.Terminal);
+        let set = F.alliance r.Engine.final in
+        check_true "is an alliance" (Checker.is_alliance g spec set);
+        check_false "but NOT 1-minimal (the printed macro is too strict)"
+          (Checker.is_one_minimal g spec set);
+        (* the fixed variant solves the same instance correctly *)
+        let fixed =
+          run ~seed:1 ~algorithm:F.bare ~graph:g ~daemon:Daemon.central_random
+            (F.gamma_init ())
+        in
+        check_true "fixed terminal" (fixed.Engine.outcome = Engine.Terminal);
+        check_true "fixed 1-minimal"
+          (Checker.is_one_minimal g spec (F.alliance fixed.Engine.final)));
+    test "printed and fixed variants agree when f ≥ g everywhere" (fun () ->
+        let g = Gen.erdos_renyi (rng 8) 9 0.35 in
+        List.iter
+          (fun spec ->
+            let module F = Fga.Make (struct
+              let graph = g
+              let spec = spec
+              let ids = None
+            end) in
+            List.iter
+              (fun algorithm ->
+                let r =
+                  run ~seed:4 ~algorithm ~graph:g
+                    ~daemon:Daemon.central_random (F.gamma_init ())
+                in
+                check_true "terminal" (r.Engine.outcome = Engine.Terminal);
+                check_true "1-minimal"
+                  (Checker.is_one_minimal g spec (F.alliance r.Engine.final)))
+              [ F.bare; F.bare_printed ])
+          [ Spec.dominating_set; Spec.global_offensive ]) ]
+
+let () =
+  Alcotest.run "alliance"
+    [ ("spec", spec_tests);
+      ("checker", checker_tests);
+      ("brute force", brute_tests);
+      ("bare FGA", bare_tests);
+      ("FGA∘SDR", composed_tests);
+      ("printed-variant regression", regression_tests) ]

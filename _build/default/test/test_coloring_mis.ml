@@ -1,0 +1,243 @@
+open Helpers
+module Graph = Ssreset_graph.Graph
+module Gen = Ssreset_graph.Gen
+module Algorithm = Ssreset_sim.Algorithm
+module Daemon = Ssreset_sim.Daemon
+module Engine = Ssreset_sim.Engine
+module Fault = Ssreset_sim.Fault
+module Coloring = Ssreset_coloring.Coloring
+module Mis = Ssreset_mis.Mis
+
+(* ------------------------------- coloring ------------------------------ *)
+
+let coloring_tests =
+  [ test "γ_init is all-uncolored and the generator respects domains"
+      (fun () ->
+        let g = Gen.wheel 7 in
+        let module C = Coloring.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        check_true "uncolored"
+          (Array.for_all (fun s -> s.Coloring.color = None) (C.gamma_init ()));
+        for seed = 1 to 50 do
+          let u = seed mod 7 in
+          let s = C.gen (rng seed) u in
+          check_int "id kept" u s.Coloring.id;
+          match s.Coloring.color with
+          | None -> ()
+          | Some c -> check_true "domain" (c >= 0 && c <= Graph.degree g u)
+        done);
+    test "pick guard: only the max-id uncolored process in a neighborhood"
+      (fun () ->
+        let g = Gen.path 3 in
+        let module C = Coloring.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        let cfg = C.gamma_init () in
+        let enabled u = Algorithm.is_enabled C.bare (Algorithm.view g cfg u) in
+        (* all uncolored: only process 2 (max id) may pick *)
+        check_false "0 blocked" (enabled 0);
+        check_false "1 blocked" (enabled 1);
+        check_true "2 picks" (enabled 2));
+    test "pick chooses the smallest free color" (fun () ->
+        let g = Gen.star 4 in
+        let module C = Coloring.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        let cfg = C.gamma_init () in
+        cfg.(1) <- { cfg.(1) with Coloring.color = Some 0 };
+        cfg.(2) <- { cfg.(2) with Coloring.color = Some 1 };
+        cfg.(3) <- { cfg.(3) with Coloring.color = Some 0 };
+        (* hub sees colors {0, 1}: must pick 2 *)
+        match Algorithm.enabled_rule C.bare (Algorithm.view g cfg 0) with
+        | Some r ->
+            let s = r.Algorithm.action (Algorithm.view g cfg 0) in
+            check (Alcotest.option Alcotest.int) "mex" (Some 2) s.Coloring.color
+        | None -> Alcotest.fail "hub should be enabled");
+    test "bare coloring from γ_init terminates properly on the zoo" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let module C = Coloring.Make (struct
+              let graph = g
+              let ids = None
+            end) in
+            List.iter
+              (fun daemon ->
+                let r =
+                  run ~algorithm:C.bare ~graph:g ~daemon (C.gamma_init ())
+                in
+                if r.Engine.outcome <> Engine.Terminal then
+                  Alcotest.failf "%s: no termination" name;
+                if not (C.is_proper (C.coloring r.Engine.final)) then
+                  Alcotest.failf "%s: improper coloring" name)
+              (daemons ()))
+          (graph_zoo ()));
+    test "composed coloring is silent self-stabilizing on the zoo" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let module C = Coloring.Make (struct
+              let graph = g
+              let ids = None
+            end) in
+            let gen = C.Composed.generator ~inner:C.gen ~max_d:(Graph.n g) in
+            List.iter
+              (fun daemon ->
+                let cfg = Fault.arbitrary (rng 3) gen g in
+                let r = run ~algorithm:C.Composed.algorithm ~graph:g ~daemon cfg in
+                if r.Engine.outcome <> Engine.Terminal then
+                  Alcotest.failf "%s: not silent" name;
+                if
+                  not (C.is_proper (C.coloring_of_composed r.Engine.final))
+                then Alcotest.failf "%s: improper output" name)
+              (daemons ()))
+          (graph_zoo ()));
+    test "is_proper rejects conflicts, holes and out-of-domain colors"
+      (fun () ->
+        let g = Gen.path 3 in
+        let module C = Coloring.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        check_true "proper" (C.is_proper [| Some 0; Some 1; Some 0 |]);
+        check_false "conflict" (C.is_proper [| Some 1; Some 1; Some 0 |]);
+        check_false "hole" (C.is_proper [| Some 0; None; Some 0 |]);
+        check_false "too large" (C.is_proper [| Some 0; Some 1; Some 5 |]));
+    test "at most Δ+1 colors are ever used" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let module C = Coloring.Make (struct
+              let graph = g
+              let ids = None
+            end) in
+            let r =
+              run ~algorithm:C.bare ~graph:g ~daemon:Daemon.central_random
+                (C.gamma_init ())
+            in
+            let used = Hashtbl.create 8 in
+            Array.iter
+              (fun s ->
+                match s.Coloring.color with
+                | Some c -> Hashtbl.replace used c ()
+                | None -> Alcotest.failf "%s: uncolored process" name)
+              r.Engine.final;
+            if Hashtbl.length used > Graph.max_degree g + 1 then
+              Alcotest.failf "%s: %d colors > Δ+1" name (Hashtbl.length used))
+          (graph_zoo ())) ]
+
+(* --------------------------------- MIS --------------------------------- *)
+
+let mis_tests =
+  [ test "join guard: max-id undecided process with no In neighbor" (fun () ->
+        let g = Gen.path 3 in
+        let module M = Mis.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        let cfg = M.gamma_init () in
+        let rule u =
+          Option.map
+            (fun (r : Mis.state Algorithm.rule) -> r.Algorithm.rule_name)
+            (Algorithm.enabled_rule M.bare (Algorithm.view g cfg u))
+        in
+        check (Alcotest.option Alcotest.string) "0 blocked" None (rule 0);
+        check (Alcotest.option Alcotest.string) "2 joins" (Some Mis.rule_join)
+          (rule 2);
+        (* once 2 is In, its neighbor 1 must go Out *)
+        cfg.(2) <- { cfg.(2) with Mis.m = Mis.In };
+        check (Alcotest.option Alcotest.string) "1 leaves" (Some Mis.rule_out)
+          (rule 1);
+        (* and process 0 becomes the max-id undecided among its neighbors *)
+        cfg.(1) <- { cfg.(1) with Mis.m = Mis.Out };
+        check (Alcotest.option Alcotest.string) "0 joins" (Some Mis.rule_join)
+          (rule 0));
+    test "bare MIS from γ_init computes an MIS on the zoo" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let module M = Mis.Make (struct
+              let graph = g
+              let ids = None
+            end) in
+            List.iter
+              (fun daemon ->
+                let r =
+                  run ~algorithm:M.bare ~graph:g ~daemon (M.gamma_init ())
+                in
+                if r.Engine.outcome <> Engine.Terminal then
+                  Alcotest.failf "%s: no termination" name;
+                if not (M.is_mis (M.independent_set r.Engine.final)) then
+                  Alcotest.failf "%s: not an MIS" name)
+              (daemons ()))
+          (graph_zoo ()));
+    test "composed MIS is silent self-stabilizing on the zoo" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let module M = Mis.Make (struct
+              let graph = g
+              let ids = None
+            end) in
+            let gen = M.Composed.generator ~inner:M.gen ~max_d:(Graph.n g) in
+            List.iter
+              (fun daemon ->
+                let cfg = Fault.arbitrary (rng 4) gen g in
+                let r =
+                  run ~algorithm:M.Composed.algorithm ~graph:g ~daemon cfg
+                in
+                if r.Engine.outcome <> Engine.Terminal then
+                  Alcotest.failf "%s: not silent" name;
+                if
+                  not (M.is_mis (M.independent_set_of_composed r.Engine.final))
+                then Alcotest.failf "%s: bad output" name)
+              (daemons ()))
+          (graph_zoo ()));
+    test "is_mis rejects dependent and non-maximal sets" (fun () ->
+        let g = Gen.path 4 in
+        let module M = Mis.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        check_true "alternating" (M.is_mis [| true; false; true; false |]);
+        check_false "adjacent pair" (M.is_mis [| true; true; false; false |]);
+        check_false "not maximal" (M.is_mis [| true; false; false; false |]);
+        check_true "other cover" (M.is_mis [| false; true; false; true |]));
+    test "on a star the MIS is either the hub or all leaves" (fun () ->
+        let g = Gen.star 7 in
+        let module M = Mis.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        let r =
+          run ~algorithm:M.bare ~graph:g ~daemon:Daemon.synchronous
+            (M.gamma_init ())
+        in
+        let set = M.independent_set r.Engine.final in
+        let leaves = Array.to_list (Array.sub set 1 6) in
+        check_true "hub xor leaves"
+          ((set.(0) && List.for_all not leaves)
+          || ((not set.(0)) && List.for_all Fun.id leaves));
+        check_true "mis" (M.is_mis set));
+    test "recovery from an inconsistent In-In pair (domino via reset)"
+      (fun () ->
+        let g = Gen.path 4 in
+        let module M = Mis.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        (* adjacent In-In: locally detectable; composed system must repair *)
+        let inner =
+          [| { Mis.id = 0; m = Mis.In }; { Mis.id = 1; m = Mis.In };
+             { Mis.id = 2; m = Mis.Out }; { Mis.id = 3; m = Mis.In } |]
+        in
+        let cfg = M.Composed.lift inner in
+        let r =
+          run ~algorithm:M.Composed.algorithm ~graph:g
+            ~daemon:Daemon.central_random cfg
+        in
+        check_true "terminal" (r.Engine.outcome = Engine.Terminal);
+        check_true "mis" (M.is_mis (M.independent_set_of_composed r.Engine.final))) ]
+
+let () =
+  Alcotest.run "coloring-mis"
+    [ ("coloring", coloring_tests); ("mis", mis_tests) ]

@@ -1,0 +1,180 @@
+open Helpers
+module Graph = Ssreset_graph.Graph
+module Daemon = Ssreset_sim.Daemon
+module Table = Ssreset_expt.Table
+module Workload = Ssreset_expt.Workload
+module Runner = Ssreset_expt.Runner
+module Experiments = Ssreset_expt.Experiments
+module Spec = Ssreset_alliance.Spec
+
+(* -------------------------------- Table -------------------------------- *)
+
+let table_tests =
+  [ test "make validates row widths" (fun () ->
+        check_true "raises"
+          (match
+             Table.make ~title:"t" ~headers:[ "a"; "b" ] [ [ "only-one" ] ]
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    test "render aligns columns and includes notes" (fun () ->
+        let t =
+          Table.make ~title:"demo" ~headers:[ "col"; "value" ]
+            ~notes:[ "a note" ]
+            [ [ "x"; "1" ]; [ "longer"; "22" ] ]
+        in
+        let s = Table.render t in
+        check_true "title" (Astring_like.contains s "demo");
+        check_true "note" (Astring_like.contains s "note: a note");
+        check_true "header" (Astring_like.contains s "col");
+        check_true "padding" (Astring_like.contains s "x     "));
+    test "cells and all_ok" (fun () ->
+        check Alcotest.string "int" "42" (Table.cell_int 42);
+        check Alcotest.string "float" "1.50" (Table.cell_float 1.5);
+        check Alcotest.string "ok" "ok" (Table.cell_bool true);
+        check Alcotest.string "fail" "FAIL" (Table.cell_bool false);
+        let t =
+          Table.make ~title:"t" ~headers:[ "a"; "ok" ]
+            [ [ "x"; "ok" ]; [ "y"; "ok" ] ]
+        in
+        check_true "all ok" (Table.all_ok t ~col:1);
+        let t2 =
+          Table.make ~title:"t" ~headers:[ "a"; "ok" ]
+            [ [ "x"; "ok" ]; [ "y"; "FAIL" ] ]
+        in
+        check_false "not all ok" (Table.all_ok t2 ~col:1)) ]
+
+(* ------------------------------- Workload ------------------------------ *)
+
+let workload_tests =
+  [ test "families build graphs of the requested size" (fun () ->
+        List.iter
+          (fun (family : Workload.family) ->
+            let g = family.Workload.build ~seed:3 ~n:18 in
+            check_true
+              (family.Workload.family_name ^ " size")
+              (abs (Graph.n g - 18) <= 6);
+            check_true
+              (family.Workload.family_name ^ " connected")
+              (Graph.is_connected g))
+          Workload.standard);
+    test "deterministic families ignore the seed" (fun () ->
+        let a = Workload.ring.Workload.build ~seed:1 ~n:12 in
+        let b = Workload.ring.Workload.build ~seed:99 ~n:12 in
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "same" (Graph.edges a) (Graph.edges b));
+    test "small_connected_graphs counts labeled connected graphs" (fun () ->
+        (* 1 on 2 vertices, 4 on 3 vertices, 38 on 4 vertices *)
+        check_int "n<=3" 5
+          (List.length (Workload.small_connected_graphs ~max_n:3));
+        check_int "n<=4" 43
+          (List.length (Workload.small_connected_graphs ~max_n:4));
+        List.iter
+          (fun g -> check_true "connected" (Graph.is_connected g))
+          (Workload.small_connected_graphs ~max_n:4)) ]
+
+(* -------------------------------- Runner ------------------------------- *)
+
+let runner_tests =
+  [ test "daemon_by_name covers the zoo and rejects strangers" (fun () ->
+        List.iter
+          (fun name ->
+            check Alcotest.string name
+              (Runner.daemon_by_name name).Daemon.daemon_name
+              (Runner.daemon_by_name name).Daemon.daemon_name)
+          [ "synchronous"; "central-random"; "central-first"; "central-last";
+            "round-robin"; "distributed-random"; "locally-central";
+            "adversarial"; "starve" ];
+        check_true "unknown"
+          (match Runner.daemon_by_name "nope" with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    test "unison_composed reports a consistent observation" (fun () ->
+        let g = Workload.ring.Workload.build ~seed:1 ~n:10 in
+        let obs =
+          Runner.unison_composed ~graph:g
+            ~daemon:(Runner.daemon_by_name "distributed-random") ~seed:3 ()
+        in
+        check_true "outcome" obs.Runner.outcome_ok;
+        check_true "result" obs.Runner.result_ok;
+        check_true "rounds bound" (obs.Runner.rounds <= 30);
+        check_true "sdr <= total" (obs.Runner.sdr_moves <= obs.Runner.moves);
+        check_true "segments bound" (obs.Runner.segments <= 11);
+        check_true "ar monotone" obs.Runner.ar_monotone);
+    test "fga_bare checks Lemma 25 and 1-minimality" (fun () ->
+        let g = Workload.complete.Workload.build ~seed:1 ~n:7 in
+        let obs =
+          Runner.fga_bare ~spec:Spec.global_powerful ~graph:g
+            ~daemon:(Runner.daemon_by_name "central-random") ~seed:4 ()
+        in
+        check_true "outcome" obs.Runner.outcome_ok;
+        check_true "result" obs.Runner.result_ok);
+    test "tail_unison stabilizes and reports legitimacy" (fun () ->
+        let g = Workload.path.Workload.build ~seed:1 ~n:9 in
+        let obs =
+          Runner.tail_unison ~graph:g
+            ~daemon:(Runner.daemon_by_name "synchronous") ~seed:5 ()
+        in
+        check_true "outcome" obs.Runner.outcome_ok;
+        check_true "result" obs.Runner.result_ok);
+    test "coloring and MIS runners report silence" (fun () ->
+        let g = Workload.sparse_random.Workload.build ~seed:2 ~n:10 in
+        let col =
+          Runner.coloring_composed ~graph:g
+            ~daemon:(Runner.daemon_by_name "locally-central") ~seed:6 ()
+        in
+        let mis =
+          Runner.mis_composed ~graph:g
+            ~daemon:(Runner.daemon_by_name "round-robin") ~seed:7 ()
+        in
+        check_true "coloring" (col.Runner.outcome_ok && col.Runner.result_ok);
+        check_true "mis" (mis.Runner.outcome_ok && mis.Runner.result_ok)) ]
+
+(* ------------------------------ Experiments ---------------------------- *)
+
+let tiny_profile =
+  { Experiments.sizes = [ 8 ];
+    fga_sizes = [ 7 ];
+    seeds = 1;
+    bare_steps_factor = 25 }
+
+let last_col_ok table =
+  let cols = List.length table.Table.headers in
+  Table.all_ok table ~col:(cols - 1)
+
+let experiment_tests =
+  [ test "E12 verifies Property 1 and finds the (0,2) witness" (fun () ->
+        let t = Experiments.e12 () in
+        check_true "all ok" (last_col_ok t);
+        (* fourth column: the custom (0,2) row must be strictly positive,
+           the f >= g rows must be zero *)
+        let row name =
+          List.find (fun r -> String.equal (List.hd r) name) t.Table.rows
+        in
+        check Alcotest.string "domset zero" "0"
+          (List.nth (row "dominating-set") 4);
+        check_true "(0,2) positive"
+          (int_of_string (List.nth (row "(0,2)-alliance") 4) > 0));
+    test "E1-E3 pass on a tiny profile" (fun () ->
+        List.iter
+          (fun t -> check_true t.Table.title (last_col_ok t))
+          (Experiments.e1_e2_e3 tiny_profile));
+    test "E7 passes on a tiny profile" (fun () ->
+        check_true "e7" (last_col_ok (Experiments.e7 tiny_profile)));
+    test "E13 passes on a tiny profile" (fun () ->
+        check_true "e13" (last_col_ok (Experiments.e13 tiny_profile)));
+    test "all experiments are registered with stable ids" (fun () ->
+        check
+          (Alcotest.list Alcotest.string)
+          "ids"
+          [ "E1-E3"; "E4-E5"; "E6"; "E7"; "E8"; "E9-E10"; "E11"; "E12";
+            "E13"; "E14"; "E15"; "E16" ]
+          (List.map fst (Experiments.all tiny_profile))) ]
+
+let () =
+  Alcotest.run "expt"
+    [ ("table", table_tests);
+      ("workload", workload_tests);
+      ("runner", runner_tests);
+      ("experiments", experiment_tests) ]

@@ -1,0 +1,247 @@
+open Helpers
+module Graph = Ssreset_graph.Graph
+module Gen = Ssreset_graph.Gen
+module Metrics = Ssreset_graph.Metrics
+
+let raises_invalid f =
+  match f () with
+  | exception Graph.Invalid_graph _ -> true
+  | exception Invalid_argument _ -> true
+  | _ -> false
+
+(* ------------------------------- Graph -------------------------------- *)
+
+let construction_tests =
+  [ test "make rejects self-loops" (fun () ->
+        check_true "self-loop"
+          (raises_invalid (fun () -> Graph.make ~n:3 ~edges:[ (1, 1) ])));
+    test "make rejects duplicate edges" (fun () ->
+        check_true "duplicate"
+          (raises_invalid (fun () ->
+               Graph.make ~n:3 ~edges:[ (0, 1); (1, 0) ])));
+    test "make rejects out-of-range endpoints" (fun () ->
+        check_true "range"
+          (raises_invalid (fun () -> Graph.make ~n:3 ~edges:[ (0, 3) ])));
+    test "make rejects empty vertex set" (fun () ->
+        check_true "n=0" (raises_invalid (fun () -> Graph.make ~n:0 ~edges:[])));
+    test "single vertex graph is connected with no edges" (fun () ->
+        let g = Graph.make ~n:1 ~edges:[] in
+        check_int "n" 1 (Graph.n g);
+        check_int "m" 0 (Graph.m g);
+        check_true "connected" (Graph.is_connected g));
+    test "neighbors are sorted" (fun () ->
+        let g = Graph.make ~n:5 ~edges:[ (2, 4); (2, 0); (2, 3); (2, 1) ] in
+        check (Alcotest.array Alcotest.int) "sorted" [| 0; 1; 3; 4 |]
+          (Graph.neighbors g 2));
+    test "degree and max/min degree" (fun () ->
+        let g = Gen.star 5 in
+        check_int "hub" 4 (Graph.degree g 0);
+        check_int "leaf" 1 (Graph.degree g 3);
+        check_int "max" 4 (Graph.max_degree g);
+        check_int "min" 1 (Graph.min_degree g));
+    test "has_edge is symmetric and correct" (fun () ->
+        let g = Gen.ring 6 in
+        check_true "0-1" (Graph.has_edge g 0 1);
+        check_true "1-0" (Graph.has_edge g 1 0);
+        check_true "0-5" (Graph.has_edge g 0 5);
+        check_false "0-2" (Graph.has_edge g 0 2);
+        check_false "0-3" (Graph.has_edge g 0 3));
+    test "edges are normalized (u < v) and complete" (fun () ->
+        let g = Gen.ring 4 in
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "edges"
+          [ (0, 1); (0, 3); (1, 2); (2, 3) ]
+          (Graph.edges g));
+    test "label_of inverts neighbors" (fun () ->
+        let g = Gen.grid 3 3 in
+        for u = 0 to Graph.n g - 1 do
+          Array.iteri
+            (fun i v -> check_int "label" i (Graph.label_of g u v))
+            (Graph.neighbors g u)
+        done);
+    test "label_of raises on non-neighbor" (fun () ->
+        let g = Gen.ring 5 in
+        check_true "raises"
+          (match Graph.label_of g 0 2 with
+          | exception Not_found -> true
+          | _ -> false));
+    test "fold/exists/for_all neighbors" (fun () ->
+        let g = Gen.star 6 in
+        check_int "fold sum" 15
+          (Graph.fold_neighbors g 0 ~init:0 ~f:( + ));
+        check_true "exists" (Graph.exists_neighbor g 0 ~f:(fun v -> v = 3));
+        check_false "exists-not" (Graph.exists_neighbor g 0 ~f:(fun v -> v = 0));
+        check_true "for_all" (Graph.for_all_neighbors g 0 ~f:(fun v -> v > 0)));
+    test "is_connected detects disconnection" (fun () ->
+        let g = Graph.make ~n:4 ~edges:[ (0, 1); (2, 3) ] in
+        check_false "disconnected" (Graph.is_connected g);
+        check_true "connected" (Graph.is_connected (Gen.path 4)));
+    test "to_dot mentions every edge" (fun () ->
+        let g = Gen.path 3 in
+        let dot = Graph.to_dot g in
+        check_true "0--1"
+          (Astring_like.contains dot "0 -- 1" || Astring_like.contains dot "0 -- 1;");
+        check_true "1--2" (Astring_like.contains dot "1 -- 2")) ]
+
+(* ----------------------------- Generators ----------------------------- *)
+
+let generator_tests =
+  [ test "ring: n edges, all degree 2, diameter n/2" (fun () ->
+        let g = Gen.ring 10 in
+        check_int "m" 10 (Graph.m g);
+        check_int "maxdeg" 2 (Graph.max_degree g);
+        check_int "mindeg" 2 (Graph.min_degree g);
+        check_int "diam" 5 (Metrics.diameter g));
+    test "ring rejects n < 3" (fun () ->
+        check_true "raises" (raises_invalid (fun () -> Gen.ring 2)));
+    test "path: n-1 edges, diameter n-1" (fun () ->
+        let g = Gen.path 7 in
+        check_int "m" 6 (Graph.m g);
+        check_int "diam" 6 (Metrics.diameter g);
+        check_true "tree" (Metrics.is_tree g));
+    test "star: hub degree n-1, diameter 2" (fun () ->
+        let g = Gen.star 9 in
+        check_int "m" 8 (Graph.m g);
+        check_int "hub" 8 (Graph.degree g 0);
+        check_int "diam" 2 (Metrics.diameter g));
+    test "complete: n(n-1)/2 edges, diameter 1" (fun () ->
+        let g = Gen.complete 7 in
+        check_int "m" 21 (Graph.m g);
+        check_int "diam" 1 (Metrics.diameter g));
+    test "complete_bipartite K_{2,3}" (fun () ->
+        let g = Gen.complete_bipartite 2 3 in
+        check_int "n" 5 (Graph.n g);
+        check_int "m" 6 (Graph.m g);
+        check_int "deg side a" 3 (Graph.degree g 0);
+        check_int "deg side b" 2 (Graph.degree g 4);
+        check_true "bipartite" (Metrics.is_bipartite g));
+    test "grid: w*h nodes, correct edge count" (fun () ->
+        let g = Gen.grid 4 3 in
+        check_int "n" 12 (Graph.n g);
+        check_int "m" ((3 * 3) + (4 * 2)) (Graph.m g);
+        check_int "diam" 5 (Metrics.diameter g));
+    test "torus: degree 4 everywhere, 2wh edges" (fun () ->
+        let g = Gen.torus 4 3 in
+        check_int "n" 12 (Graph.n g);
+        check_int "m" 24 (Graph.m g);
+        check_int "maxdeg" 4 (Graph.max_degree g);
+        check_int "mindeg" 4 (Graph.min_degree g));
+    test "torus rejects dims < 3" (fun () ->
+        check_true "raises" (raises_invalid (fun () -> Gen.torus 2 5)));
+    test "hypercube Q4: 16 nodes, degree 4, diameter 4" (fun () ->
+        let g = Gen.hypercube 4 in
+        check_int "n" 16 (Graph.n g);
+        check_int "m" 32 (Graph.m g);
+        check_int "deg" 4 (Graph.max_degree g);
+        check_int "diam" 4 (Metrics.diameter g));
+    test "binary tree is a tree" (fun () ->
+        let g = Gen.binary_tree 11 in
+        check_true "tree" (Metrics.is_tree g);
+        check_int "root-deg" 2 (Graph.degree g 0));
+    test "wheel: hub degree n-1, rim degree 3" (fun () ->
+        let g = Gen.wheel 8 in
+        check_int "hub" 7 (Graph.degree g 0);
+        check_int "rim" 3 (Graph.degree g 3);
+        check_int "m" 14 (Graph.m g));
+    test "lollipop: clique + path, connected" (fun () ->
+        let g = Gen.lollipop 5 4 in
+        check_int "n" 9 (Graph.n g);
+        check_int "m" (10 + 4) (Graph.m g);
+        check_true "connected" (Graph.is_connected g);
+        check_int "tip degree" 1 (Graph.degree g 8));
+    test "caterpillar: spine with legs" (fun () ->
+        let g = Gen.caterpillar 4 2 in
+        check_int "n" 12 (Graph.n g);
+        check_true "tree" (Metrics.is_tree g));
+    test "random_tree is a spanning tree" (fun () ->
+        for seed = 1 to 10 do
+          let g = Gen.random_tree (rng seed) 20 in
+          check_true "tree" (Metrics.is_tree g)
+        done);
+    test "erdos_renyi always connected, includes a spanning tree" (fun () ->
+        for seed = 1 to 10 do
+          let g = Gen.erdos_renyi (rng seed) 25 0.05 in
+          check_true "connected" (Graph.is_connected g);
+          check_true "enough edges" (Graph.m g >= 24)
+        done);
+    test "erdos_renyi p=1 is complete" (fun () ->
+        let g = Gen.erdos_renyi (rng 1) 8 1.0 in
+        check_int "m" 28 (Graph.m g));
+    test "erdos_renyi p=0 is a tree" (fun () ->
+        let g = Gen.erdos_renyi (rng 1) 8 0.0 in
+        check_true "tree" (Metrics.is_tree g));
+    test "random_connected has exactly m edges and is connected" (fun () ->
+        for seed = 1 to 10 do
+          let g = Gen.random_connected (rng seed) 15 30 in
+          check_int "m" 30 (Graph.m g);
+          check_true "connected" (Graph.is_connected g)
+        done);
+    test "random_connected validates bounds" (fun () ->
+        check_true "too few"
+          (raises_invalid (fun () -> Gen.random_connected (rng 1) 5 3));
+        check_true "too many"
+          (raises_invalid (fun () -> Gen.random_connected (rng 1) 5 11)));
+    test "random_regular_ish: connected, min degree 2" (fun () ->
+        for seed = 1 to 5 do
+          let g = Gen.random_regular_ish (rng seed) 20 4 in
+          check_true "connected" (Graph.is_connected g);
+          check_true "mindeg" (Graph.min_degree g >= 2)
+        done) ]
+
+(* ------------------------------- Metrics ------------------------------ *)
+
+let metrics_tests =
+  [ test "bfs distances on a path" (fun () ->
+        let g = Gen.path 5 in
+        check (Alcotest.array Alcotest.int) "dist" [| 0; 1; 2; 3; 4 |]
+          (Metrics.bfs_distances g 0));
+    test "eccentricity of path endpoints and center" (fun () ->
+        let g = Gen.path 5 in
+        check_int "end" 4 (Metrics.eccentricity g 0);
+        check_int "center" 2 (Metrics.eccentricity g 2));
+    test "radius vs diameter" (fun () ->
+        let g = Gen.path 9 in
+        check_int "diam" 8 (Metrics.diameter g);
+        check_int "radius" 4 (Metrics.radius g));
+    test "average degree of a ring is 2" (fun () ->
+        check (Alcotest.float 0.001) "avg" 2.0
+          (Metrics.average_degree (Gen.ring 11)));
+    test "cyclomatic number" (fun () ->
+        check_int "tree" 0 (Metrics.cyclomatic_number (Gen.path 6));
+        check_int "ring" 1 (Metrics.cyclomatic_number (Gen.ring 6));
+        check_int "K5" 6 (Metrics.cyclomatic_number (Gen.complete 5)));
+    test "girth: ring n has girth n, trees none, cliques 3" (fun () ->
+        check (Alcotest.option Alcotest.int) "ring" (Some 7)
+          (Metrics.girth (Gen.ring 7));
+        check (Alcotest.option Alcotest.int) "tree" None
+          (Metrics.girth (Gen.binary_tree 10));
+        check (Alcotest.option Alcotest.int) "K4" (Some 3)
+          (Metrics.girth (Gen.complete 4));
+        check (Alcotest.option Alcotest.int) "grid" (Some 4)
+          (Metrics.girth (Gen.grid 3 3)));
+    test "bipartite: even ring yes, odd ring no, clique no" (fun () ->
+        check_true "C6" (Metrics.is_bipartite (Gen.ring 6));
+        check_false "C7" (Metrics.is_bipartite (Gen.ring 7));
+        check_false "K3" (Metrics.is_bipartite (Gen.complete 3));
+        check_true "tree" (Metrics.is_bipartite (Gen.binary_tree 9));
+        check_true "grid" (Metrics.is_bipartite (Gen.grid 4 4)));
+    test "degree histogram of a star" (fun () ->
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "hist"
+          [ (1, 5); (5, 1) ]
+          (Metrics.degree_histogram (Gen.star 6)));
+    test "is_tree" (fun () ->
+        check_true "path" (Metrics.is_tree (Gen.path 4));
+        check_false "ring" (Metrics.is_tree (Gen.ring 4)));
+    test "summary mentions the key quantities" (fun () ->
+        let s = Metrics.summary (Gen.ring 6) in
+        check_true "n" (Astring_like.contains s "n=6");
+        check_true "D" (Astring_like.contains s "D=3")) ]
+
+let () =
+  Alcotest.run "graph"
+    [ ("construction", construction_tests);
+      ("generators", generator_tests);
+      ("metrics", metrics_tests) ]

@@ -1,0 +1,214 @@
+open Helpers
+module Graph = Ssreset_graph.Graph
+module Gen = Ssreset_graph.Gen
+module Algorithm = Ssreset_sim.Algorithm
+module Daemon = Ssreset_sim.Daemon
+module Engine = Ssreset_sim.Engine
+module Fault = Ssreset_sim.Fault
+module Matching = Ssreset_matching.Matching
+
+let guard_tests =
+  [ test "γ_init is pointer-free; generator draws from N(u) ∪ {⊥}" (fun () ->
+        let g = Gen.ring 6 in
+        let module M = Matching.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        check_true "init"
+          (Array.for_all (fun s -> s.Matching.ptr = None) (M.gamma_init ()));
+        for seed = 1 to 50 do
+          let u = seed mod 6 in
+          let s = M.gen (rng seed) u in
+          check_int "id" u s.Matching.id;
+          match s.Matching.ptr with
+          | None -> ()
+          | Some p -> check_true "neighbor" (Graph.has_edge g u p)
+        done);
+    test "larger endpoint proposes to the smaller on a free edge" (fun () ->
+        let g = Gen.path 2 in
+        let module M = Matching.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        let cfg = M.gamma_init () in
+        let rule u =
+          Option.map
+            (fun (r : Matching.state Algorithm.rule) -> r.Algorithm.rule_name)
+            (Algorithm.enabled_rule M.bare (Algorithm.view g cfg u))
+        in
+        check (Alcotest.option Alcotest.string) "0 waits" None (rule 0);
+        check (Alcotest.option Alcotest.string) "1 proposes"
+          (Some Matching.rule_propose) (rule 1));
+    test "a proposee accepts its smallest proposer" (fun () ->
+        (* star: leaves 1, 2 propose to hub 0 *)
+        let g = Gen.star 3 in
+        let module M = Matching.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        let cfg =
+          [| { Matching.id = 0; ptr = None };
+             { Matching.id = 1; ptr = Some 0 };
+             { Matching.id = 2; ptr = Some 0 } |]
+        in
+        match Algorithm.enabled_rule M.bare (Algorithm.view g cfg 0) with
+        | Some r ->
+            check Alcotest.string "accept" Matching.rule_accept
+              r.Algorithm.rule_name;
+            let s = r.Algorithm.action (Algorithm.view g cfg 0) in
+            check (Alcotest.option Alcotest.int) "smallest" (Some 1)
+              s.Matching.ptr
+        | None -> Alcotest.fail "hub should accept");
+    test "a process chained to a taken neighbor withdraws" (fun () ->
+        let g = Gen.path 3 in
+        let module M = Matching.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        (* 2 proposed to 1, but 1 is matched with 0 *)
+        let cfg =
+          [| { Matching.id = 0; ptr = Some 1 };
+             { Matching.id = 1; ptr = Some 0 };
+             { Matching.id = 2; ptr = Some 1 } |]
+        in
+        match Algorithm.enabled_rule M.bare (Algorithm.view g cfg 2) with
+        | Some r ->
+            check Alcotest.string "withdraw" Matching.rule_withdraw
+              r.Algorithm.rule_name
+        | None -> Alcotest.fail "process 2 should withdraw");
+    test "matched processes are silent" (fun () ->
+        let g = Gen.path 2 in
+        let module M = Matching.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        let cfg =
+          [| { Matching.id = 0; ptr = Some 1 };
+             { Matching.id = 1; ptr = Some 0 } |]
+        in
+        check_true "terminal" (Algorithm.is_terminal M.bare g cfg));
+    test "upward unreciprocated pointers are locally incorrect" (fun () ->
+        let g = Gen.ring 4 in
+        let module M = Matching.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        (* a pointer cycle 0→1→2→3→0: somewhere a pointer goes upward
+           without reciprocation, so at least one process is incorrect and
+           the composed system repairs the deadlock *)
+        let inner =
+          [| { Matching.id = 0; ptr = Some 1 };
+             { Matching.id = 1; ptr = Some 2 };
+             { Matching.id = 2; ptr = Some 3 };
+             { Matching.id = 3; ptr = Some 0 } |]
+        in
+        (* bare I can only partially repair: processes whose pointer goes
+           upward unreciprocated are locally incorrect and frozen (Req 2c) *)
+        let bare =
+          run ~algorithm:M.bare ~graph:g ~daemon:Daemon.central_random
+            (Array.copy inner)
+        in
+        check_true "bare freezes" (bare.Engine.outcome = Engine.Terminal);
+        check_false "frozen remainder is not maximal"
+          (M.is_maximal_matching (M.matching bare.Engine.final));
+        let r =
+          run ~algorithm:M.Composed.algorithm ~graph:g
+            ~daemon:Daemon.central_random
+            (M.Composed.lift inner)
+        in
+        check_true "repaired" (r.Engine.outcome = Engine.Terminal);
+        check_true "maximal matching"
+          (M.is_maximal_matching (M.matching_of_composed r.Engine.final))) ]
+
+let run_tests =
+  [ test "bare matching from γ_init is maximal on the zoo, all daemons"
+      (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let module M = Matching.Make (struct
+              let graph = g
+              let ids = None
+            end) in
+            List.iter
+              (fun daemon ->
+                for seed = 1 to 2 do
+                  let r =
+                    run ~seed ~algorithm:M.bare ~graph:g ~daemon
+                      (M.gamma_init ())
+                  in
+                  if r.Engine.outcome <> Engine.Terminal then
+                    Alcotest.failf "%s: no termination" name;
+                  if not (M.is_maximal_matching (M.matching r.Engine.final))
+                  then Alcotest.failf "%s: not maximal" name
+                done)
+              (daemons ()))
+          (graph_zoo ()));
+    test "composed matching is silent self-stabilizing on the zoo" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let module M = Matching.Make (struct
+              let graph = g
+              let ids = None
+            end) in
+            let gen = M.Composed.generator ~inner:M.gen ~max_d:(Graph.n g) in
+            List.iter
+              (fun daemon ->
+                let cfg = Fault.arbitrary (rng 11) gen g in
+                let r =
+                  run ~algorithm:M.Composed.algorithm ~graph:g ~daemon cfg
+                in
+                if r.Engine.outcome <> Engine.Terminal then
+                  Alcotest.failf "%s: not silent" name;
+                if
+                  not
+                    (M.is_maximal_matching
+                       (M.matching_of_composed r.Engine.final))
+                then Alcotest.failf "%s: bad output" name)
+              (daemons ()))
+          (graph_zoo ()));
+    test "matching rules are mutually exclusive" (fun () ->
+        let g = Gen.erdos_renyi (rng 3) 10 0.35 in
+        let module M = Matching.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        for seed = 1 to 50 do
+          let cfg = Fault.arbitrary (rng seed) M.gen g in
+          for u = 0 to Graph.n g - 1 do
+            let enabled =
+              Algorithm.exclusive_rules M.bare (Algorithm.view g cfg u)
+            in
+            if List.length enabled > 1 then
+              Alcotest.failf "rules %s enabled together"
+                (String.concat "," enabled)
+          done
+        done);
+    test "on a path the matching leaves at most every third process alone"
+      (fun () ->
+        let g = Gen.path 9 in
+        let module M = Matching.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        let r =
+          run ~algorithm:M.bare ~graph:g ~daemon:Daemon.synchronous
+            (M.gamma_init ())
+        in
+        let pairs = M.matching r.Engine.final in
+        check_true "maximal" (M.is_maximal_matching pairs);
+        (* a maximal matching on P9 has at least 3 edges *)
+        check_true "size" (List.length pairs >= 3));
+    test "is_maximal_matching rejects bad pair lists" (fun () ->
+        let g = Gen.path 4 in
+        let module M = Matching.Make (struct
+          let graph = g
+          let ids = None
+        end) in
+        check_true "good" (M.is_maximal_matching [ (0, 1); (2, 3) ]);
+        check_false "overlapping" (M.is_maximal_matching [ (0, 1); (1, 2) ]);
+        check_false "not maximal" (M.is_maximal_matching [ (0, 1) ]);
+        check_false "non-edge" (M.is_maximal_matching [ (0, 3) ])) ]
+
+let () =
+  Alcotest.run "matching"
+    [ ("guards", guard_tests); ("runs", run_tests) ]

@@ -1,0 +1,173 @@
+open Helpers
+module Graph = Ssreset_graph.Graph
+module Gen = Ssreset_graph.Gen
+module Algorithm = Ssreset_sim.Algorithm
+module Sdr = Ssreset_core.Sdr
+module Requirements = Ssreset_core.Requirements
+module Spec = Ssreset_alliance.Spec
+
+(* The four shipped input algorithms must satisfy the SDR requirements
+   (§3.5); a deliberately broken input must be caught.  This validates both
+   the inputs and the checker itself. *)
+
+let graphs () =
+  [ Gen.ring 8; Gen.star 7; Gen.erdos_renyi (rng 41) 10 0.35; Gen.path 6 ]
+
+let no_violations name violations =
+  if violations <> [] then
+    Alcotest.failf "%s: %s" name
+      (String.concat "; "
+         (List.map (Fmt.str "%a" Requirements.pp_violation) violations))
+
+let unison_test =
+  test "unison input satisfies requirements 2a-2e" (fun () ->
+      let module U = Ssreset_unison.Unison.Make (struct
+        let k = 12
+      end) in
+      no_violations "unison"
+        (Requirements.check
+           (module U.Input)
+           ~gen:U.clock_gen ~graphs:(graphs ()) ~seed:1 ~trials:20))
+
+let fga_test =
+  test "FGA input satisfies requirements 2a-2e (all named specs)" (fun () ->
+      List.iter
+        (fun g ->
+          List.iter
+            (fun spec ->
+              if Spec.feasible spec g then begin
+                let module F = Ssreset_alliance.Fga.Make (struct
+                  let graph = g
+                  let spec = spec
+                  let ids = None
+                end) in
+                no_violations
+                  ("fga-" ^ spec.Spec.spec_name)
+                  (Requirements.check
+                     (module F.Input)
+                     ~gen:F.gen ~graphs:[ g ] ~seed:2 ~trials:15)
+              end)
+            [ Spec.dominating_set; Spec.global_offensive;
+              Spec.global_defensive; Spec.global_powerful ])
+        (graphs ()))
+
+let coloring_test =
+  test "coloring input satisfies requirements 2a-2e" (fun () ->
+      List.iter
+        (fun g ->
+          let module C = Ssreset_coloring.Coloring.Make (struct
+            let graph = g
+            let ids = None
+          end) in
+          no_violations "coloring"
+            (Requirements.check
+               (module C.Input)
+               ~gen:C.gen ~graphs:[ g ] ~seed:3 ~trials:20))
+        (graphs ()))
+
+let mis_test =
+  test "MIS input satisfies requirements 2a-2e" (fun () ->
+      List.iter
+        (fun g ->
+          let module M = Ssreset_mis.Mis.Make (struct
+            let graph = g
+            let ids = None
+          end) in
+          no_violations "mis"
+            (Requirements.check
+               (module M.Input)
+               ~gen:M.gen ~graphs:[ g ] ~seed:4 ~trials:20))
+        (graphs ()))
+
+let matching_test =
+  test "matching input satisfies requirements 2a-2e" (fun () ->
+      List.iter
+        (fun g ->
+          let module M = Ssreset_matching.Matching.Make (struct
+            let graph = g
+            let ids = None
+          end) in
+          no_violations "matching"
+            (Requirements.check
+               (module M.Input)
+               ~gen:M.gen ~graphs:[ g ] ~seed:7 ~trials:20))
+        (graphs ()))
+
+(* A broken input: reset does not reach a P_reset state (violates 2e), a
+   rule fires on incorrect views (violates 2c), and P_ICorrect is not
+   closed (violates 2a). *)
+module Broken : Sdr.INPUT with type state = int = struct
+  type state = int
+
+  let name = "broken"
+  let equal = Int.equal
+  let pp = Fmt.int
+
+  (* "correct" = even clock; incrementing by 1 flips parity, so a correct
+     process becomes incorrect by its own move: not closed. *)
+  let p_icorrect (v : int Algorithm.view) = v.Algorithm.state mod 2 = 0
+  let p_reset c = c = 0
+  let reset _ = 1 (* 2e violated: P_reset (reset s) is false *)
+
+  let rules =
+    [ { Algorithm.rule_name = "bump";
+        guard = (fun _ -> true) (* 2c violated: fires when incorrect *);
+        action = (fun v -> v.Algorithm.state + 1) } ]
+end
+
+let broken_test =
+  test "the checker flags a broken input on every violated requirement"
+    (fun () ->
+      let violations =
+        Requirements.check
+          (module Broken)
+          ~gen:(fun rng _ -> Random.State.int rng 6)
+          ~graphs:[ Gen.ring 6 ]
+          ~seed:5 ~trials:10
+      in
+      let has r =
+        List.exists
+          (fun v -> String.equal v.Requirements.requirement r)
+          violations
+      in
+      check_true "2e flagged" (has "2e");
+      check_true "2c flagged" (has "2c");
+      check_true "2a flagged" (has "2a"))
+
+(* An input violating only 2d: an all-reset neighborhood that is not
+   locally correct. *)
+module Broken2d : Sdr.INPUT with type state = int = struct
+  type state = int
+
+  let name = "broken-2d"
+  let equal = Int.equal
+  let pp = Fmt.int
+  let p_icorrect (v : int Algorithm.view) = v.Algorithm.state > 0
+  let p_reset c = c = 0
+  let reset _ = 0
+  let rules = []
+end
+
+let broken_2d_test =
+  test "the checker isolates a requirement-2d violation" (fun () ->
+      let violations =
+        Requirements.check
+          (module Broken2d)
+          ~gen:(fun rng _ -> Random.State.int rng 4)
+          ~graphs:[ Gen.path 4 ]
+          ~seed:6 ~trials:5
+      in
+      check_true "2d flagged"
+        (List.exists
+           (fun v -> String.equal v.Requirements.requirement "2d")
+           violations);
+      check_false "2e not flagged"
+        (List.exists
+           (fun v -> String.equal v.Requirements.requirement "2e")
+           violations))
+
+let () =
+  Alcotest.run "requirements"
+    [ ("shipped inputs",
+       [ unison_test; fga_test; coloring_test; mis_test; matching_test ]);
+      ("checker sensitivity", [ broken_test; broken_2d_test ]) ]
