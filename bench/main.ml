@@ -1,14 +1,21 @@
 (* Benchmark harness.
 
-   Usage: main.exe [--quick] [--no-timing] [EXPERIMENT-ID ...]
+   Usage: main.exe [--quick] [--no-timing] [--out FILE] [EXPERIMENT-ID ...]
 
    Without ids, regenerates every experiment table of the paper reproduction
-   (E1..E13, see DESIGN.md and EXPERIMENTS.md) followed by the Bechamel
+   (E1..E16, see DESIGN.md and EXPERIMENTS.md) followed by the Bechamel
    wall-clock suite (B1).  Exit status is non-zero if any table reports a
-   violated bound. *)
+   violated bound.
+
+   Besides the text tables, the harness always writes a machine-readable
+   results file (default BENCH_results.json): per-experiment wall-clock,
+   pass/fail, the tables themselves, and the margin of every proved bound
+   (measured / bound, extracted from "bound …" column pairs and from
+   pre-computed ratio columns such as "max/(D·n²)"). *)
 
 module Expt = Ssreset_expt
 module Table = Ssreset_expt.Table
+module Json = Ssreset_obs.Json
 
 let available =
   [ "E1-E3"; "E4-E5"; "E6"; "E7"; "E8"; "E9-E10"; "E11"; "E12"; "E13"; "E14"; "E15"; "E16" ]
@@ -16,27 +23,32 @@ let available =
 let parse_args () =
   let quick = ref false in
   let timing = ref true in
+  let out = ref "BENCH_results.json" in
   let ids = ref [] in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--quick" -> quick := true
-        | "--full" -> quick := false
-        | "--no-timing" -> timing := false
-        | "--help" | "-h" ->
-            Printf.printf
-              "usage: %s [--quick] [--no-timing] [EXPERIMENT-ID ...]\n\
-               experiments: %s\n"
-              Sys.argv.(0)
-              (String.concat " " available);
-            exit 0
-        | id when List.mem id available -> ids := id :: !ids
-        | other ->
-            Printf.eprintf "unknown argument %S (try --help)\n" other;
-            exit 2)
-    Sys.argv;
-  (!quick, !timing, List.rev !ids)
+  let i = ref 1 in
+  let argc = Array.length Sys.argv in
+  while !i < argc do
+    (match Sys.argv.(!i) with
+    | "--quick" -> quick := true
+    | "--full" -> quick := false
+    | "--no-timing" -> timing := false
+    | "--out" when !i + 1 < argc ->
+        incr i;
+        out := Sys.argv.(!i)
+    | "--help" | "-h" ->
+        Printf.printf
+          "usage: %s [--quick] [--no-timing] [--out FILE] [EXPERIMENT-ID ...]\n\
+           experiments: %s\n"
+          Sys.argv.(0)
+          (String.concat " " available);
+        exit 0
+    | id when List.mem id available -> ids := id :: !ids
+    | other ->
+        Printf.eprintf "unknown argument %S (try --help)\n" other;
+        exit 2);
+    incr i
+  done;
+  (!quick, !timing, !out, List.rev !ids)
 
 (* A table passes when its last column is all "ok". *)
 let table_ok table =
@@ -45,24 +57,99 @@ let table_ok table =
   | Some "ok" -> Table.all_ok table ~col:(cols - 1)
   | _ -> true
 
+(* ------------------------------------------------------------------ *)
+(* Bound margins.                                                      *)
+(*                                                                     *)
+(* Two shapes of bound reporting appear in the tables:                 *)
+(*   …; "max rounds"; "bound 3n"; …   — a measured column followed by  *)
+(*       its bound column: margin = measured / bound, per row;         *)
+(*   …; "max/(D·n²)"; …               — a pre-computed ratio column.   *)
+(* Either way we record the worst (largest) ratio over the rows; a     *)
+(* margin ≤ 1 means the proved bound held with room to spare.          *)
+(* ------------------------------------------------------------------ *)
+
+let is_bound_header h = String.length h > 6 && String.sub h 0 6 = "bound "
+let is_ratio_header h =
+  (* e.g. "max/(D·n²)", "max/(Δ·n·m)", "tail/ours" *)
+  String.contains h '/'
+
+let cell_float row i =
+  match List.nth_opt row i with
+  | Some cell -> float_of_string_opt cell
+  | None -> None
+
+let margins_of_table (t : Table.t) =
+  let headers = Array.of_list t.Table.headers in
+  let worst f =
+    List.fold_left
+      (fun acc row -> match f row with
+        | Some r when not (Float.is_nan r) -> Float.max acc r
+        | _ -> acc)
+      neg_infinity t.Table.rows
+  in
+  let margins = ref [] in
+  Array.iteri
+    (fun i h ->
+      if is_bound_header h && i > 0 then begin
+        let ratio row =
+          match (cell_float row (i - 1), cell_float row i) with
+          | Some measured, Some bound when bound > 0. ->
+              Some (measured /. bound)
+          | _ -> None
+        in
+        let r = worst ratio in
+        if r > neg_infinity then
+          margins :=
+            Json.Obj
+              [ ("measured", Json.String headers.(i - 1));
+                ("bound", Json.String h);
+                ("max_ratio", Json.Float r) ]
+            :: !margins
+      end
+      else if is_ratio_header h then begin
+        let r = worst (fun row -> cell_float row i) in
+        if r > neg_infinity then
+          margins :=
+            Json.Obj
+              [ ("ratio", Json.String h); ("max_ratio", Json.Float r) ]
+            :: !margins
+      end)
+    headers;
+  List.rev !margins
+
 let run_experiments ~profile ~ids =
   let failures = ref 0 in
+  let records = ref [] in
   let wanted (id, _) = ids = [] || List.mem id ids in
-  let selected = List.filter wanted (Expt.Experiments.all profile) in
+  let selected = List.filter wanted (Expt.Experiments.all_lazy profile) in
   List.iter
-    (fun (id, tables) ->
+    (fun (id, force_tables) ->
       Printf.printf "== %s ==\n%!" id;
+      let t0 = Unix.gettimeofday () in
+      let tables = force_tables () in
+      let ok = ref true in
       List.iter
         (fun table ->
           Table.print table;
           if not (table_ok table) then begin
             incr failures;
+            ok := false;
             Printf.printf "  *** BOUND VIOLATED in this table ***\n"
           end;
           print_newline ())
-        tables)
+        tables;
+      let wall_s = Unix.gettimeofday () -. t0 in
+      records :=
+        Json.Obj
+          [ ("id", Json.String id);
+            ("ok", Json.Bool !ok);
+            ("wall_s", Json.Float wall_s);
+            ("margins",
+             Json.List (List.concat_map margins_of_table tables));
+            ("tables", Json.List (List.map Table.to_json tables)) ]
+        :: !records)
     selected;
-  !failures
+  (!failures, List.rev !records)
 
 (* ------------------------------------------------------------------ *)
 (* B1: Bechamel wall-clock suite.                                       *)
@@ -140,6 +227,7 @@ let run_bechamel ~quick =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
+  let results = ref [] in
   List.iter
     (fun test ->
       List.iter
@@ -151,12 +239,18 @@ let run_bechamel ~quick =
             | Some (e :: _) -> e
             | _ -> nan
           in
-          Printf.printf "  %-36s %14.0f ns/run\n%!" (Test.Elt.name elt) ns)
+          Printf.printf "  %-36s %14.0f ns/run\n%!" (Test.Elt.name elt) ns;
+          results :=
+            Json.Obj
+              [ ("name", Json.String (Test.Elt.name elt));
+                ("ns_per_run", Json.Float ns) ]
+            :: !results)
         (Test.elements test))
-    (bechamel_tests ~quick)
+    (bechamel_tests ~quick);
+  List.rev !results
 
 let () =
-  let quick, timing, ids = parse_args () in
+  let quick, timing, out, ids = parse_args () in
   let profile =
     if quick then Expt.Experiments.quick else Expt.Experiments.full
   in
@@ -164,10 +258,28 @@ let () =
     "Self-Stabilizing Distributed Cooperative Reset — experiment harness (%s \
      profile)\n\n%!"
     (if quick then "quick" else "full");
-  let failures = run_experiments ~profile ~ids in
-  if timing && ids = [] then run_bechamel ~quick;
+  let t0 = Unix.gettimeofday () in
+  let failures, experiments = run_experiments ~profile ~ids in
+  let timings =
+    if timing && ids = [] then run_bechamel ~quick else []
+  in
+  let results =
+    Json.Obj
+      [ ("schema", Json.Int Ssreset_obs.Sink.schema_version);
+        ("profile", Json.String (if quick then "quick" else "full"));
+        ("git", Json.String (Ssreset_obs.Sink.git_describe ()));
+        ("failures", Json.Int failures);
+        ("wall_s", Json.Float (Unix.gettimeofday () -. t0));
+        ("experiments", Json.List experiments);
+        ("timing", Json.List timings) ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string_hum results);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nresults written to %s\n" out;
   if failures > 0 then begin
-    Printf.printf "\n%d table(s) with violated bounds\n" failures;
+    Printf.printf "%d table(s) with violated bounds\n" failures;
     exit 1
   end
-  else Printf.printf "\nall experiment tables pass\n"
+  else Printf.printf "all experiment tables pass\n"

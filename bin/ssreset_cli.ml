@@ -2,7 +2,9 @@
 
    Subcommands run one system on one network under one daemon and print the
    stabilization statistics; `experiments` regenerates the full table suite
-   (same as bench/main.exe). *)
+   (same as bench/main.exe).  Every run subcommand accepts `--json` (emit
+   the observation as a JSON object on stdout) and `--trace-out FILE`
+   (stream a JSONL run trace: manifest, per-round snapshots, summary). *)
 
 open Cmdliner
 
@@ -10,10 +12,13 @@ module Graph = Ssreset_graph.Graph
 module Gen = Ssreset_graph.Gen
 module Metrics = Ssreset_graph.Metrics
 module Engine = Ssreset_sim.Engine
+module Daemon = Ssreset_sim.Daemon
 module Fault = Ssreset_sim.Fault
 module Spec = Ssreset_alliance.Spec
 module Runner = Ssreset_expt.Runner
 module Workload = Ssreset_expt.Workload
+module Json = Ssreset_obs.Json
+module Sink = Ssreset_obs.Sink
 
 (* ---------------------------- common options ---------------------------- *)
 
@@ -56,12 +61,12 @@ let seed =
   Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
 let daemon_name =
+  (* The daemon list in this doc string derives from the one registry, so it
+     cannot drift from what `daemon_by_name` accepts. *)
   Arg.(
     value & opt string "distributed-random"
     & info [ "d"; "daemon" ] ~docv:"DAEMON"
-        ~doc:"Daemon: synchronous, central-random, central-first, \
-              central-last, round-robin, distributed-random, \
-              locally-central, adversarial, starve.")
+        ~doc:(Printf.sprintf "Daemon: %s." (String.concat ", " (Daemon.names ()))))
 
 let spec_conv =
   let parse s =
@@ -93,70 +98,187 @@ let spec =
         ~doc:"Alliance instance: dominating-set, global-offensive, \
               global-defensive, global-powerful, or F,G constants.")
 
-let report name (obs : Runner.obs) =
-  Fmt.pr "%s@." name;
-  Fmt.pr "  outcome ok:        %b@." obs.Runner.outcome_ok;
-  Fmt.pr "  result ok:         %b@." obs.Runner.result_ok;
-  Fmt.pr "  rounds:            %d@." obs.Runner.rounds;
-  Fmt.pr "  steps:             %d@." obs.Runner.steps;
-  Fmt.pr "  moves:             %d@." obs.Runner.moves;
-  if obs.Runner.sdr_moves > 0 || obs.Runner.segments > 1 then begin
-    Fmt.pr "  SDR moves:         %d@." obs.Runner.sdr_moves;
-    Fmt.pr "  max SDR moves/proc:%d@." obs.Runner.max_proc_sdr_moves;
-    Fmt.pr "  segments:          %d@." obs.Runner.segments
+(* ------------------------- telemetry output opts ------------------------ *)
+
+type output = { json : bool; trace_out : string option }
+
+let output_term =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the observation as a single JSON object on stdout instead \
+             of the text report.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSONL run trace to $(docv): one manifest record, one \
+             record per completed round, one final summary record.")
+  in
+  Term.(const (fun json trace_out -> { json; trace_out }) $ json $ trace_out)
+
+let report ~json name (obs : Runner.obs) =
+  if json then print_endline (Json.to_string (Runner.obs_json obs))
+  else begin
+    Fmt.pr "%s@." name;
+    Fmt.pr "  outcome ok:        %b@." obs.Runner.outcome_ok;
+    Fmt.pr "  result ok:         %b@." obs.Runner.result_ok;
+    Fmt.pr "  rounds:            %d@." obs.Runner.rounds;
+    Fmt.pr "  steps:             %d@." obs.Runner.steps;
+    Fmt.pr "  moves:             %d@." obs.Runner.moves;
+    Fmt.pr "  wall clock:        %.3fs (%.0f steps/s)@." obs.Runner.wall_s
+      (if obs.Runner.wall_s > 0. then
+         float_of_int obs.Runner.steps /. obs.Runner.wall_s
+       else 0.);
+    (match obs.Runner.segments with
+    | Some segments ->
+        Fmt.pr "  SDR moves:         %d@." obs.Runner.sdr_moves;
+        Fmt.pr "  max SDR moves/proc:%d@." obs.Runner.max_proc_sdr_moves;
+        Fmt.pr "  segments:          %d@." segments
+    | None ->
+        (* bare run: segments / alive roots are not measured *)
+        Fmt.pr "  segments:          -@.")
   end;
   if obs.Runner.outcome_ok && obs.Runner.result_ok then 0 else 1
 
-let build family n seed =
+let build ~quiet family n seed =
   let g = family.Workload.build ~seed ~n in
-  Fmt.pr "network: %s (%s)@." (Metrics.summary g) family.Workload.family_name;
+  if not quiet then
+    Fmt.pr "network: %s (%s)@." (Metrics.summary g) family.Workload.family_name;
   g
+
+(* Run one measured system: builds the graph, opens the trace sink if
+   requested, writes the manifest, delegates to the runner (which streams
+   rounds + summary), and reports. *)
+let measured ~output ~system ~title ~family ~n ~seed ~daemon_name
+    (run : sink:Sink.t option -> graph:Graph.t -> daemon:Daemon.t -> Runner.obs) =
+  try
+    let graph = build ~quiet:output.json family n seed in
+    let daemon = Runner.daemon_by_name daemon_name in
+    let obs =
+      match output.trace_out with
+      | None -> run ~sink:None ~graph ~daemon
+      | Some path ->
+          let sink = Sink.create path in
+          Sink.write sink
+            (Sink.manifest ~system ~family:family.Workload.family_name
+               ~n:(Graph.n graph) ~m:(Graph.m graph) ~seed
+               ~daemon:daemon.Daemon.daemon_name ());
+          Fun.protect
+            ~finally:(fun () -> Sink.close sink)
+            (fun () -> run ~sink:(Some sink) ~graph ~daemon)
+    in
+    report ~json:output.json title obs
+  with
+  | Invalid_argument msg | Sys_error msg ->
+      (* unknown daemon, unwritable --trace-out path, … *)
+      Fmt.epr "ssreset: %s@." msg;
+      2
+
+(* ------------------------------- systems -------------------------------- *)
+
+(* Each system: CLI name, doc, and a runner closure.  The `run` subcommand
+   dispatches on the name; the per-system subcommands reuse the same
+   closures. *)
+let unison_run ~seed = fun ~sink ~graph ~daemon ->
+  Runner.unison_composed ?sink ~graph ~daemon ~seed ()
+
+let systems ~spec ~seed =
+  [ ("unison",
+     "U∘SDR from an arbitrary configuration (stop at first normal)",
+     unison_run ~seed);
+    ("tail-unison",
+     "tail-unison baseline from an arbitrary configuration",
+     fun ~sink ~graph ~daemon ->
+       Runner.tail_unison ?sink ~graph ~daemon ~seed ());
+    ("min-unison",
+     "min-unison baseline (K = n²+1) from an arbitrary configuration",
+     fun ~sink ~graph ~daemon ->
+       Runner.min_unison ?sink ~graph ~daemon ~seed ());
+    ("agr-unison",
+     "U∘AGR (mono-initiator reset baseline; needs a weakly fair daemon)",
+     fun ~sink ~graph ~daemon ->
+       Runner.unison_agr ?sink ~graph ~daemon ~seed ());
+    ("alliance",
+     Printf.sprintf "FGA(%s)∘SDR from an arbitrary configuration"
+       spec.Spec.spec_name,
+     fun ~sink ~graph ~daemon ->
+       Runner.fga_composed ?sink ~spec ~graph ~daemon ~seed ());
+    ("alliance-bare",
+     Printf.sprintf "FGA(%s) from γ_init (non self-stabilizing run)"
+       spec.Spec.spec_name,
+     fun ~sink ~graph ~daemon ->
+       Runner.fga_bare ?sink ~spec ~graph ~daemon ~seed ());
+    ("coloring",
+     "coloring∘SDR from an arbitrary configuration",
+     fun ~sink ~graph ~daemon ->
+       Runner.coloring_composed ?sink ~graph ~daemon ~seed ());
+    ("mis",
+     "MIS∘SDR from an arbitrary configuration",
+     fun ~sink ~graph ~daemon ->
+       Runner.mis_composed ?sink ~graph ~daemon ~seed ());
+    ("matching",
+     "matching∘SDR from an arbitrary configuration",
+     fun ~sink ~graph ~daemon ->
+       Runner.matching_composed ?sink ~graph ~daemon ~seed ()) ]
+
+let run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec =
+  match List.find_opt (fun (name, _, _) -> name = system) (systems ~spec ~seed) with
+  | None ->
+      Fmt.epr "unknown system %S (one of: %s)@." system
+        (String.concat ", "
+           (List.map (fun (name, _, _) -> name) (systems ~spec ~seed)));
+      2
+  | Some (_, title, run) ->
+      if
+        (system = "alliance" || system = "alliance-bare")
+        && not (Spec.feasible spec (family.Workload.build ~seed ~n))
+      then begin
+        Fmt.epr "spec %s infeasible on this network@." spec.Spec.spec_name;
+        2
+      end
+      else measured ~output ~system ~title ~family ~n ~seed ~daemon_name run
 
 (* ------------------------------ subcommands ----------------------------- *)
 
-let unison_cmd =
-  let run family n seed daemon_name =
-    let graph = build family n seed in
-    let daemon = Runner.daemon_by_name daemon_name in
-    report "U∘SDR from an arbitrary configuration (stop at first normal)"
-      (Runner.unison_composed ~graph ~daemon ~seed ())
+let system_cmd name ~doc cli_system =
+  let run family n seed daemon_name spec output =
+    run_system ~output ~system:cli_system ~family ~n ~seed ~daemon_name ~spec
   in
-  Cmd.v
-    (Cmd.info "unison"
-       ~doc:"Self-stabilizing unison (U∘SDR) from an arbitrary configuration.")
-    Term.(const run $ family $ size $ seed $ daemon_name)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const run $ family $ size $ seed $ daemon_name $ spec $ output_term)
+
+let unison_cmd =
+  system_cmd "unison"
+    ~doc:"Self-stabilizing unison (U∘SDR) from an arbitrary configuration."
+    "unison"
 
 let tail_cmd =
-  let run family n seed daemon_name =
-    let graph = build family n seed in
-    let daemon = Runner.daemon_by_name daemon_name in
-    report "tail-unison baseline from an arbitrary configuration"
-      (Runner.tail_unison ~graph ~daemon ~seed ())
-  in
-  Cmd.v
-    (Cmd.info "tail-unison" ~doc:"Baseline unison with reset tails ([11]).")
-    Term.(const run $ family $ size $ seed $ daemon_name)
+  system_cmd "tail-unison"
+    ~doc:"Baseline unison with reset tails ([11])." "tail-unison"
+
+let min_cmd =
+  system_cmd "min-unison"
+    ~doc:"Couvreur-style baseline unison with K = n²+1 ([20])." "min-unison"
+
+let agr_unison_cmd =
+  system_cmd "agr-unison"
+    ~doc:
+      "Unison over the mono-initiator Arora-Gouda-style reset baseline. \
+       Livelocks under unfair daemons such as central-first — that is \
+       the point of experiment E15."
+    "agr-unison"
 
 let alliance_cmd =
-  let run family n seed daemon_name spec bare =
-    let graph = build family n seed in
-    if not (Spec.feasible spec graph) then begin
-      Fmt.epr "spec %s infeasible on this network@." spec.Spec.spec_name;
-      2
-    end
-    else begin
-      let daemon = Runner.daemon_by_name daemon_name in
-      if bare then
-        report
-          (Printf.sprintf "FGA(%s) from γ_init (non self-stabilizing run)"
-             spec.Spec.spec_name)
-          (Runner.fga_bare ~spec ~graph ~daemon ~seed ())
-      else
-        report
-          (Printf.sprintf "FGA(%s)∘SDR from an arbitrary configuration"
-             spec.Spec.spec_name)
-          (Runner.fga_composed ~spec ~graph ~daemon ~seed ())
-    end
+  let run family n seed daemon_name spec bare output =
+    let system = if bare then "alliance-bare" else "alliance" in
+    run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec
   in
   let bare =
     Arg.(value & flag & info [ "bare" ] ~doc:"Run FGA alone from γ_init.")
@@ -164,56 +286,45 @@ let alliance_cmd =
   Cmd.v
     (Cmd.info "alliance"
        ~doc:"Silent self-stabilizing 1-minimal (f,g)-alliance (FGA∘SDR).")
-    Term.(const run $ family $ size $ seed $ daemon_name $ spec $ bare)
-
-let agr_unison_cmd =
-  let run family n seed daemon_name =
-    let graph = build family n seed in
-    let daemon = Runner.daemon_by_name daemon_name in
-    report
-      "U∘AGR (mono-initiator reset baseline; needs a weakly fair daemon)"
-      (Runner.unison_agr ~graph ~daemon ~seed ())
-  in
-  Cmd.v
-    (Cmd.info "agr-unison"
-       ~doc:
-         "Unison over the mono-initiator Arora-Gouda-style reset baseline. \
-          Livelocks under unfair daemons such as central-first — that is \
-          the point of experiment E15.")
-    Term.(const run $ family $ size $ seed $ daemon_name)
+    Term.(
+      const run $ family $ size $ seed $ daemon_name $ spec $ bare
+      $ output_term)
 
 let matching_cmd =
-  let run family n seed daemon_name =
-    let graph = build family n seed in
-    let daemon = Runner.daemon_by_name daemon_name in
-    report "matching∘SDR from an arbitrary configuration"
-      (Runner.matching_composed ~graph ~daemon ~seed ())
-  in
-  Cmd.v
-    (Cmd.info "matching" ~doc:"Silent self-stabilizing maximal matching.")
-    Term.(const run $ family $ size $ seed $ daemon_name)
+  system_cmd "matching" ~doc:"Silent self-stabilizing maximal matching."
+    "matching"
 
 let coloring_cmd =
-  let run family n seed daemon_name =
-    let graph = build family n seed in
-    let daemon = Runner.daemon_by_name daemon_name in
-    report "coloring∘SDR from an arbitrary configuration"
-      (Runner.coloring_composed ~graph ~daemon ~seed ())
-  in
-  Cmd.v
-    (Cmd.info "coloring" ~doc:"Silent self-stabilizing (Δ+1)-coloring.")
-    Term.(const run $ family $ size $ seed $ daemon_name)
+  system_cmd "coloring" ~doc:"Silent self-stabilizing (Δ+1)-coloring."
+    "coloring"
 
 let mis_cmd =
-  let run family n seed daemon_name =
-    let graph = build family n seed in
-    let daemon = Runner.daemon_by_name daemon_name in
-    report "MIS∘SDR from an arbitrary configuration"
-      (Runner.mis_composed ~graph ~daemon ~seed ())
+  system_cmd "mis" ~doc:"Silent self-stabilizing maximal independent set."
+    "mis"
+
+let run_cmd =
+  let run system family n seed daemon_name spec output =
+    run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec
+  in
+  let system =
+    Arg.(
+      value
+      & pos 0 string "unison"
+      & info [] ~docv:"SYSTEM"
+          ~doc:
+            "System to run: unison, tail-unison, min-unison, agr-unison, \
+             alliance, alliance-bare, coloring, mis, matching (default \
+             unison).")
   in
   Cmd.v
-    (Cmd.info "mis" ~doc:"Silent self-stabilizing maximal independent set.")
-    Term.(const run $ family $ size $ seed $ daemon_name)
+    (Cmd.info "run"
+       ~doc:
+         "Run one system on one network under one daemon — the generic \
+          front door for scripted/telemetry use; combine with --json and \
+          --trace-out.")
+    Term.(
+      const run $ system $ family $ size $ seed $ daemon_name $ spec
+      $ output_term)
 
 let graph_cmd =
   let run family n seed dot =
@@ -239,7 +350,7 @@ let graph_cmd =
     Term.(const run $ family $ size $ seed $ dot)
 
 let experiments_cmd =
-  let run quick ids =
+  let run quick ids csv json =
     let profile =
       if quick then Ssreset_expt.Experiments.quick
       else Ssreset_expt.Experiments.full
@@ -248,23 +359,36 @@ let experiments_cmd =
     List.iter
       (fun (id, tables) ->
         if ids = [] || List.mem id ids then begin
-          Fmt.pr "== %s ==@." id;
+          if not (csv || json) then Fmt.pr "== %s ==@." id;
           List.iter
             (fun t ->
-              Ssreset_expt.Table.print t;
-              print_newline ())
+              if json then
+                print_endline (Json.to_string (Ssreset_expt.Table.to_json t))
+              else if csv then print_string (Ssreset_expt.Table.to_csv t)
+              else begin
+                Ssreset_expt.Table.print t;
+                print_newline ()
+              end)
             tables
         end)
       (Ssreset_expt.Experiments.all profile);
     !failures
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Small sweep.") in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit tables as CSV (data only).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit tables as JSON objects, one per line.")
+  in
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the experiment tables.")
-    Term.(const run $ quick $ ids)
+    Term.(const run $ quick $ ids $ csv $ json)
 
 let () =
   let doc =
@@ -275,5 +399,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ unison_cmd; tail_cmd; agr_unison_cmd; alliance_cmd; coloring_cmd;
-            mis_cmd; matching_cmd; graph_cmd; experiments_cmd ]))
+          [ run_cmd; unison_cmd; tail_cmd; min_cmd; agr_unison_cmd;
+            alliance_cmd; coloring_cmd; mis_cmd; matching_cmd; graph_cmd;
+            experiments_cmd ]))

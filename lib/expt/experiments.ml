@@ -48,8 +48,9 @@ let add agg (o : Runner.obs) =
   agg.max_moves <- max agg.max_moves o.Runner.moves;
   agg.sum_moves <- agg.sum_moves + o.Runner.moves;
   agg.max_proc_sdr <- max agg.max_proc_sdr o.Runner.max_proc_sdr_moves;
-  agg.max_segments <- max agg.max_segments o.Runner.segments;
-  agg.ar_ok <- agg.ar_ok && o.Runner.ar_monotone
+  agg.max_segments <-
+    max agg.max_segments (Option.value ~default:0 o.Runner.segments);
+  agg.ar_ok <- agg.ar_ok && Option.value ~default:true o.Runner.ar_monotone
 
 (* Run [run] for every daemon of the pool and [seeds] seeds; the seed also
    perturbs the graph for randomized families. *)
@@ -775,16 +776,19 @@ let e16 profile =
          of its O(D·n³ + α·n²) move complexity" ]
     (unison_rows @ tail_rows)
 
+let all_lazy profile =
+  [ ("E1-E3", fun () -> e1_e2_e3 profile);
+    ("E4-E5", fun () -> e4_e5 profile);
+    ("E6", fun () -> [ e6 profile ]);
+    ("E7", fun () -> [ e7 profile ]);
+    ("E8", fun () -> [ e8 profile ]);
+    ("E9-E10", fun () -> e9_e10 profile);
+    ("E11", fun () -> [ e11 profile ]);
+    ("E12", fun () -> [ e12 () ]);
+    ("E13", fun () -> [ e13 profile ]);
+    ("E14", fun () -> [ e14 profile ]);
+    ("E15", fun () -> [ e15 profile ]);
+    ("E16", fun () -> [ e16 profile ]) ]
+
 let all profile =
-  [ ("E1-E3", e1_e2_e3 profile);
-    ("E4-E5", e4_e5 profile);
-    ("E6", [ e6 profile ]);
-    ("E7", [ e7 profile ]);
-    ("E8", [ e8 profile ]);
-    ("E9-E10", e9_e10 profile);
-    ("E11", [ e11 profile ]);
-    ("E12", [ e12 () ]);
-    ("E13", [ e13 profile ]);
-    ("E14", [ e14 profile ]);
-    ("E15", [ e15 profile ]);
-    ("E16", [ e16 profile ]) ]
+  List.map (fun (id, tables) -> (id, tables ())) (all_lazy profile)

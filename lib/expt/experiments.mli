@@ -76,3 +76,8 @@ val e16 : profile -> Table.t
 
 val all : profile -> (string * Table.t list) list
 (** Every experiment, in order, tagged with its id. *)
+
+val all_lazy : profile -> (string * (unit -> Table.t list)) list
+(** Like {!all} but each experiment's tables are computed only when forced —
+    the bench harness uses this so filtered runs skip unrequested
+    experiments entirely and per-experiment wall-clock can be measured. *)

@@ -4,6 +4,10 @@ module Engine = Ssreset_sim.Engine
 module Fault = Ssreset_sim.Fault
 module Graph = Ssreset_graph.Graph
 module Sdr = Ssreset_core.Sdr
+module Json = Ssreset_obs.Json
+module Metrics = Ssreset_obs.Metrics
+module Obs = Ssreset_obs.Obs
+module Sink = Ssreset_obs.Sink
 
 type obs = {
   outcome_ok : bool;
@@ -14,8 +18,9 @@ type obs = {
   sdr_moves : int;
   max_proc_moves : int;
   max_proc_sdr_moves : int;
-  segments : int;
-  ar_monotone : bool;
+  segments : int option;
+  ar_monotone : bool option;
+  wall_s : float;
 }
 
 let max_int_array = Array.fold_left max 0
@@ -23,25 +28,119 @@ let max_int_array = Array.fold_left max 0
 let is_sdr_rule name =
   String.length name >= 4 && String.equal (String.sub name 0 4) "SDR-"
 
-(* Observers shared by all composed runs: per-process SDR move counts,
-   segment counting, and the subset check of Remark 4 (alive-root sets only
-   shrink). *)
+let outcome_string = function
+  | Engine.Stabilized -> "stabilized"
+  | Engine.Terminal -> "terminal"
+  | Engine.Step_limit -> "step-limit"
+
+let obs_json o =
+  Json.Obj
+    [ ("outcome_ok", Json.Bool o.outcome_ok);
+      ("result_ok", Json.Bool o.result_ok);
+      ("rounds", Json.Int o.rounds);
+      ("moves", Json.Int o.moves);
+      ("steps", Json.Int o.steps);
+      ("sdr_moves", Json.Int o.sdr_moves);
+      ("max_proc_moves", Json.Int o.max_proc_moves);
+      ("max_proc_sdr_moves", Json.Int o.max_proc_sdr_moves);
+      ("segments",
+       match o.segments with Some s -> Json.Int s | None -> Json.Null);
+      ("ar_monotone",
+       match o.ar_monotone with Some b -> Json.Bool b | None -> Json.Null);
+      ("wall_s", Json.Float o.wall_s);
+      ("steps_per_s",
+       Json.Float
+         (if o.wall_s > 0. then float_of_int o.steps /. o.wall_s else 0.)) ]
+
+(* --------------------------- telemetry plumbing ------------------------- *)
+
+(* When a sink is attached, a run carries a metrics registry fed by the
+   engine's [on_step]/[on_round] hooks and emits one JSONL record per round
+   plus a final summary.  Without a sink all of this is skipped, so the
+   sweeps and benchmarks pay nothing. *)
+type 'state telemetry = {
+  on_step : (step:int -> enabled:int -> selected:int -> unit) option;
+  on_round : (round:int -> steps:int -> moves:int -> 'state array -> unit) option;
+  emit_summary : obs -> 'state Engine.result -> unit;
+}
+
+let no_telemetry =
+  { on_step = None; on_round = None; emit_summary = (fun _ _ -> ()) }
+
+let telemetry ?sink ~round_extra () =
+  match sink with
+  | None -> no_telemetry
+  | Some sink ->
+      let metrics = Metrics.create () in
+      let buckets = Metrics.pow2_buckets ~limit:4096. in
+      let h_enabled = Metrics.histogram metrics "enabled_set_size" ~buckets in
+      let h_selected = Metrics.histogram metrics "selected_set_size" ~buckets in
+      let h_round = Metrics.histogram metrics "steps_per_round" ~buckets in
+      let last_round_steps = ref 0 in
+      let on_step ~step:_ ~enabled ~selected =
+        Metrics.observe h_enabled (float_of_int enabled);
+        Metrics.observe h_selected (float_of_int selected)
+      in
+      let on_round ~round ~steps ~moves cfg =
+        Metrics.observe h_round (float_of_int (steps - !last_round_steps));
+        last_round_steps := steps;
+        Sink.write sink
+          (Sink.round_record ~round ~steps ~moves ~extra:(round_extra cfg) ())
+      in
+      let emit_summary (o : obs) (result : _ Engine.result) =
+        List.iter
+          (fun (rule, count) ->
+            Metrics.add (Metrics.counter metrics ("moves." ^ rule)) count)
+          result.Engine.moves_per_rule;
+        Metrics.set (Metrics.gauge metrics "wall_s") o.wall_s;
+        Metrics.set (Metrics.gauge metrics "steps_per_s")
+          (if o.wall_s > 0. then float_of_int o.steps /. o.wall_s else 0.);
+        (match o.segments with
+        | Some s -> Metrics.set (Metrics.gauge metrics "segments") (float_of_int s)
+        | None -> ());
+        Sink.write sink
+          (Sink.summary ~outcome:(outcome_string result.Engine.outcome)
+             ~rounds:o.rounds ~steps:o.steps ~moves:o.moves ~wall_s:o.wall_s
+             ~extra:
+               [ ("outcome_ok", Json.Bool o.outcome_ok);
+                 ("result_ok", Json.Bool o.result_ok);
+                 ("sdr_moves", Json.Int o.sdr_moves);
+                 ("max_proc_moves", Json.Int o.max_proc_moves);
+                 ("max_proc_sdr_moves", Json.Int o.max_proc_sdr_moves);
+                 ("segments",
+                  match o.segments with
+                  | Some s -> Json.Int s
+                  | None -> Json.Null);
+                 ("ar_monotone",
+                  match o.ar_monotone with
+                  | Some b -> Json.Bool b
+                  | None -> Json.Null);
+                 ("moves_per_rule",
+                  Json.Obj
+                    (List.map
+                       (fun (rule, count) -> (rule, Json.Int count))
+                       result.Engine.moves_per_rule));
+                 ("metrics", Metrics.to_json metrics) ]
+             ())
+      in
+      { on_step = Some on_step; on_round = Some on_round; emit_summary }
+
+let no_round_extra _ = []
+
+(* Observers shared by all composed runs, as a stack of reusable probes:
+   per-process SDR move counts, segment counting, and the subset check of
+   Remark 4 (alive-root sets only shrink). *)
 let composed_observers (type s) (module C : Sdr.S with type inner = s) graph
     cfg0 =
-  let per_proc_sdr = Array.make (Graph.n graph) 0 in
+  let per_proc_sdr, sdr_probe =
+    Obs.per_process_moves ~n:(Graph.n graph) ~matches:is_sdr_rule ()
+  in
   let segments = C.Segments.create graph cfg0 in
-  let last_roots = ref (C.alive_roots graph cfg0) in
-  let monotone = ref true in
-  let observer ~step ~moved cfg =
-    List.iter
-      (fun (u, name) ->
-        if is_sdr_rule name then per_proc_sdr.(u) <- per_proc_sdr.(u) + 1)
-      moved;
-    C.Segments.observer segments ~step ~moved cfg;
-    let roots = C.alive_roots graph cfg in
-    if not (List.for_all (fun u -> List.mem u !last_roots) roots) then
-      monotone := false;
-    last_roots := roots
+  let monotone, root_probe =
+    Obs.shrinking ~measure:(C.alive_roots graph) ~init:(C.alive_roots graph cfg0)
+  in
+  let observer =
+    Obs.combine [ sdr_probe; C.Segments.observer segments; root_probe ]
   in
   let finish (result : _ Engine.result) ~outcome_ok ~result_ok =
     { outcome_ok;
@@ -53,11 +152,18 @@ let composed_observers (type s) (module C : Sdr.S with type inner = s) graph
         Engine.moves_of_rules result.Engine.moves_per_rule ~prefixes:[ "SDR-" ];
       max_proc_moves = max_int_array result.Engine.moves_per_process;
       max_proc_sdr_moves = max_int_array per_proc_sdr;
-      segments = C.Segments.count segments;
-      ar_monotone = !monotone }
+      segments = Some (C.Segments.count segments);
+      ar_monotone = Some !monotone;
+      wall_s = result.Engine.wall_s }
   in
-  (observer, finish)
+  let round_extra cfg =
+    [ ("alive_roots", Json.Int (C.count_alive_roots graph cfg));
+      ("segments", Json.Int (C.Segments.count segments)) ]
+  in
+  (observer, finish, round_extra)
 
+(* Bare (non-composed) runs measure neither segments nor alive-root
+   monotonicity — those fields are [None], not fabricated values. *)
 let bare_obs (result : _ Engine.result) ~outcome_ok ~result_ok =
   { outcome_ok;
     result_ok;
@@ -67,12 +173,13 @@ let bare_obs (result : _ Engine.result) ~outcome_ok ~result_ok =
     sdr_moves = 0;
     max_proc_moves = max_int_array result.Engine.moves_per_process;
     max_proc_sdr_moves = 0;
-    segments = 1;
-    ar_monotone = true }
+    segments = None;
+    ar_monotone = None;
+    wall_s = result.Engine.wall_s }
 
 let rngs seed = (Random.State.make [| seed; 17 |], Random.State.make [| seed; 91 |])
 
-let unison_composed ?(max_steps = 20_000_000) ~graph ~daemon ~seed () =
+let unison_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module U = Ssreset_unison.Unison.Make (struct
     let k = (2 * n) + 2
@@ -80,33 +187,39 @@ let unison_composed ?(max_steps = 20_000_000) ~graph ~daemon ~seed () =
   let cfg_rng, run_rng = rngs seed in
   let gen = U.Composed.generator ~inner:U.clock_gen ~max_d:(2 * n) in
   let cfg = Fault.arbitrary cfg_rng gen graph in
-  let observer, finish =
+  let observer, finish, round_extra =
     composed_observers (module U.Composed) graph cfg
   in
+  let tele = telemetry ?sink ~round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ~observer
+    Engine.run ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+      ?on_round:tele.on_round
       ~stop:(U.Composed.is_normal graph)
       ~algorithm:U.Composed.algorithm ~graph ~daemon cfg
   in
   let stabilized = result.Engine.outcome = Engine.Stabilized in
-  finish result ~outcome_ok:stabilized
-    ~result_ok:(stabilized && U.Composed.is_normal graph result.Engine.final)
+  let o =
+    finish result ~outcome_ok:stabilized
+      ~result_ok:(stabilized && U.Composed.is_normal graph result.Engine.final)
+  in
+  tele.emit_summary o result;
+  o
 
-let unison_bare ~steps ~graph ~daemon ~seed () =
+let unison_bare ?sink ~steps ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module U = Ssreset_unison.Unison.Make (struct
     let k = (2 * n) + 2
   end) in
   let _, run_rng = rngs seed in
   let monitor = Ssreset_unison.Checker.create_monitor ~k:U.k graph in
-  let counter = ref 0 in
   let observer ~step ~moved cfg =
-    incr counter;
     Ssreset_unison.Checker.observe_bare monitor ~step ~moved cfg
   in
+  let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps:steps ~observer
-      ~algorithm:U.bare ~graph ~daemon (U.gamma_init graph)
+    Engine.run ~rng:run_rng ~max_steps:steps ~observer ?on_step:tele.on_step
+      ?on_round:tele.on_round ~algorithm:U.bare ~graph ~daemon
+      (U.gamma_init graph)
   in
   (* U never terminates from γ_init (Lemma 18), so exhausting the step
      budget is the expected outcome here. *)
@@ -115,9 +228,11 @@ let unison_bare ~steps ~graph ~daemon ~seed () =
     Ssreset_unison.Checker.safety_violations monitor = 0
     && Ssreset_unison.Checker.min_increments monitor > 0
   in
-  bare_obs result ~outcome_ok ~result_ok
+  let o = bare_obs result ~outcome_ok ~result_ok in
+  tele.emit_summary o result;
+  o
 
-let tail_unison ?(max_steps = 50_000_000) ~graph ~daemon ~seed () =
+let tail_unison ?(max_steps = 50_000_000) ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module T = Ssreset_unison.Tail_unison.Make (struct
     let k = (2 * n) + 2
@@ -125,16 +240,22 @@ let tail_unison ?(max_steps = 50_000_000) ~graph ~daemon ~seed () =
   end) in
   let cfg_rng, run_rng = rngs seed in
   let cfg = Fault.arbitrary cfg_rng T.clock_gen graph in
+  let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps
+    Engine.run ~rng:run_rng ~max_steps ?on_step:tele.on_step
+      ?on_round:tele.on_round
       ~stop:(T.is_legitimate graph)
       ~algorithm:T.algorithm ~graph ~daemon cfg
   in
   let stabilized = result.Engine.outcome = Engine.Stabilized in
-  bare_obs result ~outcome_ok:stabilized
-    ~result_ok:(stabilized && T.is_legitimate graph result.Engine.final)
+  let o =
+    bare_obs result ~outcome_ok:stabilized
+      ~result_ok:(stabilized && T.is_legitimate graph result.Engine.final)
+  in
+  tele.emit_summary o result;
+  o
 
-let unison_agr ?(max_steps = 2_000_000) ~graph ~daemon ~seed () =
+let unison_agr ?(max_steps = 2_000_000) ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module U = Ssreset_unison.Unison.Make (struct
     let k = (2 * n) + 2
@@ -150,46 +271,59 @@ let unison_agr ?(max_steps = 2_000_000) ~graph ~daemon ~seed () =
   let cfg_rng, run_rng = rngs seed in
   let gen = A.generator ~inner:U.clock_gen in
   let cfg = Fault.arbitrary cfg_rng gen graph in
+  let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps
+    Engine.run ~rng:run_rng ~max_steps ?on_step:tele.on_step
+      ?on_round:tele.on_round
       ~stop:(A.is_normal graph)
       ~algorithm:A.algorithm ~graph ~daemon cfg
   in
   let stabilized = result.Engine.outcome = Engine.Stabilized in
-  bare_obs result ~outcome_ok:stabilized
-    ~result_ok:(stabilized && A.is_normal graph result.Engine.final)
+  let o =
+    bare_obs result ~outcome_ok:stabilized
+      ~result_ok:(stabilized && A.is_normal graph result.Engine.final)
+  in
+  tele.emit_summary o result;
+  o
 
-let min_unison ?(max_steps = 50_000_000) ~graph ~daemon ~seed () =
+let min_unison ?(max_steps = 50_000_000) ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module M = Ssreset_unison.Min_unison.Make (struct
     let k = (n * n) + 1
   end) in
   let cfg_rng, run_rng = rngs seed in
   let cfg = Fault.arbitrary cfg_rng M.clock_gen graph in
+  let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps
+    Engine.run ~rng:run_rng ~max_steps ?on_step:tele.on_step
+      ?on_round:tele.on_round
       ~stop:(M.is_legitimate graph)
       ~algorithm:M.algorithm ~graph ~daemon cfg
   in
   let stabilized = result.Engine.outcome = Engine.Stabilized in
-  bare_obs result ~outcome_ok:stabilized
-    ~result_ok:(stabilized && M.is_legitimate graph result.Engine.final)
+  let o =
+    bare_obs result ~outcome_ok:stabilized
+      ~result_ok:(stabilized && M.is_legitimate graph result.Engine.final)
+  in
+  tele.emit_summary o result;
+  o
 
 let lemma25_bound graph u =
   let deg = Graph.degree graph u in
   let delta = Graph.max_degree graph in
   (8 * deg * delta) + (18 * deg) + 24
 
-let fga_bare ?(max_steps = 20_000_000) ~spec ~graph ~daemon ~seed () =
+let fga_bare ?(max_steps = 20_000_000) ?sink ~spec ~graph ~daemon ~seed () =
   let module F = Ssreset_alliance.Fga.Make (struct
     let graph = graph
     let spec = spec
     let ids = None
   end) in
   let _, run_rng = rngs seed in
+  let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ~algorithm:F.bare ~graph ~daemon
-      (F.gamma_init ())
+    Engine.run ~rng:run_rng ~max_steps ?on_step:tele.on_step
+      ?on_round:tele.on_round ~algorithm:F.bare ~graph ~daemon (F.gamma_init ())
   in
   let terminal = result.Engine.outcome = Engine.Terminal in
   let moves_ok =
@@ -197,14 +331,18 @@ let fga_bare ?(max_steps = 20_000_000) ~spec ~graph ~daemon ~seed () =
       (fun u -> result.Engine.moves_per_process.(u) <= lemma25_bound graph u)
       (Array.init (Graph.n graph) (fun u -> u))
   in
-  bare_obs result ~outcome_ok:terminal
-    ~result_ok:
-      (terminal && moves_ok
-      && Ssreset_alliance.Checker.is_one_minimal graph spec
-           (F.alliance result.Engine.final))
+  let o =
+    bare_obs result ~outcome_ok:terminal
+      ~result_ok:
+        (terminal && moves_ok
+        && Ssreset_alliance.Checker.is_one_minimal graph spec
+             (F.alliance result.Engine.final))
+  in
+  tele.emit_summary o result;
+  o
 
-let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false) ~spec
-    ~graph ~daemon ~seed () =
+let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false) ?sink
+    ~spec ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module F = Ssreset_alliance.Fga.Make (struct
     let graph = graph
@@ -214,27 +352,35 @@ let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false) ~spec
   let cfg_rng, run_rng = rngs seed in
   let gen = F.Composed.generator ~inner:F.gen ~max_d:(2 * n) in
   let cfg = Fault.arbitrary cfg_rng gen graph in
-  let observer, finish = composed_observers (module F.Composed) graph cfg in
+  let observer, finish, round_extra =
+    composed_observers (module F.Composed) graph cfg
+  in
+  let tele = telemetry ?sink ~round_extra () in
   let stop =
     if stop_at_normal then F.Composed.is_normal graph else fun _ -> false
   in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ~observer ~stop
-      ~algorithm:F.Composed.algorithm ~graph ~daemon cfg
+    Engine.run ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+      ?on_round:tele.on_round ~stop ~algorithm:F.Composed.algorithm ~graph
+      ~daemon cfg
   in
-  if stop_at_normal then
-    let stabilized = result.Engine.outcome = Engine.Stabilized in
-    finish result ~outcome_ok:stabilized
-      ~result_ok:(stabilized && F.Composed.is_normal graph result.Engine.final)
-  else
-    let terminal = result.Engine.outcome = Engine.Terminal in
-    finish result ~outcome_ok:terminal
-      ~result_ok:
-        (terminal
-        && Ssreset_alliance.Checker.is_one_minimal graph spec
-             (F.alliance_of_composed result.Engine.final))
+  let o =
+    if stop_at_normal then
+      let stabilized = result.Engine.outcome = Engine.Stabilized in
+      finish result ~outcome_ok:stabilized
+        ~result_ok:(stabilized && F.Composed.is_normal graph result.Engine.final)
+    else
+      let terminal = result.Engine.outcome = Engine.Terminal in
+      finish result ~outcome_ok:terminal
+        ~result_ok:
+          (terminal
+          && Ssreset_alliance.Checker.is_one_minimal graph spec
+               (F.alliance_of_composed result.Engine.final))
+  in
+  tele.emit_summary o result;
+  o
 
-let coloring_composed ?(max_steps = 20_000_000) ~graph ~daemon ~seed () =
+let coloring_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module C = Ssreset_coloring.Coloring.Make (struct
     let graph = graph
@@ -243,18 +389,25 @@ let coloring_composed ?(max_steps = 20_000_000) ~graph ~daemon ~seed () =
   let cfg_rng, run_rng = rngs seed in
   let gen = C.Composed.generator ~inner:C.gen ~max_d:(2 * n) in
   let cfg = Fault.arbitrary cfg_rng gen graph in
-  let observer, finish = composed_observers (module C.Composed) graph cfg in
+  let observer, finish, round_extra =
+    composed_observers (module C.Composed) graph cfg
+  in
+  let tele = telemetry ?sink ~round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ~observer
-      ~algorithm:C.Composed.algorithm ~graph ~daemon cfg
+    Engine.run ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+      ?on_round:tele.on_round ~algorithm:C.Composed.algorithm ~graph ~daemon
+      cfg
   in
   let terminal = result.Engine.outcome = Engine.Terminal in
-  finish result ~outcome_ok:terminal
-    ~result_ok:
-      (terminal
-      && C.is_proper (C.coloring_of_composed result.Engine.final))
+  let o =
+    finish result ~outcome_ok:terminal
+      ~result_ok:
+        (terminal && C.is_proper (C.coloring_of_composed result.Engine.final))
+  in
+  tele.emit_summary o result;
+  o
 
-let mis_composed ?(max_steps = 20_000_000) ~graph ~daemon ~seed () =
+let mis_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module M = Ssreset_mis.Mis.Make (struct
     let graph = graph
@@ -263,18 +416,26 @@ let mis_composed ?(max_steps = 20_000_000) ~graph ~daemon ~seed () =
   let cfg_rng, run_rng = rngs seed in
   let gen = M.Composed.generator ~inner:M.gen ~max_d:(2 * n) in
   let cfg = Fault.arbitrary cfg_rng gen graph in
-  let observer, finish = composed_observers (module M.Composed) graph cfg in
+  let observer, finish, round_extra =
+    composed_observers (module M.Composed) graph cfg
+  in
+  let tele = telemetry ?sink ~round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ~observer
-      ~algorithm:M.Composed.algorithm ~graph ~daemon cfg
+    Engine.run ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+      ?on_round:tele.on_round ~algorithm:M.Composed.algorithm ~graph ~daemon
+      cfg
   in
   let terminal = result.Engine.outcome = Engine.Terminal in
-  finish result ~outcome_ok:terminal
-    ~result_ok:
-      (terminal
-      && M.is_mis (M.independent_set_of_composed result.Engine.final))
+  let o =
+    finish result ~outcome_ok:terminal
+      ~result_ok:
+        (terminal
+        && M.is_mis (M.independent_set_of_composed result.Engine.final))
+  in
+  tele.emit_summary o result;
+  o
 
-let matching_composed ?(max_steps = 20_000_000) ~graph ~daemon ~seed () =
+let matching_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module M = Ssreset_matching.Matching.Make (struct
     let graph = graph
@@ -283,37 +444,38 @@ let matching_composed ?(max_steps = 20_000_000) ~graph ~daemon ~seed () =
   let cfg_rng, run_rng = rngs seed in
   let gen = M.Composed.generator ~inner:M.gen ~max_d:(2 * n) in
   let cfg = Fault.arbitrary cfg_rng gen graph in
-  let observer, finish = composed_observers (module M.Composed) graph cfg in
+  let observer, finish, round_extra =
+    composed_observers (module M.Composed) graph cfg
+  in
+  let tele = telemetry ?sink ~round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ~observer
-      ~algorithm:M.Composed.algorithm ~graph ~daemon cfg
+    Engine.run ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+      ?on_round:tele.on_round ~algorithm:M.Composed.algorithm ~graph ~daemon
+      cfg
   in
   let terminal = result.Engine.outcome = Engine.Terminal in
-  finish result ~outcome_ok:terminal
-    ~result_ok:
-      (terminal
-      && M.is_maximal_matching (M.matching_of_composed result.Engine.final))
+  let o =
+    finish result ~outcome_ok:terminal
+      ~result_ok:
+        (terminal
+        && M.is_maximal_matching (M.matching_of_composed result.Engine.final))
+  in
+  tele.emit_summary o result;
+  o
 
-let daemon_by_name = function
-  | "synchronous" -> Daemon.synchronous
-  | "central-random" -> Daemon.central_random
-  | "central-first" -> Daemon.central_first
-  | "central-last" -> Daemon.central_last
-  | "round-robin" -> Daemon.round_robin ()
-  | "distributed-random" -> Daemon.distributed_random 0.5
-  | "locally-central" -> Daemon.locally_central_random
-  | "adversarial" ->
-      Daemon.adversarial_rule
-        ~prefer:[ "U-inc"; "FGA-Clr"; "FGA-P1"; "FGA-P2"; "FGA-Q" ]
-  | "starve" -> Daemon.starve 0
-  | name -> invalid_arg ("unknown daemon: " ^ name)
+(* The name → daemon table lives in {!Ssreset_sim.Daemon.registry}; every
+   consumer (this lookup, the sweep pool, the CLI doc string) derives from
+   it, so the lists cannot drift. *)
+let daemon_by_name name =
+  match Daemon.by_name name with
+  | Some d -> d
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown daemon: %s (one of: %s)" name
+           (String.concat ", " (Daemon.names ())))
 
 let experiment_daemons () =
-  [ Daemon.synchronous;
-    Daemon.central_random;
-    Daemon.distributed_random 0.3;
-    Daemon.distributed_random 0.8;
-    Daemon.locally_central_random;
-    Daemon.round_robin ();
-    Daemon.adversarial_rule
-      ~prefer:[ "U-inc"; "FGA-Clr"; "FGA-P1"; "FGA-P2"; "FGA-Q" ] ]
+  List.map daemon_by_name
+    [ "synchronous"; "central-random" ]
+  @ [ Daemon.distributed_random 0.3; Daemon.distributed_random 0.8 ]
+  @ List.map daemon_by_name [ "locally-central"; "round-robin"; "adversarial" ]

@@ -1,6 +1,13 @@
 (** One-shot measured runs of every system, with the observers needed by
     the experiments (per-process SDR move counts, segment counting,
-    alive-root monotonicity). *)
+    alive-root monotonicity) and optional JSONL telemetry.
+
+    Every runner accepts [?sink]: when given, the run streams one
+    {!Ssreset_obs.Sink.round_record} per completed round and a final
+    {!Ssreset_obs.Sink.summary} (with per-rule move counters and a
+    {!Ssreset_obs.Metrics} snapshot) into it.  The caller writes the
+    manifest — it knows the graph family and CLI context; the runner does
+    not.  Without a sink no telemetry code runs at all. *)
 
 type obs = {
   outcome_ok : bool;
@@ -15,13 +22,20 @@ type obs = {
   sdr_moves : int;  (** moves of SDR rules only (0 for bare runs) *)
   max_proc_moves : int;
   max_proc_sdr_moves : int;  (** per-process maximum of SDR moves *)
-  segments : int;  (** 1 for bare runs *)
-  ar_monotone : bool;
-      (** alive-root sets only ever shrink (Remark 4); true for bare runs *)
+  segments : int option;  (** [None] for bare runs, where it is not measured *)
+  ar_monotone : bool option;
+      (** alive-root sets only ever shrink (Remark 4); [None] for bare runs,
+          where there are no alive roots to watch *)
+  wall_s : float;  (** wall-clock seconds of the engine run *)
 }
+
+val obs_json : obs -> Ssreset_obs.Json.t
+(** Machine-readable rendering of an observation (unmeasured fields are
+    [null]); includes a derived [steps_per_s]. *)
 
 val unison_composed :
   ?max_steps:int ->
+  ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->
@@ -31,6 +45,7 @@ val unison_composed :
     first normal configuration. *)
 
 val unison_bare :
+  ?sink:Ssreset_obs.Sink.t ->
   steps:int ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
@@ -43,6 +58,7 @@ val unison_bare :
 
 val tail_unison :
   ?max_steps:int ->
+  ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->
@@ -53,6 +69,7 @@ val tail_unison :
 
 val unison_agr :
   ?max_steps:int ->
+  ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->
@@ -66,6 +83,7 @@ val unison_agr :
 
 val min_unison :
   ?max_steps:int ->
+  ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->
@@ -76,6 +94,7 @@ val min_unison :
 
 val fga_bare :
   ?max_steps:int ->
+  ?sink:Ssreset_obs.Sink.t ->
   spec:Ssreset_alliance.Spec.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
@@ -88,6 +107,7 @@ val fga_bare :
 val fga_composed :
   ?max_steps:int ->
   ?stop_at_normal:bool ->
+  ?sink:Ssreset_obs.Sink.t ->
   spec:Ssreset_alliance.Spec.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
@@ -99,6 +119,7 @@ val fga_composed :
 
 val coloring_composed :
   ?max_steps:int ->
+  ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->
@@ -107,6 +128,7 @@ val coloring_composed :
 
 val mis_composed :
   ?max_steps:int ->
+  ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->
@@ -115,6 +137,7 @@ val mis_composed :
 
 val matching_composed :
   ?max_steps:int ->
+  ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->
@@ -122,12 +145,12 @@ val matching_composed :
   obs
 
 val daemon_by_name : string -> Ssreset_sim.Daemon.t
-(** Fresh daemon from one of the standard names (["synchronous"],
-    ["central-random"], ["distributed-random"], ["locally-central"],
-    ["round-robin"], ["adversarial"], …).
-    @raise Invalid_argument on unknown names. *)
+(** Fresh daemon from {!Ssreset_sim.Daemon.registry} — the single
+    name → daemon table shared with the CLI.
+    @raise Invalid_argument on unknown names, listing the valid ones. *)
 
 val experiment_daemons : unit -> Ssreset_sim.Daemon.t list
 (** The pool used by the sweeps: synchronous, central-random,
     distributed-random (0.3 and 0.8), locally-central, round-robin and an
-    adversarial-rule daemon preferring input moves over resets. *)
+    adversarial-rule daemon preferring input moves over resets.  Named
+    entries come from {!Ssreset_sim.Daemon.registry}. *)

@@ -49,6 +49,44 @@ let render t =
   Buffer.contents buf
 
 let print t = print_string (render t)
+
+let csv_cell cell =
+  if
+    String.exists
+      (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r')
+      cell
+  then begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else cell
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let add_row row =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell row));
+    Buffer.add_char buf '\n'
+  in
+  add_row t.headers;
+  List.iter add_row t.rows;
+  Buffer.contents buf
+
+let to_json t =
+  let module Json = Ssreset_obs.Json in
+  let strings l = Json.List (List.map (fun s -> Json.String s) l) in
+  Json.Obj
+    [ ("title", Json.String t.title);
+      ("headers", strings t.headers);
+      ("rows", Json.List (List.map strings t.rows));
+      ("notes", strings t.notes) ]
+
 let cell_int = string_of_int
 let cell_float f = Printf.sprintf "%.2f" f
 let cell_bool b = if b then "ok" else "FAIL"

@@ -17,6 +17,15 @@ val render : t -> string
 val print : t -> unit
 (** [render] to stdout. *)
 
+val to_csv : t -> string
+(** RFC 4180-style CSV: header line then data rows; cells containing commas,
+    quotes or newlines are quoted, quotes doubled.  Title and notes are not
+    part of the data and are omitted. *)
+
+val to_json : t -> Ssreset_obs.Json.t
+(** [{"title": ..., "headers": [...], "rows": [[...]], "notes": [...]}] —
+    cells stay strings, exactly as rendered. *)
+
 val cell_int : int -> string
 val cell_float : float -> string
 val cell_bool : bool -> string

@@ -1,0 +1,70 @@
+(** JSONL sinks and the run-trace record schema.
+
+    A trace is a sequence of JSON objects, one per line:
+
+    - exactly one {e manifest} record first ([{"type": "manifest", ...}]),
+      identifying the run: schema version, system, graph family, [n], [m],
+      seed, daemon, and the source revision;
+    - one {e round} record per completed round ([{"type": "round", ...}])
+      with cumulative step/move counts plus system-specific extras (alive
+      roots, segments);
+    - exactly one {e summary} record last ([{"type": "summary", ...}]) with
+      the final outcome, totals, wall-clock seconds, throughput, per-rule
+      move counts and a {!Metrics} snapshot.
+
+    Writers flush on every record so a crashed or truncated run still leaves
+    a readable prefix. *)
+
+type t
+
+val create : string -> t
+(** Opens (truncates) [path] for writing. *)
+
+val of_channel : out_channel -> t
+(** Writes to an existing channel; {!close} flushes but does not close it. *)
+
+val write : t -> Json.t -> unit
+(** One record, one line, flushed. *)
+
+val close : t -> unit
+
+(** {2 Record builders} *)
+
+val schema_version : int
+
+val manifest :
+  ?extra:(string * Json.t) list ->
+  system:string ->
+  family:string ->
+  n:int ->
+  m:int ->
+  seed:int ->
+  daemon:string ->
+  unit ->
+  Json.t
+(** The [git] field records [git describe --always --dirty] when available,
+    ["unknown"] otherwise. *)
+
+val round_record :
+  ?extra:(string * Json.t) list ->
+  round:int ->
+  steps:int ->
+  moves:int ->
+  unit ->
+  Json.t
+(** [steps] and [moves] are cumulative at the moment the round completed. *)
+
+val summary :
+  ?extra:(string * Json.t) list ->
+  outcome:string ->
+  rounds:int ->
+  steps:int ->
+  moves:int ->
+  wall_s:float ->
+  unit ->
+  Json.t
+(** Includes a derived [steps_per_s] field (0 when [wall_s] is 0). *)
+
+val git_describe : unit -> string
+(** Best-effort [git describe --always --dirty]; ["unknown"] when git or the
+    repository is unavailable (e.g. inside a build sandbox). *)

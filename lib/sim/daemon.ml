@@ -157,3 +157,21 @@ let all_standard () =
     locally_central_random;
     starve 0;
   ]
+
+let standard_prefer = [ "U-inc"; "FGA-Clr"; "FGA-P1"; "FGA-P2"; "FGA-Q" ]
+
+let registry () =
+  [
+    ("synchronous", synchronous);
+    ("central-random", central_random);
+    ("central-first", central_first);
+    ("central-last", central_last);
+    ("round-robin", round_robin ());
+    ("distributed-random", distributed_random 0.5);
+    ("locally-central", locally_central_random);
+    ("adversarial", adversarial_rule ~prefer:standard_prefer);
+    ("starve", starve 0);
+  ]
+
+let names () = List.map fst (registry ())
+let by_name name = List.assoc_opt name (registry ())

@@ -65,3 +65,19 @@ val all_standard : unit -> t list
 (** A representative daemon zoo used by tests and experiments: synchronous,
     central (first/last/random/round-robin), distributed-random at several
     densities, locally-central, and starvation. *)
+
+val standard_prefer : string list
+(** Default rule-name priorities for the stress [adversarial_rule] daemon:
+    input-algorithm moves over resets. *)
+
+val registry : unit -> (string * t) list
+(** The single name → daemon table: every user-facing surface (CLI [--daemon],
+    {!Ssreset_expt.Runner.daemon_by_name}, experiment sweeps, docs) derives
+    from this list, so names cannot drift.  Fresh daemons on every call
+    (round-robin carries a cursor). *)
+
+val names : unit -> string list
+(** [List.map fst (registry ())]. *)
+
+val by_name : string -> t option
+(** Lookup in {!registry}; [None] for unknown names. *)

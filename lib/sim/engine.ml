@@ -10,6 +10,7 @@ type 'state result = {
   moves_per_process : int array;
   moves_per_rule : (string * int) list;
   rounds : int;
+  wall_s : float;
 }
 
 (* Enabled rule of every process, or None.  This is the hot path: it is
@@ -19,7 +20,7 @@ let enabled_table algo g cfg =
   Array.init (Graph.n g) (fun u ->
       Algorithm.enabled_rule algo (Algorithm.view g cfg u))
 
-let step ?rng ~algorithm ~graph ~daemon ~step_index cfg =
+let step ?rng ?on_enabled ~algorithm ~graph ~daemon ~step_index cfg =
   let rng = match rng with Some r -> r | None -> Random.State.make [| 0 |] in
   let table = enabled_table algorithm graph cfg in
   let enabled = ref [] in
@@ -29,6 +30,7 @@ let step ?rng ~algorithm ~graph ~daemon ~step_index cfg =
   match !enabled with
   | [] -> None
   | enabled ->
+      (match on_enabled with Some f -> f enabled | None -> ());
       let ctx =
         {
           Daemon.step = step_index;
@@ -56,9 +58,10 @@ let step ?rng ~algorithm ~graph ~daemon ~step_index cfg =
       in
       Some (next, moved)
 
-let run ?rng ?(max_steps = 10_000_000) ?observer ?(stop = fun _ -> false)
-    ~algorithm ~graph ~daemon cfg0 =
+let run ?rng ?(max_steps = 10_000_000) ?observer ?on_step ?on_round
+    ?(stop = fun _ -> false) ~algorithm ~graph ~daemon cfg0 =
   let rng = match rng with Some r -> r | None -> Random.State.make [| 0 |] in
+  let t0 = Unix.gettimeofday () in
   let n = Graph.n graph in
   let moves_per_process = Array.make n 0 in
   let moves_per_rule = Hashtbl.create 8 in
@@ -89,7 +92,15 @@ let run ?rng ?(max_steps = 10_000_000) ?observer ?(stop = fun _ -> false)
        raise Exit
      end;
      while !steps < max_steps do
-       match step ~rng ~algorithm ~graph ~daemon ~step_index:!steps !cfg with
+       let enabled_count = ref 0 in
+       let on_enabled =
+         match on_step with
+         | None -> None
+         | Some _ -> Some (fun l -> enabled_count := List.length l)
+       in
+       match
+         step ~rng ?on_enabled ~algorithm ~graph ~daemon ~step_index:!steps !cfg
+       with
        | None ->
            outcome := Terminal;
            raise Exit
@@ -110,15 +121,28 @@ let run ?rng ?(max_steps = 10_000_000) ?observer ?(stop = fun _ -> false)
                if not (Algorithm.is_enabled algorithm (Algorithm.view graph next u))
                then Hashtbl.remove pending u)
              (Hashtbl.copy pending);
-           if Hashtbl.length pending = 0 then begin
-             incr completed_rounds;
-             steps_in_round := 0;
-             refill_pending next
-           end;
            cfg := next;
            (match observer with
            | Some f -> f ~step:(!steps - 1) ~moved next
            | None -> ());
+           (match on_step with
+           | Some f ->
+               f ~step:(!steps - 1) ~enabled:!enabled_count
+                 ~selected:(List.length moved)
+           | None -> ());
+           (* Round completion is reported after the observer so that any
+              probes accumulated by the observer are up to date when the
+              [on_round] snapshot fires. *)
+           if Hashtbl.length pending = 0 then begin
+             incr completed_rounds;
+             steps_in_round := 0;
+             (match on_round with
+             | Some f ->
+                 f ~round:!completed_rounds ~steps:!steps ~moves:!total_moves
+                   next
+             | None -> ());
+             refill_pending next
+           end;
            if stop next then begin
              outcome := Stabilized;
              raise Exit
@@ -138,6 +162,7 @@ let run ?rng ?(max_steps = 10_000_000) ?observer ?(stop = fun _ -> false)
     moves_per_process;
     moves_per_rule;
     rounds;
+    wall_s = Unix.gettimeofday () -. t0;
   }
 
 let moves_of_rules per_rule ~prefixes =

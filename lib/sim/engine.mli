@@ -23,12 +23,15 @@ type 'state result = {
       (** index of the round in which the run ended: the number of complete
           rounds executed, plus one if the final (partial) round contains at
           least one step.  "Stabilizes within r rounds" = [rounds <= r]. *)
+  wall_s : float;  (** wall-clock seconds spent inside [run] *)
 }
 
 val run :
   ?rng:Random.State.t ->
   ?max_steps:int ->
   ?observer:(step:int -> moved:(int * string) list -> 'state array -> unit) ->
+  ?on_step:(step:int -> enabled:int -> selected:int -> unit) ->
+  ?on_round:(round:int -> steps:int -> moves:int -> 'state array -> unit) ->
   ?stop:('state array -> bool) ->
   algorithm:'state Algorithm.t ->
   graph:Ssreset_graph.Graph.t ->
@@ -40,10 +43,19 @@ val run :
     configuration is terminal, or [max_steps] (default 10_000_000) is
     reached.  [observer] is called after each step with the activated
     (process, rule-name) pairs and the {e new} configuration.  The initial
-    configuration is not copied; pass a fresh array. *)
+    configuration is not copied; pass a fresh array.
+
+    Telemetry hooks (both default to off, with zero per-step cost then):
+    [on_step] receives, after each step, the sizes of the enabled and the
+    activated sets — the raw material for scheduling-pressure metrics;
+    [on_round] fires once per {e completed} round with cumulative step and
+    move counts and the configuration that closed the round, {e after} the
+    [observer] has seen the step, so observer-fed probes are consistent with
+    the snapshot. *)
 
 val step :
   ?rng:Random.State.t ->
+  ?on_enabled:(int list -> unit) ->
   algorithm:'state Algorithm.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Daemon.t ->
@@ -51,8 +63,9 @@ val step :
   'state array ->
   ('state array * (int * string) list) option
 (** One atomic step: [None] if the configuration is terminal, otherwise the
-    next configuration and the activated (process, rule) pairs.  Exposed for
-    fine-grained tests and traces. *)
+    next configuration and the activated (process, rule) pairs.
+    [on_enabled] receives the (sorted, nonempty) enabled set before the
+    daemon selects.  Exposed for fine-grained tests and traces. *)
 
 val moves_of_rules : (string * int) list -> prefixes:string list -> int
 (** Sum of the move counts of rules whose name starts with one of the given

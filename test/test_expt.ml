@@ -42,7 +42,31 @@ let table_tests =
           Table.make ~title:"t" ~headers:[ "a"; "ok" ]
             [ [ "x"; "ok" ]; [ "y"; "FAIL" ] ]
         in
-        check_false "not all ok" (Table.all_ok t2 ~col:1)) ]
+        check_false "not all ok" (Table.all_ok t2 ~col:1));
+    test "to_csv quotes the awkward cells" (fun () ->
+        let t =
+          Table.make ~title:"csv" ~headers:[ "name"; "value" ]
+            ~notes:[ "notes are not data" ]
+            [ [ "plain"; "1" ];
+              [ "comma,here"; "2" ];
+              [ "quote\"here"; "3" ];
+              [ "line\nbreak"; "4" ] ]
+        in
+        let csv = Table.to_csv t in
+        check Alcotest.string "csv"
+          "name,value\nplain,1\n\"comma,here\",2\n\"quote\"\"here\",3\n\"line\nbreak\",4\n"
+          csv);
+    test "to_json round-trips through the parser" (fun () ->
+        let module Json = Ssreset_obs.Json in
+        let t =
+          Table.make ~title:"json" ~headers:[ "a"; "b" ] ~notes:[ "n1" ]
+            [ [ "x"; "1" ]; [ "y"; "2" ] ]
+        in
+        let json = Table.to_json t in
+        let reparsed = Json.of_string_exn (Json.to_string json) in
+        check_true "round-trip" (Json.equal json reparsed);
+        check Alcotest.(option string) "title" (Some "json")
+          (Option.bind (Json.member "title" json) Json.to_string_opt)) ]
 
 (* ------------------------------- Workload ------------------------------ *)
 
@@ -77,15 +101,24 @@ let workload_tests =
 (* -------------------------------- Runner ------------------------------- *)
 
 let runner_tests =
-  [ test "daemon_by_name covers the zoo and rejects strangers" (fun () ->
+  [ test "daemon_by_name covers the registry and rejects strangers" (fun () ->
+        (* every registry name resolves, and the registry still contains the
+           historical zoo (parity with the pre-registry hardcoded lists) *)
+        let names = Daemon.names () in
+        List.iter (fun name -> ignore (Runner.daemon_by_name name)) names;
         List.iter
-          (fun name ->
-            check Alcotest.string name
-              (Runner.daemon_by_name name).Daemon.daemon_name
-              (Runner.daemon_by_name name).Daemon.daemon_name)
+          (fun name -> check_true (name ^ " registered") (List.mem name names))
           [ "synchronous"; "central-random"; "central-first"; "central-last";
             "round-robin"; "distributed-random"; "locally-central";
             "adversarial"; "starve" ];
+        check_int "no duplicate names"
+          (List.length names)
+          (List.length (List.sort_uniq compare names));
+        List.iter
+          (fun (name, (d : Daemon.t)) ->
+            check_true (name ^ " fresh") (Daemon.by_name name <> None);
+            ignore d)
+          (Daemon.registry ());
         check_true "unknown"
           (match Runner.daemon_by_name "nope" with
           | exception Invalid_argument _ -> true
@@ -100,8 +133,13 @@ let runner_tests =
         check_true "result" obs.Runner.result_ok;
         check_true "rounds bound" (obs.Runner.rounds <= 30);
         check_true "sdr <= total" (obs.Runner.sdr_moves <= obs.Runner.moves);
-        check_true "segments bound" (obs.Runner.segments <= 11);
-        check_true "ar monotone" obs.Runner.ar_monotone);
+        check_true "segments bound"
+          (match obs.Runner.segments with
+          | Some s -> s <= 11
+          | None -> false);
+        check Alcotest.(option bool) "ar monotone" (Some true)
+          obs.Runner.ar_monotone;
+        check_true "wall clock measured" (obs.Runner.wall_s >= 0.));
     test "fga_bare checks Lemma 25 and 1-minimality" (fun () ->
         let g = Workload.complete.Workload.build ~seed:1 ~n:7 in
         let obs =

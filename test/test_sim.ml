@@ -391,7 +391,28 @@ let stats_tests =
         check (Alcotest.float 0.0001) "mean" 2.5 s.Stats.mean;
         check (Alcotest.float 0.0001) "min" 1.0 s.Stats.min;
         check (Alcotest.float 0.0001) "max" 4.0 s.Stats.max;
-        check (Alcotest.float 0.0001) "sd" (sqrt 1.25) s.Stats.stddev);
+        (* sample (Bessel-corrected) standard deviation *)
+        check (Alcotest.float 0.0001) "sd" (sqrt (5. /. 3.)) s.Stats.stddev);
+    test "stddev needs at least two samples" (fun () ->
+        check (Alcotest.float 0.0) "singleton"
+          0.0 (Stats.summarize [ 42.0 ]).Stats.stddev);
+    test "median and percentile" (fun () ->
+        check (Alcotest.float 0.0001) "odd median" 3.0
+          (Stats.median [ 5.0; 1.0; 3.0 ]);
+        check (Alcotest.float 0.0001) "even median" 2.5
+          (Stats.median [ 4.0; 1.0; 3.0; 2.0 ]);
+        check (Alcotest.float 0.0001) "p0" 1.0
+          (Stats.percentile [ 1.0; 2.0; 3.0; 4.0 ] ~p:0.0);
+        check (Alcotest.float 0.0001) "p100" 4.0
+          (Stats.percentile [ 1.0; 2.0; 3.0; 4.0 ] ~p:100.0);
+        (* type-7 linear interpolation: p75 of 1..4 is 3.25 *)
+        check (Alcotest.float 0.0001) "p75" 3.25
+          (Stats.percentile [ 1.0; 2.0; 3.0; 4.0 ] ~p:75.0);
+        check (Alcotest.float 0.0) "empty" 0.0 (Stats.median []);
+        check_true "out of range"
+          (match Stats.percentile [ 1.0 ] ~p:150.0 with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
     test "summarize of empty sample is all zeros" (fun () ->
         let s = Stats.summarize [] in
         check_int "count" 0 s.Stats.count;

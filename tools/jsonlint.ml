@@ -1,0 +1,88 @@
+(* Validate JSON / JSONL files produced by the telemetry layer.
+
+   usage: jsonlint [--jsonl] [--require-keys k,...] [--require-types t,...] FILE
+
+   Plain mode parses FILE as one JSON document; [--require-keys] then checks
+   the top-level object has every listed key.  With [--jsonl] every nonempty
+   line must parse on its own, and [--require-types] checks that the set of
+   "type" field values seen across the lines covers every listed type (so a
+   run trace can be required to contain a manifest, round records and a
+   summary).  Exit status 0 iff the file is valid; used by the `dune runtest`
+   smoke rules in bench/ and bin/. *)
+
+module Json = Ssreset_obs.Json
+
+let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let check_keys ~path keys = function
+  | Json.Obj fields ->
+      List.iter
+        (fun k ->
+          if not (List.mem_assoc k fields) then
+            fail "%s: missing required key %S" path k)
+        keys
+  | _ -> if keys <> [] then fail "%s: top-level value is not an object" path
+
+let () =
+  let jsonl = ref false in
+  let require_keys = ref [] in
+  let require_types = ref [] in
+  let files = ref [] in
+  let argc = Array.length Sys.argv in
+  let i = ref 1 in
+  while !i < argc do
+    (match Sys.argv.(!i) with
+    | "--jsonl" -> jsonl := true
+    | "--require-keys" when !i + 1 < argc ->
+        incr i;
+        require_keys := split_commas Sys.argv.(!i)
+    | "--require-types" when !i + 1 < argc ->
+        incr i;
+        require_types := split_commas Sys.argv.(!i)
+    | "--help" | "-h" ->
+        print_endline
+          "usage: jsonlint [--jsonl] [--require-keys k,...] \
+           [--require-types t,...] FILE...";
+        exit 0
+    | arg when String.length arg > 0 && arg.[0] = '-' ->
+        fail "unknown option %S" arg
+    | file -> files := file :: !files);
+    incr i
+  done;
+  if !files = [] then fail "jsonlint: no input file";
+  List.iter
+    (fun path ->
+      let contents = read_file path in
+      if !jsonl then begin
+        let seen = Hashtbl.create 8 in
+        let lines = String.split_on_char '\n' contents in
+        List.iteri
+          (fun lineno line ->
+            if String.trim line <> "" then
+              match Json.of_string line with
+              | Error msg -> fail "%s:%d: %s" path (lineno + 1) msg
+              | Ok json -> (
+                  match Option.bind (Json.member "type" json) Json.to_string_opt with
+                  | Some ty -> Hashtbl.replace seen ty ()
+                  | None -> ()))
+          lines;
+        List.iter
+          (fun ty ->
+            if not (Hashtbl.mem seen ty) then
+              fail "%s: no record of type %S" path ty)
+          !require_types
+      end
+      else
+        match Json.of_string contents with
+        | Error msg -> fail "%s: %s" path msg
+        | Ok json -> check_keys ~path !require_keys json)
+    (List.rev !files)
