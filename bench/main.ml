@@ -249,6 +249,60 @@ let run_bechamel ~quick =
     (bechamel_tests ~quick);
   List.rev !results
 
+(* ------------------------------------------------------------------ *)
+(* Model-checker throughput: lint + exhaustive verification over the   *)
+(* whole registry, reporting states explored per second.               *)
+(* ------------------------------------------------------------------ *)
+
+module CRegistry = Ssreset_check.Registry
+module CReport = Ssreset_check.Report
+module CModel = Ssreset_check.Model
+
+let run_check ~quick =
+  let mode = if quick then `Quick else `Full in
+  Printf.printf "== check: lint + exhaustive small-model verification ==\n%!";
+  let failures = ref 0 in
+  let records =
+    List.map
+      (fun (e : CRegistry.entry) ->
+        let t0 = Unix.gettimeofday () in
+        let r = CRegistry.run ~mode e in
+        let wall_s = Unix.gettimeofday () -. t0 in
+        let sum f =
+          List.fold_left
+            (fun acc (m : CReport.model_item) ->
+              acc + f m.CReport.result.CModel.stats)
+            0 r.CReport.models
+        in
+        let configs = sum (fun s -> s.CModel.configs) in
+        let transitions = sum (fun s -> s.CModel.transitions) in
+        let ok = CReport.entry_ok r in
+        if not ok then incr failures;
+        let per_s =
+          if wall_s > 0. then float_of_int configs /. wall_s else 0.
+        in
+        Printf.printf
+          "  %-14s %2d graphs %9d configs %10d transitions %6.2fs %10.0f \
+           configs/s  %s\n\
+           %!"
+          r.CReport.name
+          (List.length r.CReport.models)
+          configs transitions wall_s per_s
+          (if ok then "ok" else "VIOLATIONS");
+        Json.Obj
+          [ ("name", Json.String r.CReport.name);
+            ("ok", Json.Bool ok);
+            ("graphs", Json.Int (List.length r.CReport.models));
+            ("lint_views", Json.Int r.CReport.lint_views);
+            ("configs", Json.Int configs);
+            ("transitions", Json.Int transitions);
+            ("wall_s", Json.Float wall_s);
+            ("configs_per_s", Json.Float per_s) ])
+      CRegistry.entries
+  in
+  print_newline ();
+  (!failures, records)
+
 let () =
   let quick, timing, out, ids = parse_args () in
   let profile =
@@ -260,6 +314,10 @@ let () =
     (if quick then "quick" else "full");
   let t0 = Unix.gettimeofday () in
   let failures, experiments = run_experiments ~profile ~ids in
+  let check_failures, check_records =
+    if ids = [] then run_check ~quick else (0, [])
+  in
+  let failures = failures + check_failures in
   let timings =
     if timing && ids = [] then run_bechamel ~quick else []
   in
@@ -271,6 +329,7 @@ let () =
         ("failures", Json.Int failures);
         ("wall_s", Json.Float (Unix.gettimeofday () -. t0));
         ("experiments", Json.List experiments);
+        ("check", Json.List check_records);
         ("timing", Json.List timings) ]
   in
   let oc = open_out out in

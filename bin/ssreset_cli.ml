@@ -9,16 +9,15 @@
 open Cmdliner
 
 module Graph = Ssreset_graph.Graph
-module Gen = Ssreset_graph.Gen
 module Metrics = Ssreset_graph.Metrics
-module Engine = Ssreset_sim.Engine
 module Daemon = Ssreset_sim.Daemon
-module Fault = Ssreset_sim.Fault
 module Spec = Ssreset_alliance.Spec
 module Runner = Ssreset_expt.Runner
 module Workload = Ssreset_expt.Workload
 module Json = Ssreset_obs.Json
 module Sink = Ssreset_obs.Sink
+module Registry = Ssreset_check.Registry
+module Report = Ssreset_check.Report
 
 (* ---------------------------- common options ---------------------------- *)
 
@@ -349,6 +348,86 @@ let graph_cmd =
     (Cmd.info "graph" ~doc:"Inspect a generated network.")
     Term.(const run $ family $ size $ seed $ dot)
 
+let check_cmd =
+  let run algo json quick max_n list_only =
+    if list_only then begin
+      List.iter
+        (fun (e : Registry.entry) ->
+          Fmt.pr "%-14s %s@." e.Registry.name e.Registry.description)
+        (Registry.entries @ Registry.fixtures);
+      0
+    end
+    else begin
+      let selected =
+        match algo with
+        | None -> Registry.entries
+        | Some pattern -> Registry.find pattern
+      in
+      match selected with
+      | [] ->
+          Fmt.epr "no algorithm matches %S (try --list)@."
+            (Option.value ~default:"" algo);
+          2
+      | selected ->
+          let mode = if quick then `Quick else `Full in
+          let reports =
+            List.map (fun e -> Registry.run ~mode ?max_n e) selected
+          in
+          if json then print_endline (Json.to_string (Report.to_json reports))
+          else Fmt.pr "%a@." Report.pp reports;
+          if Report.ok reports then 0 else 1
+    end
+  in
+  let algo =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"ALGO"
+          ~doc:
+            "Algorithm name or substring (e.g. $(b,unison) selects \
+             min-unison, tail-unison and unison-sdr).  Default: every \
+             registered paper algorithm; the toy fixtures run only when \
+             named explicitly.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the findings report as one JSON object on stdout.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Use the small graph-size ceilings (the same sweep as `dune \
+             runtest`).")
+  in
+  let max_n =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-n" ] ~docv:"N"
+          ~doc:
+            "Override the per-entry ceiling: check all connected graphs up \
+             to $(docv) processes (one per isomorphism class; capped at \
+             6).")
+  in
+  let list_only =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List registered algorithms and fixtures.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Lint rule sets and exhaustively model-check self-stabilization \
+          properties (closure, convergence/livelock-freedom, silence, \
+          exact worst-case moves and rounds vs the paper bounds) on all \
+          small connected graphs.  Exits 1 when findings or violations \
+          exist.")
+    Term.(const run $ algo $ json $ quick $ max_n $ list_only)
+
 let experiments_cmd =
   let run quick ids csv json =
     let profile =
@@ -401,4 +480,4 @@ let () =
        (Cmd.group info
           [ run_cmd; unison_cmd; tail_cmd; min_cmd; agr_unison_cmd;
             alliance_cmd; coloring_cmd; mis_cmd; matching_cmd; graph_cmd;
-            experiments_cmd ]))
+            check_cmd; experiments_cmd ]))

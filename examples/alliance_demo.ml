@@ -7,7 +7,6 @@
 
    Run with: dune exec examples/alliance_demo.exe *)
 
-module Graph = Ssreset_graph.Graph
 module Gen = Ssreset_graph.Gen
 module Metrics = Ssreset_graph.Metrics
 module Engine = Ssreset_sim.Engine

@@ -6,7 +6,6 @@
 
    Run with: dune exec examples/quickstart.exe *)
 
-module Graph = Ssreset_graph.Graph
 module Gen = Ssreset_graph.Gen
 module Engine = Ssreset_sim.Engine
 module Daemon = Ssreset_sim.Daemon

@@ -13,7 +13,6 @@
 
    Run with: dune exec examples/reset_anatomy.exe *)
 
-module Graph = Ssreset_graph.Graph
 module Gen = Ssreset_graph.Gen
 module Engine = Ssreset_sim.Engine
 module Daemon = Ssreset_sim.Daemon

@@ -1,0 +1,41 @@
+(** Static lint pass over rule sets — the locally-shared-memory model's
+    analogue of a race detector.
+
+    Every check evaluates guards and actions on enumerated views (own state
+    × neighbor-state tuple, drawn from the instance's {!Finite} domains):
+
+    - {b stability}: evaluating a guard twice on the same view must give the
+      same verdict — a flaky guard means hidden state or randomness, which
+      breaks every proof in the paper;
+    - {b overlap}: two guards true on one view makes
+      [Algorithm.enabled_rule]'s first-match priority order load-bearing
+      (Lemma 5 assumes pairwise exclusion) — the finding names the rule pair
+      and a witness view;
+    - {b silent-move}: an enabled rule whose action returns the unchanged
+      state can be selected forever by the unfair daemon — a livelock the
+      round-based analysis never counts;
+    - {b permutation}: guards and actions of anonymous-network algorithms
+      must not depend on the {e order} of the [nbrs] array; each view is
+      re-evaluated under every permutation of its neighbor tuple.
+
+    Findings are deduplicated: one finding per (lint, rule set) pair, with a
+    witness view and a total occurrence count. *)
+
+type finding = {
+  lint : string;  (** ["stability" | "overlap" | "silent-move" | "permutation"] *)
+  rules : string list;  (** rule names involved, sorted *)
+  witness : string;  (** pretty-printed view of the first occurrence *)
+  count : int;  (** number of views exhibiting the defect *)
+}
+
+val pp_finding : finding Fmt.t
+
+val run : ?max_views_per_process:int -> Finite.t -> finding list
+(** Lint one instance.  Each process's view space is the product of its own
+    domain and its neighbors' domains; when it exceeds
+    [max_views_per_process] (default [20_000]) the space is stride-sampled
+    evenly instead of truncated, so coverage stays spread across the whole
+    product.  Findings are sorted by (lint, rules). *)
+
+val views_checked : ?max_views_per_process:int -> Finite.t -> int
+(** How many views {!run} will evaluate — for throughput reporting. *)

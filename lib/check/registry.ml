@@ -1,0 +1,316 @@
+module Graph = Ssreset_graph.Graph
+module Gen = Ssreset_graph.Gen
+module Algorithm = Ssreset_sim.Algorithm
+module Min_unison = Ssreset_unison.Min_unison
+module Tail_unison = Ssreset_unison.Tail_unison
+module Unison = Ssreset_unison.Unison
+module Coloring = Ssreset_coloring.Coloring
+module Mis = Ssreset_mis.Mis
+module Matching = Ssreset_matching.Matching
+module Fga = Ssreset_alliance.Fga
+module Spec = Ssreset_alliance.Spec
+module Checker = Ssreset_alliance.Checker
+
+type entry = {
+  name : string;
+  description : string;
+  expect_silent : bool;
+  round_bound : (int -> int) option;
+  min_n : int;
+  max_n_quick : int;
+  max_n_full : int;
+  instance : Graph.t -> Finite.t;
+}
+
+(* --- instances ------------------------------------------------------- *)
+
+let never_terminal _ _ = false
+
+let min_unison g =
+  let n = Graph.n g in
+  let k = max 4 ((n * n) + 1) and alpha = max 1 (n - 2) in
+  let module M = Min_unison.Make (struct
+    let k = k
+    let alpha = alpha
+  end) in
+  Finite.make
+    ~name:(Printf.sprintf "min-unison[K=%d,a=%d]" k alpha)
+    ~algorithm:M.algorithm ~graph:g
+    ~domain:(fun _ -> List.init (k + alpha) (fun i -> i - alpha))
+    ~legitimate:M.is_legitimate ~terminal_ok:never_terminal ()
+
+let tail_unison g =
+  let n = Graph.n g in
+  let k = max 4 ((2 * n) + 2) and alpha = max 1 n in
+  let module T = Tail_unison.Make (struct
+    let k = k
+    let alpha = alpha
+  end) in
+  Finite.make
+    ~name:(Printf.sprintf "tail-unison[K=%d,a=%d]" k alpha)
+    ~algorithm:T.algorithm ~graph:g
+    ~domain:(fun _ -> List.init (k + alpha) (fun i -> i - alpha))
+    ~legitimate:T.is_legitimate ~terminal_ok:never_terminal ()
+
+let unison_sdr g =
+  let n = Graph.n g in
+  let k = n + 2 in
+  let module U = Unison.Make (struct
+    let k = k
+  end) in
+  let clocks = List.init k Fun.id in
+  Finite.make
+    ~name:(Printf.sprintf "unison-sdr[K=%d]" k)
+    ~algorithm:U.Composed.algorithm ~graph:g
+    ~domain:(Finite.sdr_domain ~inner:(fun _ -> clocks) ~max_d:n)
+    ~legitimate:U.Composed.is_normal ~terminal_ok:never_terminal ()
+
+let coloring_sdr g =
+  let module C = Coloring.Make (struct
+    let graph = g
+    let ids = None
+  end) in
+  let inner u =
+    { Coloring.id = u; color = None }
+    :: List.init (Graph.degree g u + 1) (fun c ->
+           { Coloring.id = u; color = Some c })
+  in
+  Finite.make ~name:"coloring-sdr" ~algorithm:C.Composed.algorithm ~graph:g
+    ~domain:(Finite.sdr_domain ~inner ~max_d:(Graph.n g))
+    ~legitimate:C.Composed.is_normal
+    ~terminal_ok:(fun _ cfg -> C.is_proper (C.coloring_of_composed cfg))
+    ()
+
+let mis_sdr g =
+  let module M = Mis.Make (struct
+    let graph = g
+    let ids = None
+  end) in
+  let inner u =
+    List.map (fun m -> { Mis.id = u; m }) [ Mis.Undecided; Mis.In; Mis.Out ]
+  in
+  Finite.make ~name:"mis-sdr" ~algorithm:M.Composed.algorithm ~graph:g
+    ~domain:(Finite.sdr_domain ~inner ~max_d:(Graph.n g))
+    ~legitimate:M.Composed.is_normal
+    ~terminal_ok:(fun _ cfg -> M.is_mis (M.independent_set_of_composed cfg))
+    ()
+
+let matching_sdr g =
+  let module M = Matching.Make (struct
+    let graph = g
+    let ids = None
+  end) in
+  let inner u =
+    { Matching.id = u; ptr = None }
+    :: Array.to_list
+         (Array.map
+            (fun v -> { Matching.id = u; ptr = Some v })
+            (Graph.neighbors g u))
+  in
+  Finite.make ~name:"matching-sdr" ~algorithm:M.Composed.algorithm ~graph:g
+    ~domain:(Finite.sdr_domain ~inner ~max_d:(Graph.n g))
+    ~legitimate:M.Composed.is_normal
+    ~terminal_ok:(fun _ cfg ->
+      M.is_maximal_matching (M.matching_of_composed cfg))
+    ()
+
+let fga_sdr g =
+  let spec = Spec.dominating_set in
+  let module A = Fga.Make (struct
+    let graph = g
+    let spec = spec
+    let ids = None
+  end) in
+  let inner u =
+    let ptrs =
+      None :: Some u
+      :: Array.to_list (Array.map (fun v -> Some v) (Graph.neighbors g u))
+    in
+    List.concat_map
+      (fun col ->
+        List.concat_map
+          (fun scr ->
+            List.concat_map
+              (fun can_q ->
+                List.map
+                  (fun ptr ->
+                    { Fga.id = u;
+                      f_u = spec.Spec.f g u;
+                      g_u = spec.Spec.g g u;
+                      col;
+                      scr;
+                      can_q;
+                      ptr })
+                  ptrs)
+              [ true; false ])
+          [ -1; 0; 1 ])
+      [ true; false ]
+  in
+  (* FGA ∘ SDR is silent: legitimacy IS termination, so the round bound
+     8n+4 (Theorem 14) measures full stabilization and the output check
+     (a 1-minimal (f,g)-alliance) covers the specification. *)
+  Finite.make ~name:"fga-sdr[dominating-set]"
+    ~algorithm:A.Composed.algorithm ~graph:g
+    ~domain:(Finite.sdr_domain ~inner ~max_d:(Graph.n g))
+    ~legitimate:(fun g cfg -> Algorithm.is_terminal A.Composed.algorithm g cfg)
+    ~terminal_ok:(fun g cfg ->
+      Checker.is_one_minimal g spec (A.alliance_of_composed cfg))
+    ()
+
+(* --- registry -------------------------------------------------------- *)
+
+let entries =
+  [ { name = "min-unison";
+      description = "self-stabilizing minimal unison, K = n^2 + 1";
+      expect_silent = false;
+      round_bound = None;
+      min_n = 1;
+      max_n_quick = 3;
+      max_n_full = 4;
+      instance = min_unison };
+    { name = "tail-unison";
+      description = "tail-reset unison, K = 2n + 2, alpha = n";
+      expect_silent = false;
+      round_bound = None;
+      min_n = 1;
+      max_n_quick = 3;
+      max_n_full = 4;
+      instance = tail_unison };
+    { name = "unison-sdr";
+      description = "unison composed with SDR, K = n + 2 (3n-round recovery)";
+      expect_silent = false;
+      round_bound = Some (fun n -> 3 * n);
+      min_n = 1;
+      max_n_quick = 2;
+      max_n_full = 3;
+      instance = unison_sdr };
+    { name = "coloring-sdr";
+      description = "greedy (Δ+1)-coloring composed with SDR (silent)";
+      expect_silent = true;
+      round_bound = None;
+      min_n = 1;
+      max_n_quick = 2;
+      max_n_full = 3;
+      instance = coloring_sdr };
+    { name = "mis-sdr";
+      description = "maximal independent set composed with SDR (silent)";
+      expect_silent = true;
+      round_bound = None;
+      min_n = 1;
+      max_n_quick = 2;
+      max_n_full = 3;
+      instance = mis_sdr };
+    { name = "matching-sdr";
+      description = "maximal matching composed with SDR (silent)";
+      expect_silent = true;
+      round_bound = None;
+      min_n = 1;
+      max_n_quick = 2;
+      max_n_full = 3;
+      instance = matching_sdr };
+    { name = "fga-sdr";
+      description =
+        "1-minimal (1,0)-alliance (FGA) composed with SDR (silent, 8n+4 \
+         rounds)";
+      expect_silent = true;
+      round_bound = Some (fun n -> (8 * n) + 4);
+      min_n = 2;
+      max_n_quick = 2;
+      max_n_full = 2;
+      instance = fga_sdr } ]
+
+let fixtures =
+  [ { name = "toy-livelock";
+      description = "fixture: always-enabled flip — must livelock";
+      expect_silent = false;
+      round_bound = None;
+      min_n = 2;
+      max_n_quick = 2;
+      max_n_full = 3;
+      instance = Toy.livelock };
+    { name = "toy-overlap";
+      description = "fixture: overlapping guards and a silent move";
+      expect_silent = false;
+      round_bound = None;
+      min_n = 1;
+      max_n_quick = 2;
+      max_n_full = 3;
+      instance = Toy.overlap } ]
+
+let contains ~needle haystack =
+  let h = String.lowercase_ascii haystack
+  and n = String.lowercase_ascii needle in
+  let hl = String.length h and nl = String.length n in
+  let rec at i = i + nl <= hl && (String.sub h i nl = n || at (i + 1)) in
+  nl = 0 || at 0
+
+let find pattern =
+  List.filter
+    (fun e -> contains ~needle:pattern e.name)
+    (entries @ fixtures)
+
+(* --- runner ---------------------------------------------------------- *)
+
+let merge_findings findings =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Lint.finding) ->
+      match Hashtbl.find_opt table (f.Lint.lint, f.Lint.rules) with
+      | None -> Hashtbl.add table (f.Lint.lint, f.Lint.rules) f
+      | Some prior ->
+          Hashtbl.replace table
+            (f.Lint.lint, f.Lint.rules)
+            { prior with Lint.count = prior.Lint.count + f.Lint.count })
+    findings;
+  Hashtbl.fold (fun _ f acc -> f :: acc) table []
+  |> List.sort (fun (a : Lint.finding) b ->
+         compare (a.Lint.lint, a.Lint.rules) (b.Lint.lint, b.Lint.rules))
+
+let run ?(mode = `Full) ?max_n ?max_views_per_process ?options entry =
+  let max_n =
+    match max_n with
+    | Some n -> n
+    | None -> (
+        match mode with
+        | `Quick -> entry.max_n_quick
+        | `Full -> entry.max_n_full)
+  in
+  let options =
+    { (Option.value ~default:Model.default_options options) with
+      Model.expect_silent = entry.expect_silent }
+  in
+  let lint_findings = ref [] in
+  let lint_views = ref 0 in
+  let models = ref [] in
+  for n = entry.min_n to max_n do
+    List.iter
+      (fun g ->
+        let inst = entry.instance g in
+        lint_findings :=
+          Lint.run ?max_views_per_process inst @ !lint_findings;
+        lint_views :=
+          !lint_views + Lint.views_checked ?max_views_per_process inst;
+        let result = Model.check ~options inst in
+        let bound = Option.map (fun f -> f n) entry.round_bound in
+        let result =
+          match (bound, result.Model.worst_rounds) with
+          | Some b, Some w when w > b ->
+              { result with
+                Model.violations =
+                  result.Model.violations
+                  @ [ { Model.property = "round-bound";
+                        detail =
+                          Printf.sprintf
+                            "exact worst case is %d rounds, above the \
+                             paper's bound of %d"
+                            w b } ] }
+          | _ -> result
+        in
+        models := { Report.bound; result } :: !models)
+      (Gen.all_connected n)
+  done;
+  { Report.name = entry.name;
+    description = entry.description;
+    lint = merge_findings !lint_findings;
+    lint_views = !lint_views;
+    models = List.rev !models }

@@ -1,0 +1,49 @@
+(** Registry of finitely-checkable algorithm instances, plus the runner
+    that drives {!Lint} and {!Model} over all connected graphs up to a
+    per-entry size bound (one representative per isomorphism class, via
+    [Gen.all_connected]).
+
+    {!entries} holds the paper algorithms — all expected clean.
+    {!fixtures} holds the deliberately broken toys of {!Toy} — expected
+    dirty; they are kept apart so "every registered algorithm passes" stays
+    meaningful. *)
+
+type entry = {
+  name : string;
+  description : string;
+  expect_silent : bool;
+      (** silent algorithms additionally get the acyclicity check of
+          {!Model.options.expect_silent} *)
+  round_bound : (int -> int) option;
+      (** the paper's stabilization bound in rounds, as a function of n *)
+  min_n : int;  (** smallest meaningful graph size (FGA needs n ≥ 2) *)
+  max_n_quick : int;  (** graph-size ceiling under [dune runtest] *)
+  max_n_full : int;  (** graph-size ceiling for the CLI default *)
+  instance : Ssreset_graph.Graph.t -> Finite.t;
+}
+
+val entries : entry list
+(** min-unison, tail-unison, unison-sdr, coloring-sdr, mis-sdr,
+    matching-sdr, fga-sdr. *)
+
+val fixtures : entry list
+(** toy-livelock, toy-overlap ({!Toy}). *)
+
+val find : string -> entry list
+(** Case-insensitive substring match over entries and fixtures — ["unison"]
+    selects min-unison, tail-unison and unison-sdr. *)
+
+val run :
+  ?mode:[ `Quick | `Full ] ->
+  ?max_n:int ->
+  ?max_views_per_process:int ->
+  ?options:Model.options ->
+  entry ->
+  Report.entry_report
+(** Lint and model-check one entry on every connected graph with
+    [entry.min_n ≤ n ≤ max_n] (default: the entry's quick/full ceiling for
+    [mode], itself defaulting to [`Full]).  [options.expect_silent] is
+    overridden by the entry's flag; when the entry declares a round bound
+    and the checker computed a worst case above it, a ["round-bound"]
+    violation is added to that graph's result.  Lint findings are merged
+    across graphs (one per lint × rule set, counts summed). *)

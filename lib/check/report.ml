@@ -1,0 +1,121 @@
+module Json = Ssreset_obs.Json
+
+type model_item = {
+  bound : int option;
+  result : Model.t;
+}
+
+type entry_report = {
+  name : string;
+  description : string;
+  lint : Lint.finding list;
+  lint_views : int;
+  models : model_item list;
+}
+
+let entry_ok e =
+  e.lint = []
+  && List.for_all (fun m -> m.result.Model.violations = []) e.models
+
+let ok reports = List.for_all entry_ok reports
+
+let opt_int = function None -> Json.Null | Some i -> Json.Int i
+
+let json_of_finding (f : Lint.finding) =
+  Json.Obj
+    [ ("lint", Json.String f.Lint.lint);
+      ("rules", Json.List (List.map (fun r -> Json.String r) f.Lint.rules));
+      ("witness", Json.String f.Lint.witness);
+      ("views", Json.Int f.Lint.count) ]
+
+let json_of_model { bound; result = r } =
+  let s = r.Model.stats in
+  Json.Obj
+    [ ("instance", Json.String r.Model.instance);
+      ("n", Json.Int r.Model.graph_n);
+      ("m", Json.Int r.Model.graph_m);
+      ("configs", Json.Int s.Model.configs);
+      ("transitions", Json.Int s.Model.transitions);
+      ("legitimate", Json.Int s.Model.legitimate);
+      ("terminal", Json.Int s.Model.terminal);
+      ("wall_s", Json.Float s.Model.wall_s);
+      ( "violations",
+        Json.List
+          (List.map
+             (fun (v : Model.violation) ->
+               Json.Obj
+                 [ ("property", Json.String v.Model.property);
+                   ("detail", Json.String v.Model.detail) ])
+             r.Model.violations) );
+      ( "aborted",
+        match r.Model.aborted with
+        | None -> Json.Null
+        | Some reason -> Json.String reason );
+      ("worst_moves", opt_int r.Model.worst_moves);
+      ("worst_rounds", opt_int r.Model.worst_rounds);
+      ("round_bound", opt_int bound) ]
+
+let json_of_entry e =
+  Json.Obj
+    [ ("name", Json.String e.name);
+      ("description", Json.String e.description);
+      ( "lint",
+        Json.Obj
+          [ ("ok", Json.Bool (e.lint = []));
+            ("views", Json.Int e.lint_views);
+            ("findings", Json.List (List.map json_of_finding e.lint)) ] );
+      ( "model",
+        Json.Obj
+          [ ( "ok",
+              Json.Bool
+                (List.for_all
+                   (fun m -> m.result.Model.violations = [])
+                   e.models) );
+            ("graphs", Json.List (List.map json_of_model e.models)) ] );
+      ("ok", Json.Bool (entry_ok e)) ]
+
+let to_json reports =
+  Json.Obj
+    [ ("schema", Json.String "ssreset-check-v1");
+      ("ok", Json.Bool (ok reports));
+      ("entries", Json.List (List.map json_of_entry reports)) ]
+
+let pp_model ppf { bound; result = r } =
+  let s = r.Model.stats in
+  Fmt.pf ppf "@[<v2>%s (n=%d, m=%d): %d configs, %d transitions, %d \
+              legitimate, %d terminal (%.2fs)"
+    r.Model.instance r.Model.graph_n r.Model.graph_m s.Model.configs
+    s.Model.transitions s.Model.legitimate s.Model.terminal s.Model.wall_s;
+  (match r.Model.aborted with
+  | Some reason -> Fmt.pf ppf "@,ABORTED: %s" reason
+  | None -> ());
+  (match (r.Model.worst_moves, r.Model.worst_rounds) with
+  | None, None -> ()
+  | wm, wr ->
+      Fmt.pf ppf "@,worst-case:%a%a"
+        Fmt.(option (fun ppf m -> Fmt.pf ppf " %d moves" m))
+        wm
+        Fmt.(option (fun ppf r -> Fmt.pf ppf " %d rounds" r))
+        wr;
+      match (wr, bound) with
+      | Some worst, Some b ->
+          Fmt.pf ppf " (paper bound %d: %s)" b
+            (if worst <= b then "respected" else "EXCEEDED")
+      | _ -> ());
+  List.iter
+    (fun (v : Model.violation) ->
+      Fmt.pf ppf "@,VIOLATION [%s] %s" v.Model.property v.Model.detail)
+    r.Model.violations;
+  Fmt.pf ppf "@]"
+
+let pp_entry ppf e =
+  Fmt.pf ppf "@[<v2>%s — %s [%s]@,lint: %s (%d views)" e.name e.description
+    (if entry_ok e then "ok" else "FAIL")
+    (if e.lint = [] then "clean" else "FINDINGS")
+    e.lint_views;
+  List.iter (fun f -> Fmt.pf ppf "@,  %a" Lint.pp_finding f) e.lint;
+  List.iter (fun m -> Fmt.pf ppf "@,%a" pp_model m) e.models;
+  Fmt.pf ppf "@]"
+
+let pp ppf reports =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:(Fmt.any "@,@,") pp_entry) reports

@@ -1,0 +1,32 @@
+(** Findings report: aggregates lint findings and model-checker results per
+    algorithm entry, renders them for humans, and emits machine-readable
+    JSON (schema ["ssreset-check-v1"]) through {!Ssreset_obs.Json}. *)
+
+type model_item = {
+  bound : int option;
+      (** the paper's round bound for this graph size, when the entry
+          declares one (3n for U∘SDR, 8n+4 for FGA∘SDR) *)
+  result : Model.t;
+}
+
+type entry_report = {
+  name : string;
+  description : string;
+  lint : Lint.finding list;
+  lint_views : int;  (** views the lint pass evaluated *)
+  models : model_item list;  (** one per checked graph *)
+}
+
+val entry_ok : entry_report -> bool
+(** No lint findings and no model violations.  Aborted model runs do not
+    fail the entry — they are visible in the JSON and the human report as
+    unverified — but violations found before the abort do. *)
+
+val ok : entry_report list -> bool
+
+val to_json : entry_report list -> Ssreset_obs.Json.t
+(** Top level: [{schema; ok; entries}]; each entry carries [lint] (findings
+    + ok) and [model] (per-graph stats, violations, worst cases, bound). *)
+
+val pp : entry_report list Fmt.t
+(** Human-readable summary, one block per entry. *)

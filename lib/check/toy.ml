@@ -1,0 +1,43 @@
+module Algorithm = Ssreset_sim.Algorithm
+
+let livelock graph =
+  let flip =
+    { Algorithm.rule_name = "T-flip";
+      guard = (fun _ -> true);
+      action = (fun v -> 1 - v.Algorithm.state) }
+  in
+  let algorithm =
+    { Algorithm.name = "toy-livelock";
+      rules = [ flip ];
+      equal = Int.equal;
+      pp = Fmt.int }
+  in
+  Finite.make ~name:"toy-livelock" ~algorithm ~graph
+    ~domain:(fun _ -> [ 0; 1 ])
+    ~legitimate:(fun _ cfg -> Array.for_all (fun s -> s = cfg.(0)) cfg)
+    ()
+
+let overlap graph =
+  let up =
+    { Algorithm.rule_name = "T-up";
+      guard = (fun v -> v.Algorithm.state = 0);
+      action = (fun _ -> 1) }
+  and jump =
+    { Algorithm.rule_name = "T-jump";
+      guard = (fun v -> v.Algorithm.state = 0);
+      action = (fun _ -> 2) }
+  and noop =
+    { Algorithm.rule_name = "T-noop";
+      guard = (fun v -> v.Algorithm.state = 2);
+      action = (fun _ -> 2) }
+  in
+  let algorithm =
+    { Algorithm.name = "toy-overlap";
+      rules = [ up; jump; noop ];
+      equal = Int.equal;
+      pp = Fmt.int }
+  in
+  Finite.make ~name:"toy-overlap" ~algorithm ~graph
+    ~domain:(fun _ -> [ 0; 1; 2 ])
+    ~legitimate:(fun _ cfg -> Array.for_all (fun s -> s = 1) cfg)
+    ()

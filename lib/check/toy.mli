@@ -1,0 +1,20 @@
+(** Hand-built defective algorithms — no-false-negative fixtures.
+
+    Both are deliberately broken in ways the checker must detect; the test
+    suite asserts that it does.  Keeping them out of {!Registry.entries}
+    preserves the invariant that every {e paper} algorithm is clean. *)
+
+val livelock : Ssreset_graph.Graph.t -> Finite.t
+(** One rule [T-flip] that is always enabled and flips a binary state; the
+    legitimate configurations are the uniform ones.  The lint pass finds
+    nothing (the rule is stable, order-independent, never silent and cannot
+    overlap with itself), but the model checker must report a livelock —
+    e.g. on two processes, [(0,1)] and [(1,0)] swap forever under the
+    synchronous schedule — and a closure violation. *)
+
+val overlap : Ssreset_graph.Graph.t -> Finite.t
+(** States {0, 1, 2}; legitimate = all-1.  [T-up] and [T-jump] are both
+    enabled on state 0 (a rule overlap the lint pass must flag, which also
+    makes list order load-bearing), and [T-noop] "rewrites" state 2 to
+    itself (a silent move, and a self-loop livelock for the model
+    checker). *)

@@ -11,8 +11,12 @@ type violation = {
 
 let pp_violation ppf v = Fmt.pf ppf "requirement %s: %s" v.requirement v.detail
 
-let check (type s) (module I : Sdr.INPUT with type state = s)
-    ~(gen : s Fault.generator) ~graphs ~seed ~trials =
+let check (type s) ?(steps = 20) ?daemon
+    (module I : Sdr.INPUT with type state = s) ~(gen : s Fault.generator)
+    ~graphs ~seed ~trials =
+  let daemon =
+    match daemon with Some d -> d | None -> Daemon.distributed_random 0.5
+  in
   let violations = ref [] in
   let report requirement fmt =
     Format.kasprintf
@@ -27,6 +31,27 @@ let check (type s) (module I : Sdr.INPUT with type state = s)
     (fun g ->
       for trial = 1 to trials do
         let cfg = Fault.arbitrary rng gen g in
+        (* 2b: typing already prevents [p_reset] from reading anything but
+           the process's own state; what typing cannot rule out is hidden
+           mutable state, so we check the behavioral residue: [p_reset] is
+           stable (same state, same verdict), [reset] is deterministic, and
+           [reset] is idempotent (it reinitializes the variables and keeps
+           the constants, so resetting twice changes nothing). *)
+        Array.iteri
+          (fun u s ->
+            if I.p_reset s <> I.p_reset s then
+              report "2b" "trial %d: p_reset unstable on process %d state %a"
+                trial u I.pp s;
+            let r1 = I.reset s and r2 = I.reset s in
+            if not (I.equal r1 r2) then
+              report "2b"
+                "trial %d: reset nondeterministic on process %d state %a"
+                trial u I.pp s;
+            if not (I.equal (I.reset r1) r1) then
+              report "2b"
+                "trial %d: reset not idempotent on process %d: %a resets to %a"
+                trial u I.pp r1 I.pp (I.reset r1))
+          cfg;
         (* 2e: reset always reaches a p_reset state. *)
         Array.iteri
           (fun u s ->
@@ -68,10 +93,10 @@ let check (type s) (module I : Sdr.INPUT with type state = s)
         record_correct cfg;
         let current = ref cfg in
         (try
-           for step_index = 0 to 20 do
+           for step_index = 0 to steps do
              match
-               Engine.step ~rng ~algorithm:bare ~graph:g
-                 ~daemon:(Daemon.distributed_random 0.5) ~step_index !current
+               Engine.step ~rng ~algorithm:bare ~graph:g ~daemon ~step_index
+                 !current
              with
              | None -> raise Exit
              | Some (next, _) ->

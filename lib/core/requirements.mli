@@ -1,11 +1,14 @@
 (** Dynamic checker for the SDR input requirements (§3.5).
 
-    Requirements 1 and 2b are discharged by typing (the input algorithm
-    cannot even name the SDR variables, and [p_reset] only receives the
-    process's own state).  The remaining obligations are checked by random
-    exploration:
+    Requirement 1 is discharged by typing (the input algorithm cannot even
+    name the SDR variables), and the locality half of 2b likewise ([p_reset]
+    only receives the process's own state).  The remaining obligations are
+    checked by random exploration:
 
     - 2a: [p_icorrect] is closed by the input algorithm;
+    - 2b (behavioral residue): [p_reset] is stable, [reset] is deterministic
+      and idempotent — the part typing cannot rule out (hidden mutable
+      state);
     - 2c (first half): no input rule is enabled on a view violating
       [p_icorrect] (the [P_Clean] half is enforced by the composition);
     - 2d: an all-reset closed neighborhood satisfies [p_icorrect];
@@ -22,6 +25,8 @@ type violation = {
 val pp_violation : violation Fmt.t
 
 val check :
+  ?steps:int ->
+  ?daemon:Ssreset_sim.Daemon.t ->
   (module Sdr.INPUT with type state = 's) ->
   gen:'s Ssreset_sim.Fault.generator ->
   graphs:Ssreset_graph.Graph.t list ->
@@ -31,4 +36,7 @@ val check :
 (** Runs [trials] random explorations per requirement per graph.  The
     generator must respect variable domains and constants for the given
     graph (same contract as fault injection).  Returns all violations found
-    (empty = no counterexample). *)
+    (empty = no counterexample).
+
+    [steps] (default 20) bounds the length of each 2a closure walk and
+    [daemon] (default [Daemon.distributed_random 0.5]) schedules it. *)

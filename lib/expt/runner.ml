@@ -1,4 +1,3 @@
-module Algorithm = Ssreset_sim.Algorithm
 module Daemon = Ssreset_sim.Daemon
 module Engine = Ssreset_sim.Engine
 module Fault = Ssreset_sim.Fault
@@ -290,6 +289,7 @@ let min_unison ?(max_steps = 50_000_000) ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module M = Ssreset_unison.Min_unison.Make (struct
     let k = (n * n) + 1
+    let alpha = max 1 (n - 2)
   end) in
   let cfg_rng, run_rng = rngs seed in
   let cfg = Fault.arbitrary cfg_rng M.clock_gen graph in

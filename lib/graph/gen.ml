@@ -198,3 +198,91 @@ let random_regular_ish rng n k =
     end
   done;
   Graph.make ~n ~edges:!edges
+
+(* ---------------- exhaustive enumeration of small graphs ---------------- *)
+
+(* Edge masks: pair (i, j), i < j, occupies bit [pair_bit n i j] of an int.
+   With n <= 7 the mask fits comfortably (21 bits). *)
+let pair_bit n i j =
+  let rec row_base acc r = if r = i then acc else row_base (acc + n - 1 - r) (r + 1) in
+  row_base 0 0 + (j - i - 1)
+
+let mask_connected n mask =
+  if n = 1 then true
+  else begin
+    let adj = Array.make n 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if mask land (1 lsl pair_bit n i j) <> 0 then begin
+          adj.(i) <- adj.(i) lor (1 lsl j);
+          adj.(j) <- adj.(j) lor (1 lsl i)
+        end
+      done
+    done;
+    let seen = ref 1 in
+    let frontier = ref 1 in
+    while !frontier <> 0 do
+      let next = ref 0 in
+      for u = 0 to n - 1 do
+        if !frontier land (1 lsl u) <> 0 then next := !next lor adj.(u)
+      done;
+      frontier := !next land lnot !seen;
+      seen := !seen lor !next
+    done;
+    !seen = (1 lsl n) - 1
+  end
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+        l
+
+(* Canonical representative of the isomorphism class: the smallest edge mask
+   over all vertex relabelings (n! <= 720 for the sizes this is meant for). *)
+let canonical_mask n mask =
+  let perms = permutations (List.init n Fun.id) in
+  List.fold_left
+    (fun best perm ->
+      let p = Array.of_list perm in
+      let m = ref 0 in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if mask land (1 lsl pair_bit n i j) <> 0 then begin
+            let a = min p.(i) p.(j) and b = max p.(i) p.(j) in
+            m := !m lor (1 lsl pair_bit n a b)
+          end
+        done
+      done;
+      min best !m)
+    max_int perms
+
+let graph_of_mask n mask =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if mask land (1 lsl pair_bit n i j) <> 0 then edges := (i, j) :: !edges
+    done
+  done;
+  Graph.make ~n ~edges:!edges
+
+let all_connected ?(up_to_iso = true) n =
+  if n < 1 then fail "all_connected: need n >= 1, got %d" n;
+  if n > 6 then fail "all_connected: n = %d is too large (max 6)" n;
+  let bits = n * (n - 1) / 2 in
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  for mask = 0 to (1 lsl bits) - 1 do
+    if mask_connected n mask then
+      if up_to_iso then begin
+        let c = canonical_mask n mask in
+        if not (Hashtbl.mem seen c) then begin
+          Hashtbl.replace seen c ();
+          acc := c :: !acc
+        end
+      end
+      else acc := mask :: !acc
+  done;
+  List.rev_map (graph_of_mask n) !acc

@@ -61,3 +61,10 @@ val random_regular_ish : Random.State.t -> int -> int -> Graph.t
 (** [random_regular_ish rng n k]: connected graph where every process has
     degree ≥ min(k, n-1) and close to k on average (ring + random chords;
     not exactly regular). *)
+
+val all_connected : ?up_to_iso:bool -> int -> Graph.t list
+(** [all_connected n] enumerates {e every} connected simple graph on [n]
+    processes, by default one representative per isomorphism class
+    ([up_to_iso = false] keeps all labeled graphs).  Counts per class:
+    1, 1, 2, 6, 21 for n = 1..5.  Meant for exhaustive small-model
+    verification; n is capped at 6 (the enumeration is factorial). *)

@@ -20,8 +20,25 @@ let enabled_table algo g cfg =
   Array.init (Graph.n g) (fun u ->
       Algorithm.enabled_rule algo (Algorithm.view g cfg u))
 
-let step ?rng ?on_enabled ~algorithm ~graph ~daemon ~step_index cfg =
-  let rng = match rng with Some r -> r | None -> Random.State.make [| 0 |] in
+(* Shared default RNG: allocated once at module initialization instead of on
+   every [step] call.  Callers that need per-call reproducibility pass their
+   own state; deterministic daemons never touch it. *)
+let default_rng = Random.State.make [| 0 |]
+
+let assert_exclusive algorithm graph cfg enabled =
+  List.iter
+    (fun u ->
+      match Algorithm.exclusive_rules algorithm (Algorithm.view graph cfg u) with
+      | [] | [ _ ] -> ()
+      | names ->
+          invalid_arg
+            (Printf.sprintf "engine: overlapping rules at process %d: %s" u
+               (String.concat ", " names)))
+    enabled
+
+let step ?rng ?(check_overlap = false) ?on_enabled ~algorithm ~graph ~daemon
+    ~step_index cfg =
+  let rng = match rng with Some r -> r | None -> default_rng in
   let table = enabled_table algorithm graph cfg in
   let enabled = ref [] in
   for u = Graph.n graph - 1 downto 0 do
@@ -30,6 +47,7 @@ let step ?rng ?on_enabled ~algorithm ~graph ~daemon ~step_index cfg =
   match !enabled with
   | [] -> None
   | enabled ->
+      if check_overlap then assert_exclusive algorithm graph cfg enabled;
       (match on_enabled with Some f -> f enabled | None -> ());
       let ctx =
         {
@@ -58,8 +76,9 @@ let step ?rng ?on_enabled ~algorithm ~graph ~daemon ~step_index cfg =
       in
       Some (next, moved)
 
-let run ?rng ?(max_steps = 10_000_000) ?observer ?on_step ?on_round
-    ?(stop = fun _ -> false) ~algorithm ~graph ~daemon cfg0 =
+let run ?rng ?(max_steps = 10_000_000) ?(check_overlap = false) ?observer
+    ?on_step ?on_round ?(stop = fun _ -> false) ~algorithm ~graph ~daemon cfg0
+    =
   let rng = match rng with Some r -> r | None -> Random.State.make [| 0 |] in
   let t0 = Unix.gettimeofday () in
   let n = Graph.n graph in
@@ -99,7 +118,8 @@ let run ?rng ?(max_steps = 10_000_000) ?observer ?on_step ?on_round
          | Some _ -> Some (fun l -> enabled_count := List.length l)
        in
        match
-         step ~rng ?on_enabled ~algorithm ~graph ~daemon ~step_index:!steps !cfg
+         step ~rng ~check_overlap ?on_enabled ~algorithm ~graph ~daemon
+           ~step_index:!steps !cfg
        with
        | None ->
            outcome := Terminal;

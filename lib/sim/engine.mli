@@ -29,6 +29,7 @@ type 'state result = {
 val run :
   ?rng:Random.State.t ->
   ?max_steps:int ->
+  ?check_overlap:bool ->
   ?observer:(step:int -> moved:(int * string) list -> 'state array -> unit) ->
   ?on_step:(step:int -> enabled:int -> selected:int -> unit) ->
   ?on_round:(round:int -> steps:int -> moves:int -> 'state array -> unit) ->
@@ -51,10 +52,18 @@ val run :
     [on_round] fires once per {e completed} round with cumulative step and
     move counts and the configuration that closed the round, {e after} the
     [observer] has seen the step, so observer-fed probes are consistent with
-    the snapshot. *)
+    the snapshot.
+
+    [check_overlap] (default off) asserts on every step, via
+    {!Algorithm.exclusive_rules}, that at most one guard fires per enabled
+    process; a violation raises [Invalid_argument] naming the process and
+    the overlapping rules.  Rule overlap makes the rule-list priority order
+    load-bearing (Lemma 5 assumes pairwise exclusion), so traced or debugged
+    runs should enable this. *)
 
 val step :
   ?rng:Random.State.t ->
+  ?check_overlap:bool ->
   ?on_enabled:(int list -> unit) ->
   algorithm:'state Algorithm.t ->
   graph:Ssreset_graph.Graph.t ->
@@ -65,7 +74,11 @@ val step :
 (** One atomic step: [None] if the configuration is terminal, otherwise the
     next configuration and the activated (process, rule) pairs.
     [on_enabled] receives the (sorted, nonempty) enabled set before the
-    daemon selects.  Exposed for fine-grained tests and traces. *)
+    daemon selects.  Exposed for fine-grained tests and traces.
+
+    When [rng] is absent a module-level state seeded with [0] is shared by
+    all such calls (no per-call allocation); pass an explicit state for
+    per-call reproducibility.  [check_overlap] is as in {!run}. *)
 
 val moves_of_rules : (string * int) list -> prefixes:string list -> int
 (** Sum of the move counts of rules whose name starts with one of the given

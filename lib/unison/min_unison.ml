@@ -1,46 +1,44 @@
 module Algorithm = Ssreset_sim.Algorithm
-module Graph = Ssreset_graph.Graph
 
 type clock = int
 
 let rule_tick = "MU-tick"
+let rule_climb = "MU-climb"
 let rule_zero = "MU-zero"
 
 module Make (P : sig
   val k : int
+  val alpha : int
 end) =
 struct
   let k = P.k
-  let () = if k < 4 then invalid_arg "Min_unison.Make: need K >= 4"
+  let alpha = P.alpha
 
-  let ring_ok a b = b = a || b = (a + 1) mod k || b = (a + k - 1) mod k
+  let () =
+    if k < 4 then invalid_arg "Min_unison.Make: need K >= 4";
+    if alpha < 1 then invalid_arg "Min_unison.Make: need alpha >= 1"
 
-  let tick =
-    { Algorithm.rule_name = rule_tick;
-      guard =
-        (fun v ->
-          let c = v.Algorithm.state in
-          Array.for_all (fun b -> b = c || b = (c + 1) mod k) v.Algorithm.nbrs);
-      action = (fun v -> (v.Algorithm.state + 1) mod k) }
+  (* Same rule core as the tail baseline: only the period differs (CFG's
+     K > n² against the tail baseline's 2n+2).  The pure reset-to-0
+     variant is NOT self-stabilizing under the distributed unfair daemon:
+     on C4 a clock at 2 and its reset chase each other around the hole
+     forever (exhaustively checkable with `ssreset_cli check unison`), so
+     the reset must land strictly below the ring. *)
+  module T = Tail_unison.Make (P)
 
-  let zero =
-    { Algorithm.rule_name = rule_zero;
-      guard =
-        (fun v ->
-          let c = v.Algorithm.state in
-          c <> 0
-          && Array.exists (fun b -> not (ring_ok c b)) v.Algorithm.nbrs);
-      action = (fun _ -> 0) }
+  let rename (r : clock Algorithm.rule) =
+    { r with
+      Algorithm.rule_name =
+        (if r.Algorithm.rule_name = Tail_unison.rule_tick then rule_tick
+         else if r.Algorithm.rule_name = Tail_unison.rule_climb then rule_climb
+         else rule_zero) }
 
   let algorithm : clock Algorithm.t =
-    { Algorithm.name = "min-unison";
-      rules = [ zero; tick ];
-      equal = (fun (a : clock) b -> a = b);
-      pp = Fmt.int }
+    { T.algorithm with
+      Algorithm.name = "min-unison";
+      rules = List.map rename T.algorithm.rules }
 
-  let gamma_init g = Array.make (Graph.n g) 0
-  let clock_gen rng _u = Random.State.int rng k
-
-  let is_legitimate g cfg =
-    List.for_all (fun (u, v) -> ring_ok cfg.(u) cfg.(v)) (Graph.edges g)
+  let gamma_init = T.gamma_init
+  let clock_gen = T.clock_gen
+  let is_legitimate = T.is_legitimate
 end

@@ -1,0 +1,178 @@
+open Helpers
+module Algorithm = Ssreset_sim.Algorithm
+module Finite = Ssreset_check.Finite
+module Lint = Ssreset_check.Lint
+module Model = Ssreset_check.Model
+module Registry = Ssreset_check.Registry
+module Report = Ssreset_check.Report
+module Toy = Ssreset_check.Toy
+
+(* ---------------------------- graph enumeration ------------------------- *)
+
+let enumeration_tests =
+  [ test "all_connected counts one representative per isomorphism class"
+      (fun () ->
+        List.iter
+          (fun (n, expected) ->
+            let gs = Gen.all_connected n in
+            check_int (Fmt.str "count n=%d" n) expected (List.length gs);
+            List.iter
+              (fun g ->
+                check_int "order" n (Graph.n g);
+                check_true "connected" (Graph.is_connected g))
+              gs)
+          [ (1, 1); (2, 1); (3, 2); (4, 6); (5, 21) ]) ]
+
+(* ------------------------------ lint pass ------------------------------- *)
+
+(* An order-sensitive rule: the action copies the state of the *first*
+   neighbor in the local array — meaningless in an anonymous network. *)
+let order_sensitive g =
+  let copy_first =
+    { Algorithm.rule_name = "copy-first";
+      guard =
+        (fun (v : int Algorithm.view) ->
+          Array.length v.Algorithm.nbrs > 0
+          && v.Algorithm.nbrs.(0) <> v.Algorithm.state);
+      action = (fun v -> v.Algorithm.nbrs.(0)) }
+  in
+  Finite.make ~name:"order-sensitive"
+    ~algorithm:
+      { Algorithm.name = "order-sensitive";
+        rules = [ copy_first ];
+        equal = Int.equal;
+        pp = Fmt.int }
+    ~graph:g
+    ~domain:(fun _ -> [ 0; 1 ])
+    ~legitimate:(fun _ cfg ->
+      Array.for_all (fun s -> s = cfg.(0)) cfg)
+    ()
+
+let lint_tests =
+  [ test "permutation lint flags neighbor-order dependence" (fun () ->
+        let findings = Lint.run (order_sensitive (Gen.path 3)) in
+        check_true "flagged"
+          (List.exists
+             (fun (f : Lint.finding) ->
+               f.Lint.lint = "permutation"
+               && List.mem "copy-first" f.Lint.rules)
+             findings));
+    test "overlap and silent-move lints flag the toy-overlap fixture"
+      (fun () ->
+        let findings = Lint.run (Toy.overlap (Gen.path 2)) in
+        let lints = List.map (fun (f : Lint.finding) -> f.Lint.lint) findings in
+        check_true "overlap" (List.mem "overlap" lints);
+        check_true "silent-move" (List.mem "silent-move" lints));
+    test "every paper algorithm lints clean (registry parity)" (fun () ->
+        List.iter
+          (fun (e : Registry.entry) ->
+            List.iter
+              (fun g ->
+                let findings = Lint.run (e.Registry.instance g) in
+                if findings <> [] then
+                  Alcotest.failf "%s on n=%d: %a" e.Registry.name (Graph.n g)
+                    Fmt.(list ~sep:(any "; ") Lint.pp_finding)
+                    findings)
+              (Gen.all_connected
+                 (max e.Registry.min_n (min 3 e.Registry.max_n_quick))))
+          Registry.entries) ]
+
+(* ---------------------------- model checker ----------------------------- *)
+
+(* Rules that walk straight out of the legitimate set and stop in an
+   illegitimate terminal configuration: closure and dead-end violations. *)
+let escaping g =
+  let escape =
+    { Algorithm.rule_name = "escape";
+      guard = (fun (v : int Algorithm.view) -> v.Algorithm.state = 0);
+      action = (fun _ -> 1) }
+  in
+  Finite.make ~name:"escaping"
+    ~algorithm:
+      { Algorithm.name = "escaping";
+        rules = [ escape ];
+        equal = Int.equal;
+        pp = Fmt.int }
+    ~graph:g
+    ~domain:(fun _ -> [ 0; 1 ])
+    ~legitimate:(fun _ cfg -> Array.for_all (fun s -> s = 0) cfg)
+    ()
+
+let properties (r : Model.t) =
+  List.map (fun (v : Model.violation) -> v.Model.property) r.Model.violations
+
+let model_tests =
+  [ test "toy-livelock: the illegitimate cycle is found (no false negative)"
+      (fun () ->
+        let r = Model.check (Toy.livelock (Gen.ring 3)) in
+        check_true "livelock" (List.mem "livelock" (properties r));
+        check_true "no abort" (r.Model.aborted = None));
+    test "toy-overlap: model-level violations are found" (fun () ->
+        let r = Model.check (Toy.overlap (Gen.path 2)) in
+        check_true "dirty" (r.Model.violations <> []));
+    test "closure and dead-end violations are distinguished" (fun () ->
+        let r = Model.check (escaping (Gen.path 2)) in
+        let ps = properties r in
+        check_true "closure" (List.mem "closure" ps);
+        check_true "dead-end" (List.mem "dead-end" ps));
+    test "exact worst case matches the paper bound on the single process"
+      (fun () ->
+        (* unison-sdr on n=1: worst recovery is exactly 3 moves and 3
+           rounds (RB, RF, C), meeting the 3n bound with equality. *)
+        let e =
+          List.find (fun e -> e.Registry.name = "unison-sdr") Registry.entries
+        in
+        let g = List.hd (Gen.all_connected 1) in
+        let r = Model.check (e.Registry.instance g) in
+        check_true "clean" (r.Model.violations = []);
+        check (Alcotest.option Alcotest.int) "moves" (Some 3)
+          r.Model.worst_moves;
+        check (Alcotest.option Alcotest.int) "rounds" (Some 3)
+          r.Model.worst_rounds);
+    test "min-unison has no livelock on any connected graph up to n = 4"
+      (fun () ->
+        (* regression: the first reconstruction (in-ring reset to 0)
+           livelocked on C4 — a clock at 2 and its reset chased each other
+           around the hole.  The corrected tail reconstruction must verify
+           clean on every connected graph up to n = 4. *)
+        let e =
+          List.find (fun e -> e.Registry.name = "min-unison") Registry.entries
+        in
+        for n = 1 to 4 do
+          List.iter
+            (fun g ->
+              let r = Model.check (e.Registry.instance g) in
+              check_true
+                (Fmt.str "no abort n=%d m=%d" n (Graph.m g))
+                (r.Model.aborted = None);
+              if r.Model.violations <> [] then
+                Alcotest.failf "n=%d m=%d: %s" n (Graph.m g)
+                  (String.concat "; " (properties r)))
+            (Gen.all_connected n)
+        done) ]
+
+(* ------------------------------- registry ------------------------------- *)
+
+let registry_tests =
+  [ test "find matches case-insensitive substrings" (fun () ->
+        check_int "unison" 3 (List.length (Registry.find "UNISON"));
+        check_int "toy" 2 (List.length (Registry.find "toy"));
+        check_int "none" 0 (List.length (Registry.find "zzz")));
+    test "fixtures are reported dirty, entries clean (quick mode)" (fun () ->
+        List.iter
+          (fun e ->
+            let r = Registry.run ~mode:`Quick e in
+            check_false
+              (Fmt.str "%s dirty" e.Registry.name)
+              (Report.entry_ok r))
+          Registry.fixtures;
+        let e = List.hd Registry.entries in
+        check_true "first entry clean"
+          (Report.entry_ok (Registry.run ~mode:`Quick ~max_n:3 e))) ]
+
+let () =
+  Alcotest.run "check"
+    [ ("enumeration", enumeration_tests);
+      ("lint", lint_tests);
+      ("model", model_tests);
+      ("registry", registry_tests) ]

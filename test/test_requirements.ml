@@ -1,5 +1,4 @@
 open Helpers
-module Graph = Ssreset_graph.Graph
 module Gen = Ssreset_graph.Gen
 module Algorithm = Ssreset_sim.Algorithm
 module Sdr = Ssreset_core.Sdr
@@ -166,8 +165,42 @@ let broken_2d_test =
            (fun v -> String.equal v.Requirements.requirement "2e")
            violations))
 
+(* An input violating only 2b: reset type-checks and always lands in
+   P_reset, but a second reset keeps shifting the state — hidden progress
+   a real reinitialization must not make (reset must be idempotent). *)
+module Broken2b : Sdr.INPUT with type state = int = struct
+  type state = int
+
+  let name = "broken-2b"
+  let equal = Int.equal
+  let pp = Fmt.int
+  let p_icorrect _ = true
+  let p_reset c = c <= 0
+  let reset s = if s > 0 then -s else if s < 0 then s + 1 else 0
+  let rules = []
+end
+
+let broken_2b_test =
+  test "the checker isolates a requirement-2b violation" (fun () ->
+      let violations =
+        Requirements.check
+          (module Broken2b)
+          ~gen:(fun rng _ -> Random.State.int rng 7 - 3)
+          ~graphs:[ Gen.path 4 ]
+          ~seed:8 ~trials:5
+      in
+      check_true "2b flagged"
+        (List.exists
+           (fun v -> String.equal v.Requirements.requirement "2b")
+           violations);
+      check_false "nothing but 2b"
+        (List.exists
+           (fun v -> not (String.equal v.Requirements.requirement "2b"))
+           violations))
+
 let () =
   Alcotest.run "requirements"
     [ ("shipped inputs",
        [ unison_test; fga_test; coloring_test; mis_test; matching_test ]);
-      ("checker sensitivity", [ broken_test; broken_2d_test ]) ]
+      ("checker sensitivity",
+       [ broken_test; broken_2d_test; broken_2b_test ]) ]

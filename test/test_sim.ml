@@ -113,6 +113,41 @@ let engine_tests =
           (Engine.step ~algorithm:max_prop ~graph:g
              ~daemon:Daemon.synchronous ~step_index:0 [| 2; 2; 2; 2 |]
           = None));
+    test "check_overlap rejects simultaneously enabled rules" (fun () ->
+        let overlapping : int Algorithm.t =
+          { Algorithm.name = "overlapping";
+            rules =
+              [ { Algorithm.rule_name = "a";
+                  guard = (fun v -> v.Algorithm.state = 0);
+                  action = (fun _ -> 1) };
+                { Algorithm.rule_name = "b";
+                  guard = (fun v -> v.Algorithm.state <= 0);
+                  action = (fun _ -> 2) } ];
+            equal = Int.equal;
+            pp = Fmt.int }
+        in
+        let g = Gen.path 2 in
+        let cfg = [| 0; 1 |] in
+        (* default: silent first-match semantics *)
+        (match
+           Engine.step ~algorithm:overlapping ~graph:g
+             ~daemon:Daemon.synchronous ~step_index:0 cfg
+         with
+        | Some (next, _) -> check_int "first match" 1 next.(0)
+        | None -> Alcotest.fail "expected a step");
+        check_true "flag raises"
+          (match
+             Engine.step ~check_overlap:true ~algorithm:overlapping ~graph:g
+               ~daemon:Daemon.synchronous ~step_index:0 cfg
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        (* exclusive rule sets pass under the flag *)
+        let r =
+          Engine.run ~check_overlap:true ~algorithm:two_rules ~graph:g
+            ~daemon:Daemon.synchronous ~max_steps:6 [| 0; 5 |]
+        in
+        check_true "exclusive ok" (r.Engine.steps = 6));
     test "max-prop reaches the global maximum under every daemon" (fun () ->
         List.iter
           (fun daemon ->

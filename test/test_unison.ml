@@ -355,6 +355,7 @@ let min_unison_tests =
           (match
              let module Bad = MU.Make (struct
                let k = 2
+               let alpha = 1
              end) in
              Bad.k
            with
@@ -364,6 +365,7 @@ let min_unison_tests =
         let g = Gen.path 3 in
         let module M = MU.Make (struct
           let k = 50
+          let alpha = 2
         end) in
         check_true "init" (M.is_legitimate g (M.gamma_init g));
         check_false "gap" (M.is_legitimate g [| 0; 2; 2 |]);
@@ -376,15 +378,24 @@ let min_unison_tests =
           (rule [| 1; 1; 1 |] 1);
         check (Alcotest.option Alcotest.string) "zero" (Some MU.rule_zero)
           (rule [| 1; 5; 5 |] 1);
-        (* a process already at 0 never self-loops on the reset rule *)
-        check (Alcotest.option Alcotest.string) "no self-loop" None
-          (rule [| 5; 0; 5 |] 1));
+        (* incompatibility pushes even a clock at 0 below the ring: the
+           in-ring reset of the first reconstruction is what livelocked *)
+        check (Alcotest.option Alcotest.string) "zero from 0"
+          (Some MU.rule_zero)
+          (rule [| 5; 0; 5 |] 1);
+        check (Alcotest.option Alcotest.string) "climb" (Some MU.rule_climb)
+          (rule [| 5; -2; 5 |] 1);
+        (* at the ring door (-1) a process waits until its whole
+           neighborhood is back at 0 or 1 *)
+        check (Alcotest.option Alcotest.string) "waits at ring door" None
+          (rule [| 5; -1; 5 |] 1));
     test "stabilizes from arbitrary configurations on the zoo" (fun () ->
         List.iter
           (fun (name, g) ->
             let n = Graph.n g in
             let module M = MU.Make (struct
               let k = (n * n) + 1
+              let alpha = max 1 (n - 2)
             end) in
             List.iter
               (fun daemon ->
@@ -405,6 +416,7 @@ let min_unison_tests =
         let g = Gen.ring 7 in
         let module M = MU.Make (struct
           let k = 50
+          let alpha = 5
         end) in
         let ok = ref true in
         let observer ~step:_ ~moved:_ cfg =

@@ -1,0 +1,59 @@
+(* CI gate: run the quick lint + model-check suite over every registered
+   algorithm (all must be clean) and over the toy fixtures (all must be
+   flagged — the checker must have no false negatives).  Wired under
+   `dune runtest` from tools/dune; exits non-zero on any discrepancy. *)
+
+module Registry = Ssreset_check.Registry
+module Report = Ssreset_check.Report
+module Model = Ssreset_check.Model
+
+let () =
+  let failures = ref 0 in
+  let fail fmt =
+    Format.kasprintf
+      (fun msg ->
+        incr failures;
+        Printf.printf "FAIL %s\n" msg)
+      fmt
+  in
+  let reports =
+    List.map (fun e -> Registry.run ~mode:`Quick e) Registry.entries
+  in
+  List.iter
+    (fun (r : Report.entry_report) ->
+      let aborted =
+        List.exists
+          (fun (m : Report.model_item) -> m.Report.result.Model.aborted <> None)
+          r.Report.models
+      in
+      if not (Report.entry_ok r) then
+        fail "%s: findings or violations:@,%a" r.Report.name Report.pp [ r ]
+      else
+        Printf.printf "ok   %-14s lint clean (%d views), %d graphs verified%s\n"
+          r.Report.name r.Report.lint_views
+          (List.length r.Report.models)
+          (if aborted then " (some runs aborted on budget)" else ""))
+    reports;
+  List.iter
+    (fun e ->
+      let r = Registry.run ~mode:`Quick e in
+      let model_dirty =
+        List.exists
+          (fun (m : Report.model_item) ->
+            m.Report.result.Model.violations <> [])
+          r.Report.models
+      in
+      let dirty = r.Report.lint <> [] || model_dirty in
+      if not dirty then
+        fail "%s: fixture was NOT flagged (false negative)" r.Report.name
+      else
+        Printf.printf "ok   %-14s fixture flagged as expected (%d lint, %s)\n"
+          r.Report.name
+          (List.length r.Report.lint)
+          (if model_dirty then "model violations" else "model clean"))
+    Registry.fixtures;
+  if !failures > 0 then begin
+    Printf.printf "check_all: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "check_all: all clean"
