@@ -1,11 +1,16 @@
 (* Benchmark harness.
 
-   Usage: main.exe [--quick] [--no-timing] [--out FILE] [EXPERIMENT-ID ...]
+   Usage: main.exe [--quick] [--no-timing] [--jobs N] [--out FILE]
+                   [EXPERIMENT-ID ...]
 
    Without ids, regenerates every experiment table of the paper reproduction
-   (E1..E16, see DESIGN.md and EXPERIMENTS.md) followed by the Bechamel
-   wall-clock suite (B1).  Exit status is non-zero if any table reports a
-   violated bound.
+   (E1..E16, see DESIGN.md and EXPERIMENTS.md) followed by the engine
+   scheduler throughput section and the Bechamel wall-clock suite (B1).
+   Exit status is non-zero if any table reports a violated bound.
+
+   [--jobs N] fans the grid cells of each experiment across N OCaml domains
+   (default: the profile's setting, 1).  Tables and the results file are
+   byte-identical for any N — parallelism only changes wall-clock.
 
    Besides the text tables, the harness always writes a machine-readable
    results file (default BENCH_results.json): per-experiment wall-clock,
@@ -24,6 +29,7 @@ let parse_args () =
   let quick = ref false in
   let timing = ref true in
   let out = ref "BENCH_results.json" in
+  let jobs = ref None in
   let ids = ref [] in
   let i = ref 1 in
   let argc = Array.length Sys.argv in
@@ -35,9 +41,18 @@ let parse_args () =
     | "--out" when !i + 1 < argc ->
         incr i;
         out := Sys.argv.(!i)
+    | "--jobs" when !i + 1 < argc ->
+        incr i;
+        (match int_of_string_opt Sys.argv.(!i) with
+        | Some j when j >= 1 -> jobs := Some j
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n"
+              Sys.argv.(!i);
+            exit 2)
     | "--help" | "-h" ->
         Printf.printf
-          "usage: %s [--quick] [--no-timing] [--out FILE] [EXPERIMENT-ID ...]\n\
+          "usage: %s [--quick] [--no-timing] [--jobs N] [--out FILE] \
+           [EXPERIMENT-ID ...]\n\
            experiments: %s\n"
           Sys.argv.(0)
           (String.concat " " available);
@@ -48,7 +63,7 @@ let parse_args () =
         exit 2);
     incr i
   done;
-  (!quick, !timing, !out, List.rev !ids)
+  (!quick, !timing, !out, !jobs, List.rev !ids)
 
 (* A table passes when its last column is all "ok". *)
 let table_ok table =
@@ -144,12 +159,75 @@ let run_experiments ~profile ~ids =
           [ ("id", Json.String id);
             ("ok", Json.Bool !ok);
             ("wall_s", Json.Float wall_s);
+            ("domains", Json.Int profile.Expt.Experiments.jobs);
             ("margins",
              Json.List (List.concat_map margins_of_table tables));
             ("tables", Json.List (List.map Table.to_json tables)) ]
         :: !records)
     selected;
   (!failures, List.rev !records)
+
+(* ------------------------------------------------------------------ *)
+(* Engine scheduler throughput: full per-step rescan vs the dirty-set  *)
+(* incremental scheduler, on a U∘SDR ring under the central-random     *)
+(* daemon (one mover per step — the worst case for a full rescan, and  *)
+(* the common case under central daemons).  Both runs execute exactly  *)
+(* the same step sequence (same seed, same table semantics), so the    *)
+(* steps/s ratio isolates the scheduling cost.                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_engine_bench ~quick =
+  Printf.printf "== engine: scheduler throughput, U∘SDR ring, central-random \
+                 daemon ==\n%!";
+  let sizes = [ 64; 256; 1024 ] in
+  let records =
+    List.map
+      (fun n ->
+        let graph = Ssreset_graph.Gen.ring n in
+        let module U = Ssreset_unison.Unison.Make (struct
+          let k = (2 * n) + 2
+        end) in
+        let gen = U.Composed.generator ~inner:U.clock_gen ~max_d:(2 * n) in
+        let cfg0 =
+          Ssreset_sim.Fault.arbitrary (Random.State.make [| 3; n |]) gen graph
+        in
+        let max_steps = if quick then 2_000 else 20_000 in
+        let measure scheduler =
+          Ssreset_sim.Engine.run ~seed:5 ~max_steps ~scheduler
+            ~algorithm:U.Composed.algorithm ~graph
+            ~daemon:Ssreset_sim.Daemon.central_random (Array.copy cfg0)
+        in
+        let full = measure `Full in
+        let inc = measure `Incremental in
+        (* Bit-identity cross-check — the two schedulers must agree on
+           everything but wall-clock. *)
+        if
+          full.Ssreset_sim.Engine.steps <> inc.Ssreset_sim.Engine.steps
+          || full.Ssreset_sim.Engine.moves <> inc.Ssreset_sim.Engine.moves
+          || full.Ssreset_sim.Engine.rounds <> inc.Ssreset_sim.Engine.rounds
+          || full.Ssreset_sim.Engine.final <> inc.Ssreset_sim.Engine.final
+        then failwith "engine bench: schedulers diverged";
+        let rate (r : _ Ssreset_sim.Engine.result) =
+          if r.wall_s > 0. then float_of_int r.steps /. r.wall_s else 0.
+        in
+        let full_rate = rate full and inc_rate = rate inc in
+        let speedup = if full_rate > 0. then inc_rate /. full_rate else 0. in
+        Printf.printf
+          "  n=%-5d %7d steps   full %10.0f steps/s   incremental %10.0f \
+           steps/s   speedup %5.1fx\n\
+           %!"
+          n full.Ssreset_sim.Engine.steps full_rate inc_rate speedup;
+        Json.Obj
+          [ ("n", Json.Int n);
+            ("daemon", Json.String "central-random");
+            ("steps", Json.Int full.Ssreset_sim.Engine.steps);
+            ("full_steps_per_s", Json.Float full_rate);
+            ("incremental_steps_per_s", Json.Float inc_rate);
+            ("speedup", Json.Float speedup) ])
+      sizes
+  in
+  print_newline ();
+  records
 
 (* ------------------------------------------------------------------ *)
 (* B1: Bechamel wall-clock suite.                                       *)
@@ -304,20 +382,28 @@ let run_check ~quick =
   (!failures, records)
 
 let () =
-  let quick, timing, out, ids = parse_args () in
+  let quick, timing, out, jobs, ids = parse_args () in
   let profile =
     if quick then Expt.Experiments.quick else Expt.Experiments.full
   in
+  let profile =
+    match jobs with
+    | Some jobs -> { profile with Expt.Experiments.jobs }
+    | None -> profile
+  in
   Printf.printf
     "Self-Stabilizing Distributed Cooperative Reset — experiment harness (%s \
-     profile)\n\n%!"
-    (if quick then "quick" else "full");
+     profile, %d domain%s)\n\n%!"
+    (if quick then "quick" else "full")
+    profile.Expt.Experiments.jobs
+    (if profile.Expt.Experiments.jobs = 1 then "" else "s");
   let t0 = Unix.gettimeofday () in
   let failures, experiments = run_experiments ~profile ~ids in
   let check_failures, check_records =
     if ids = [] then run_check ~quick else (0, [])
   in
   let failures = failures + check_failures in
+  let engine = if ids = [] then run_engine_bench ~quick else [] in
   let timings =
     if timing && ids = [] then run_bechamel ~quick else []
   in
@@ -326,9 +412,11 @@ let () =
       [ ("schema", Json.Int Ssreset_obs.Sink.schema_version);
         ("profile", Json.String (if quick then "quick" else "full"));
         ("git", Json.String (Ssreset_obs.Sink.git_describe ()));
+        ("domains", Json.Int profile.Expt.Experiments.jobs);
         ("failures", Json.Int failures);
         ("wall_s", Json.Float (Unix.gettimeofday () -. t0));
         ("experiments", Json.List experiments);
+        ("engine", Json.List engine);
         ("check", Json.List check_records);
         ("timing", Json.List timings) ]
   in

@@ -97,6 +97,31 @@ let spec =
         ~doc:"Alliance instance: dominating-set, global-offensive, \
               global-defensive, global-powerful, or F,G constants.")
 
+let scheduler_conv =
+  let parse = function
+    | "full" -> Ok `Full
+    | "incremental" -> Ok `Incremental
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown scheduler %S (full or incremental)" s))
+  in
+  let print ppf (s : Ssreset_sim.Engine.scheduler) =
+    Format.pp_print_string ppf
+      (match s with `Full -> "full" | `Incremental -> "incremental")
+  in
+  Arg.conv (parse, print)
+
+let scheduler =
+  Arg.(
+    value
+    & opt scheduler_conv `Incremental
+    & info [ "scheduler" ] ~docv:"SCHED"
+        ~doc:
+          "Engine scheduler: $(b,incremental) (dirty-set, the default) or \
+           $(b,full) (per-step rescan).  Results are bit-identical either \
+           way; only wall-clock differs.")
+
 (* ------------------------- telemetry output opts ------------------------ *)
 
 type output = { json : bool; trace_out : string option }
@@ -184,54 +209,60 @@ let measured ~output ~system ~title ~family ~n ~seed ~daemon_name
 (* Each system: CLI name, doc, and a runner closure.  The `run` subcommand
    dispatches on the name; the per-system subcommands reuse the same
    closures. *)
-let unison_run ~seed = fun ~sink ~graph ~daemon ->
-  Runner.unison_composed ?sink ~graph ~daemon ~seed ()
+let unison_run ~seed ~scheduler = fun ~sink ~graph ~daemon ->
+  Runner.unison_composed ?sink ~scheduler ~graph ~daemon ~seed ()
 
-let systems ~spec ~seed =
+let systems ~spec ~seed ~scheduler =
   [ ("unison",
      "U∘SDR from an arbitrary configuration (stop at first normal)",
-     unison_run ~seed);
+     unison_run ~seed ~scheduler);
     ("tail-unison",
      "tail-unison baseline from an arbitrary configuration",
      fun ~sink ~graph ~daemon ->
-       Runner.tail_unison ?sink ~graph ~daemon ~seed ());
+       Runner.tail_unison ?sink ~scheduler ~graph ~daemon ~seed ());
     ("min-unison",
      "min-unison baseline (K = n²+1) from an arbitrary configuration",
      fun ~sink ~graph ~daemon ->
-       Runner.min_unison ?sink ~graph ~daemon ~seed ());
+       Runner.min_unison ?sink ~scheduler ~graph ~daemon ~seed ());
     ("agr-unison",
      "U∘AGR (mono-initiator reset baseline; needs a weakly fair daemon)",
      fun ~sink ~graph ~daemon ->
-       Runner.unison_agr ?sink ~graph ~daemon ~seed ());
+       Runner.unison_agr ?sink ~scheduler ~graph ~daemon ~seed ());
     ("alliance",
      Printf.sprintf "FGA(%s)∘SDR from an arbitrary configuration"
        spec.Spec.spec_name,
      fun ~sink ~graph ~daemon ->
-       Runner.fga_composed ?sink ~spec ~graph ~daemon ~seed ());
+       Runner.fga_composed ?sink ~scheduler ~spec ~graph ~daemon ~seed ());
     ("alliance-bare",
      Printf.sprintf "FGA(%s) from γ_init (non self-stabilizing run)"
        spec.Spec.spec_name,
      fun ~sink ~graph ~daemon ->
-       Runner.fga_bare ?sink ~spec ~graph ~daemon ~seed ());
+       Runner.fga_bare ?sink ~scheduler ~spec ~graph ~daemon ~seed ());
     ("coloring",
      "coloring∘SDR from an arbitrary configuration",
      fun ~sink ~graph ~daemon ->
-       Runner.coloring_composed ?sink ~graph ~daemon ~seed ());
+       Runner.coloring_composed ?sink ~scheduler ~graph ~daemon ~seed ());
     ("mis",
      "MIS∘SDR from an arbitrary configuration",
      fun ~sink ~graph ~daemon ->
-       Runner.mis_composed ?sink ~graph ~daemon ~seed ());
+       Runner.mis_composed ?sink ~scheduler ~graph ~daemon ~seed ());
     ("matching",
      "matching∘SDR from an arbitrary configuration",
      fun ~sink ~graph ~daemon ->
-       Runner.matching_composed ?sink ~graph ~daemon ~seed ()) ]
+       Runner.matching_composed ?sink ~scheduler ~graph ~daemon ~seed ()) ]
 
-let run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec =
-  match List.find_opt (fun (name, _, _) -> name = system) (systems ~spec ~seed) with
+let run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec ~scheduler =
+  match
+    List.find_opt
+      (fun (name, _, _) -> name = system)
+      (systems ~spec ~seed ~scheduler)
+  with
   | None ->
       Fmt.epr "unknown system %S (one of: %s)@." system
         (String.concat ", "
-           (List.map (fun (name, _, _) -> name) (systems ~spec ~seed)));
+           (List.map
+              (fun (name, _, _) -> name)
+              (systems ~spec ~seed ~scheduler)));
       2
   | Some (_, title, run) ->
       if
@@ -246,12 +277,14 @@ let run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec =
 (* ------------------------------ subcommands ----------------------------- *)
 
 let system_cmd name ~doc cli_system =
-  let run family n seed daemon_name spec output =
+  let run family n seed daemon_name spec sched output =
     run_system ~output ~system:cli_system ~family ~n ~seed ~daemon_name ~spec
+      ~scheduler:sched
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const run $ family $ size $ seed $ daemon_name $ spec $ output_term)
+      const run $ family $ size $ seed $ daemon_name $ spec $ scheduler
+      $ output_term)
 
 let unison_cmd =
   system_cmd "unison"
@@ -275,9 +308,10 @@ let agr_unison_cmd =
     "agr-unison"
 
 let alliance_cmd =
-  let run family n seed daemon_name spec bare output =
+  let run family n seed daemon_name spec bare sched output =
     let system = if bare then "alliance-bare" else "alliance" in
     run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec
+      ~scheduler:sched
   in
   let bare =
     Arg.(value & flag & info [ "bare" ] ~doc:"Run FGA alone from γ_init.")
@@ -287,7 +321,7 @@ let alliance_cmd =
        ~doc:"Silent self-stabilizing 1-minimal (f,g)-alliance (FGA∘SDR).")
     Term.(
       const run $ family $ size $ seed $ daemon_name $ spec $ bare
-      $ output_term)
+      $ scheduler $ output_term)
 
 let matching_cmd =
   system_cmd "matching" ~doc:"Silent self-stabilizing maximal matching."
@@ -302,8 +336,9 @@ let mis_cmd =
     "mis"
 
 let run_cmd =
-  let run system family n seed daemon_name spec output =
+  let run system family n seed daemon_name spec sched output =
     run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec
+      ~scheduler:sched
   in
   let system =
     Arg.(
@@ -323,7 +358,7 @@ let run_cmd =
           --trace-out.")
     Term.(
       const run $ system $ family $ size $ seed $ daemon_name $ spec
-      $ output_term)
+      $ scheduler $ output_term)
 
 let graph_cmd =
   let run family n seed dot =
@@ -429,10 +464,15 @@ let check_cmd =
     Term.(const run $ algo $ json $ quick $ max_n $ list_only)
 
 let experiments_cmd =
-  let run quick ids csv json =
+  let run quick jobs ids csv json =
     let profile =
       if quick then Ssreset_expt.Experiments.quick
       else Ssreset_expt.Experiments.full
+    in
+    let profile =
+      match jobs with
+      | Some jobs -> { profile with Ssreset_expt.Experiments.jobs }
+      | None -> profile
     in
     let failures = ref 0 in
     List.iter
@@ -454,6 +494,16 @@ let experiments_cmd =
     !failures
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Small sweep.") in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Fan the grid cells of each experiment across $(docv) OCaml \
+             domains.  Tables are byte-identical for any $(docv); only \
+             wall-clock changes.  Default 1 (sequential).")
+  in
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit tables as CSV (data only).")
   in
@@ -467,7 +517,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the experiment tables.")
-    Term.(const run $ quick $ ids $ csv $ json)
+    Term.(const run $ quick $ jobs $ ids $ csv $ json)
 
 let () =
   let doc =

@@ -8,16 +8,31 @@ type profile = {
   fga_sizes : int list;
   seeds : int;
   bare_steps_factor : int;
+  jobs : int;
 }
 
 let quick =
-  { sizes = [ 12; 24 ]; fga_sizes = [ 10; 16 ]; seeds = 2; bare_steps_factor = 40 }
+  { sizes = [ 12; 24 ]; fga_sizes = [ 10; 16 ]; seeds = 2;
+    bare_steps_factor = 40; jobs = 1 }
 
 let full =
-  { sizes = [ 16; 32; 64 ];
+  { sizes = [ 16; 32; 64; 128 ];
     fga_sizes = [ 12; 24; 40 ];
     seeds = 3;
-    bare_steps_factor = 60 }
+    bare_steps_factor = 60;
+    jobs = 1 }
+
+(* Fan a sweep's independent grid cells out over [profile.jobs] domains.
+   Each cell builds its own graphs, daemons and RNG states from its seeds,
+   and {!Ssreset_sim.Pool} returns results in input order — so the tables
+   below are byte-identical whatever the jobs count. *)
+let grid ~profile cells ~f = Ssreset_sim.Pool.map_list ~jobs:profile.jobs f cells
+
+(* family × size cell list, in sweep order. *)
+let cells_of families sizes =
+  List.concat_map
+    (fun (family : Workload.family) -> List.map (fun n -> (family, n)) sizes)
+    families
 
 let unison_families = [ Workload.ring; Workload.path; Workload.star;
                         Workload.sparse_random; Workload.lollipop ]
@@ -71,36 +86,29 @@ let mean_moves agg = float_of_int agg.sum_moves /. float_of_int (max 1 agg.runs)
 (* ------------------------------------------------------------------ *)
 
 let e1_e2_e3 profile =
-  let cells = ref [] in
-  let record ~system ~family ~n agg =
-    cells := (system, family, n, agg) :: !cells
+  let jobs_of_cell (system, (family : Workload.family), n) =
+    let agg =
+      match system with
+      | `Unison ->
+          sweep_cell ~seeds:profile.seeds ~run:(fun ~daemon ~seed ->
+              let graph = family.Workload.build ~seed ~n in
+              Runner.unison_composed ~graph ~daemon ~seed ())
+      | `Fga ->
+          sweep_cell ~seeds:profile.seeds ~run:(fun ~daemon ~seed ->
+              let graph = family.Workload.build ~seed ~n in
+              Runner.fga_composed ~stop_at_normal:true
+                ~spec:Spec.dominating_set ~graph ~daemon ~seed ())
+    in
+    ((match system with `Unison -> "U∘SDR" | `Fga -> "FGA∘SDR"),
+     family.Workload.family_name, n, agg)
   in
-  List.iter
-    (fun (family : Workload.family) ->
-      List.iter
-        (fun n ->
-          let agg =
-            sweep_cell ~seeds:profile.seeds ~run:(fun ~daemon ~seed ->
-                let graph = family.Workload.build ~seed ~n in
-                Runner.unison_composed ~graph ~daemon ~seed ())
-          in
-          record ~system:"U∘SDR" ~family:family.Workload.family_name ~n agg)
-        profile.sizes)
-    unison_families;
-  List.iter
-    (fun (family : Workload.family) ->
-      List.iter
-        (fun n ->
-          let agg =
-            sweep_cell ~seeds:profile.seeds ~run:(fun ~daemon ~seed ->
-                let graph = family.Workload.build ~seed ~n in
-                Runner.fga_composed ~stop_at_normal:true
-                  ~spec:Spec.dominating_set ~graph ~daemon ~seed ())
-          in
-          record ~system:"FGA∘SDR" ~family:family.Workload.family_name ~n agg)
-        profile.fga_sizes)
-    fga_families;
-  let cells = List.rev !cells in
+  let cells =
+    grid ~profile ~f:jobs_of_cell
+      (List.map (fun (f, n) -> (`Unison, f, n))
+         (cells_of unison_families profile.sizes)
+      @ List.map (fun (f, n) -> (`Fga, f, n))
+          (cells_of fga_families profile.fga_sizes))
+  in
   let e1 =
     Table.make ~title:"E1  I∘SDR reaches a normal configuration within 3n rounds (Cor 5)"
       ~headers:[ "system"; "family"; "n"; "max rounds"; "bound 3n"; "ok" ]
@@ -147,21 +155,17 @@ let e1_e2_e3 profile =
 
 let e4_e5 profile =
   let families = [ Workload.ring; Workload.path; Workload.sparse_random ] in
-  let cells = ref [] in
-  List.iter
-    (fun (family : Workload.family) ->
-      List.iter
-        (fun n ->
-          let graph = family.Workload.build ~seed:1 ~n in
-          let diam = Metrics.diameter graph in
-          let agg =
-            sweep_cell ~seeds:profile.seeds ~run:(fun ~daemon ~seed ->
-                Runner.unison_composed ~graph ~daemon ~seed ())
-          in
-          cells := (family.Workload.family_name, n, diam, agg) :: !cells)
-        profile.sizes)
-    families;
-  let cells = List.rev !cells in
+  let cells =
+    grid ~profile (cells_of families profile.sizes)
+      ~f:(fun ((family : Workload.family), n) ->
+        let graph = family.Workload.build ~seed:1 ~n in
+        let diam = Metrics.diameter graph in
+        let agg =
+          sweep_cell ~seeds:profile.seeds ~run:(fun ~daemon ~seed ->
+              Runner.unison_composed ~graph ~daemon ~seed ())
+        in
+        (family.Workload.family_name, n, diam, agg))
+  in
   let e4 =
     Table.make
       ~title:"E4  U∘SDR stabilizes within O(D·n²) moves (Thm 6)"
@@ -201,10 +205,8 @@ let e4_e5 profile =
 let e6 profile =
   let families = [ Workload.ring; Workload.path; Workload.sparse_random ] in
   let rows =
-    List.concat_map
-      (fun (family : Workload.family) ->
-        List.map
-          (fun n ->
+    grid ~profile (cells_of families profile.sizes)
+      ~f:(fun ((family : Workload.family), n) ->
             let graph = family.Workload.build ~seed:1 ~n in
             let ours = new_agg () and tail = new_agg () and mu = new_agg () in
             List.iter
@@ -230,8 +232,6 @@ let e6 profile =
               Table.cell_float (mean_moves mu);
               Table.cell_int mu.max_rounds;
               Table.cell_bool (ours.all_ok && tail.all_ok && mu.all_ok) ])
-          profile.sizes)
-      families
   in
   Table.make
     ~title:
@@ -255,28 +255,26 @@ let e6 profile =
 
 let e7 profile =
   let rows =
-    List.concat_map
-      (fun (family : Workload.family) ->
-        List.map
-          (fun n ->
-            let graph = family.Workload.build ~seed:1 ~n in
-            let agg = new_agg () in
-            List.iter
-              (fun daemon_name ->
-                for seed = 1 to profile.seeds do
-                  add agg
-                    (Runner.unison_bare
-                       ~steps:(profile.bare_steps_factor * n)
-                       ~graph
-                       ~daemon:(Runner.daemon_by_name daemon_name)
-                       ~seed ())
-                done)
-              [ "synchronous"; "round-robin"; "distributed-random" ];
-            [ family.Workload.family_name; Table.cell_int n;
-              Table.cell_int (profile.bare_steps_factor * n);
-              Table.cell_bool agg.all_ok ])
-          profile.sizes)
-      [ Workload.ring; Workload.star; Workload.sparse_random ]
+    grid ~profile
+      (cells_of [ Workload.ring; Workload.star; Workload.sparse_random ]
+         profile.sizes)
+      ~f:(fun ((family : Workload.family), n) ->
+        let graph = family.Workload.build ~seed:1 ~n in
+        let agg = new_agg () in
+        List.iter
+          (fun daemon_name ->
+            for seed = 1 to profile.seeds do
+              add agg
+                (Runner.unison_bare
+                   ~steps:(profile.bare_steps_factor * n)
+                   ~graph
+                   ~daemon:(Runner.daemon_by_name daemon_name)
+                   ~seed ())
+            done)
+          [ "synchronous"; "round-robin"; "distributed-random" ];
+        [ family.Workload.family_name; Table.cell_int n;
+          Table.cell_int (profile.bare_steps_factor * n);
+          Table.cell_bool agg.all_ok ])
   in
   Table.make
     ~title:"E7  bare U from γ_init: safety holds, all clocks advance (Thm 5)"
@@ -292,31 +290,29 @@ let fga_specs =
     Spec.global_powerful; Spec.k_tuple_domination 2 ]
 
 let e8 profile =
-  let rows =
+  let cells =
     List.concat_map
-      (fun (family : Workload.family) ->
-        List.concat_map
-          (fun n ->
-            let graph = family.Workload.build ~seed:1 ~n in
-            List.filter_map
-              (fun spec ->
-                if not (Spec.feasible spec graph) then None
-                else begin
-                  let agg =
-                    sweep_cell ~seeds:profile.seeds ~run:(fun ~daemon ~seed ->
-                        Runner.fga_bare ~spec ~graph ~daemon ~seed ())
-                  in
-                  Some
-                    [ spec.Spec.spec_name; family.Workload.family_name;
-                      Table.cell_int n;
-                      Table.cell_int agg.max_rounds;
-                      Table.cell_int ((5 * n) + 4);
-                      Table.cell_bool
-                        (agg.all_ok && agg.max_rounds <= (5 * n) + 4) ]
-                end)
-              fga_specs)
-          profile.fga_sizes)
-      fga_families
+      (fun (family, n) -> List.map (fun spec -> (family, n, spec)) fga_specs)
+      (cells_of fga_families profile.fga_sizes)
+  in
+  let rows =
+    List.filter_map Fun.id
+      (grid ~profile cells ~f:(fun ((family : Workload.family), n, spec) ->
+           let graph = family.Workload.build ~seed:1 ~n in
+           if not (Spec.feasible spec graph) then None
+           else begin
+             let agg =
+               sweep_cell ~seeds:profile.seeds ~run:(fun ~daemon ~seed ->
+                   Runner.fga_bare ~spec ~graph ~daemon ~seed ())
+             in
+             Some
+               [ spec.Spec.spec_name; family.Workload.family_name;
+                 Table.cell_int n;
+                 Table.cell_int agg.max_rounds;
+                 Table.cell_int ((5 * n) + 4);
+                 Table.cell_bool
+                   (agg.all_ok && agg.max_rounds <= (5 * n) + 4) ]
+           end))
   in
   Table.make
     ~title:
@@ -331,28 +327,30 @@ let e8 profile =
 (* ------------------------------------------------------------------ *)
 
 let e9_e10 profile =
-  let cells = ref [] in
-  List.iter
-    (fun (family : Workload.family) ->
-      List.iter
-        (fun n ->
-          let graph = family.Workload.build ~seed:1 ~n in
-          List.iter
-            (fun spec ->
-              if Spec.feasible spec graph then begin
-                let agg =
-                  sweep_cell ~seeds:profile.seeds ~run:(fun ~daemon ~seed ->
-                      Runner.fga_composed ~spec ~graph ~daemon ~seed ())
-                in
-                cells :=
-                  (spec.Spec.spec_name, family.Workload.family_name, n, graph,
-                   agg)
-                  :: !cells
-              end)
-            [ Spec.dominating_set; Spec.global_defensive; Spec.global_powerful ])
-        profile.fga_sizes)
-    fga_families;
-  let cells = List.rev !cells in
+  let specs =
+    [ Spec.dominating_set; Spec.global_defensive; Spec.global_powerful ]
+  in
+  let cell_list =
+    List.concat_map
+      (fun (family, n) -> List.map (fun spec -> (family, n, spec)) specs)
+      (cells_of fga_families profile.fga_sizes)
+  in
+  let cells =
+    List.filter_map Fun.id
+      (grid ~profile cell_list
+         ~f:(fun ((family : Workload.family), n, spec) ->
+           let graph = family.Workload.build ~seed:1 ~n in
+           if not (Spec.feasible spec graph) then None
+           else begin
+             let agg =
+               sweep_cell ~seeds:profile.seeds ~run:(fun ~daemon ~seed ->
+                   Runner.fga_composed ~spec ~graph ~daemon ~seed ())
+             in
+             Some
+               (spec.Spec.spec_name, family.Workload.family_name, n, graph,
+                agg)
+           end))
+  in
   let e9 =
     Table.make
       ~title:
@@ -404,22 +402,22 @@ let e11 profile =
       "distributed-random"; "locally-central"; "adversarial"; "starve" ]
   in
   let rows =
-    List.concat_map
-      (fun daemon_name ->
-        let uni = new_agg () and fga = new_agg () in
-        for seed = 1 to profile.seeds do
-          add uni
-            (Runner.unison_composed ~graph
-               ~daemon:(Runner.daemon_by_name daemon_name) ~seed ());
-          add fga
-            (Runner.fga_composed ~spec:Spec.dominating_set ~graph
-               ~daemon:(Runner.daemon_by_name daemon_name) ~seed ())
-        done;
-        [ [ daemon_name; "U∘SDR"; Table.cell_int uni.max_rounds;
-            Table.cell_float (mean_moves uni); Table.cell_bool uni.all_ok ];
-          [ daemon_name; "FGA∘SDR"; Table.cell_int fga.max_rounds;
-            Table.cell_float (mean_moves fga); Table.cell_bool fga.all_ok ] ])
-      daemon_names
+    List.concat
+      (grid ~profile daemon_names ~f:(fun daemon_name ->
+           let uni = new_agg () and fga = new_agg () in
+           for seed = 1 to profile.seeds do
+             add uni
+               (Runner.unison_composed ~graph
+                  ~daemon:(Runner.daemon_by_name daemon_name) ~seed ());
+             add fga
+               (Runner.fga_composed ~spec:Spec.dominating_set ~graph
+                  ~daemon:(Runner.daemon_by_name daemon_name) ~seed ())
+           done;
+           [ [ daemon_name; "U∘SDR"; Table.cell_int uni.max_rounds;
+               Table.cell_float (mean_moves uni); Table.cell_bool uni.all_ok ];
+             [ daemon_name; "FGA∘SDR"; Table.cell_int fga.max_rounds;
+               Table.cell_float (mean_moves fga); Table.cell_bool fga.all_ok ]
+           ]))
   in
   Table.make
     ~title:
@@ -506,10 +504,12 @@ let e12 () =
 
 let e13 profile =
   let rows =
-    List.concat_map
-      (fun (family : Workload.family) ->
-        List.concat_map
-          (fun n ->
+    List.concat
+      (grid ~profile
+         (cells_of
+            [ Workload.ring; Workload.star; Workload.sparse_random ]
+            profile.fga_sizes)
+         ~f:(fun ((family : Workload.family), n) ->
             let graph = family.Workload.build ~seed:1 ~n in
             let col =
               sweep_cell ~seeds:profile.seeds ~run:(fun ~daemon ~seed ->
@@ -528,9 +528,7 @@ let e13 profile =
               [ "MIS∘SDR"; family.Workload.family_name; Table.cell_int n;
                 Table.cell_int mis.max_rounds; Table.cell_bool mis.all_ok ];
               [ "matching∘SDR"; family.Workload.family_name; Table.cell_int n;
-                Table.cell_int mat.max_rounds; Table.cell_bool mat.all_ok ] ])
-          profile.fga_sizes)
-      [ Workload.ring; Workload.star; Workload.sparse_random ]
+                Table.cell_int mat.max_rounds; Table.cell_bool mat.all_ok ] ]))
   in
   Table.make
     ~title:
@@ -618,10 +616,10 @@ let e15 profile =
       "locally-central" ]
   in
   let rows =
-    List.concat_map
-      (fun (family : Workload.family) ->
-        List.map
-          (fun n ->
+    grid ~profile
+      (cells_of [ Workload.ring; Workload.star; Workload.sparse_random ]
+         profile.sizes)
+      ~f:(fun ((family : Workload.family), n) ->
             let graph = family.Workload.build ~seed:1 ~n in
             let sdr = new_agg () and agr = new_agg () in
             List.iter
@@ -655,8 +653,6 @@ let e15 profile =
                else "livelocks");
               Table.cell_bool
                 (sdr.all_ok && agr.all_ok && unfair_sdr.Runner.result_ok) ])
-          profile.sizes)
-      [ Workload.ring; Workload.star; Workload.sparse_random ]
   in
   Table.make
     ~title:
@@ -745,22 +741,19 @@ let e16 profile =
       daemons;
     agg
   in
-  let unison_rows =
-    List.map
-      (fun (label, k) ->
-        let agg = measure_unison k in
-        [ "U∘SDR"; label; Table.cell_int agg.max_rounds;
+  let rows =
+    grid ~profile
+      [ `U ("K = n+1", n + 1); `U ("K = 2n+2", (2 * n) + 2);
+        `U ("K = n²+1", (n * n) + 1);
+        `T ("α = n/2", n / 2); `T ("α = n", n); `T ("α = 2n", 2 * n) ]
+      ~f:(fun cell ->
+        let system, label, agg =
+          match cell with
+          | `U (label, k) -> ("U∘SDR", label, measure_unison k)
+          | `T (label, alpha) -> ("tail-unison", label, measure_tail alpha)
+        in
+        [ system; label; Table.cell_int agg.max_rounds;
           Table.cell_float (mean_moves agg); Table.cell_bool agg.all_ok ])
-      [ ("K = n+1", n + 1); ("K = 2n+2", (2 * n) + 2);
-        ("K = n²+1", (n * n) + 1) ]
-  in
-  let tail_rows =
-    List.map
-      (fun (label, alpha) ->
-        let agg = measure_tail alpha in
-        [ "tail-unison"; label; Table.cell_int agg.max_rounds;
-          Table.cell_float (mean_moves agg); Table.cell_bool agg.all_ok ])
-      [ ("α = n/2", n / 2); ("α = n", n); ("α = 2n", 2 * n) ]
   in
   Table.make
     ~title:
@@ -774,7 +767,7 @@ let e16 profile =
          look alike;";
         "the tail baseline pays ~α extra moves per resetting process, part \
          of its O(D·n³ + α·n²) move complexity" ]
-    (unison_rows @ tail_rows)
+    rows
 
 let all_lazy profile =
   [ ("E1-E3", fun () -> e1_e2_e3 profile);

@@ -8,6 +8,12 @@ type profile = {
   fga_sizes : int list;  (** smaller sizes for the costlier FGA sweeps *)
   seeds : int;  (** random repetitions per cell *)
   bare_steps_factor : int;  (** step budget per process for liveness runs *)
+  jobs : int;
+      (** grid-cell parallelism: the (family × size × spec/daemon) cells of
+          each sweep run on up to [jobs] OCaml domains via
+          {!Ssreset_sim.Pool}.  Every cell owns its RNG seeds, and cell
+          results are collected in input order, so tables are byte-identical
+          for any [jobs] value; [jobs <= 1] stays fully sequential. *)
 }
 
 val quick : profile

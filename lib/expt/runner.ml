@@ -178,7 +178,7 @@ let bare_obs (result : _ Engine.result) ~outcome_ok ~result_ok =
 
 let rngs seed = (Random.State.make [| seed; 17 |], Random.State.make [| seed; 91 |])
 
-let unison_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
+let unison_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module U = Ssreset_unison.Unison.Make (struct
     let k = (2 * n) + 2
@@ -191,7 +191,7 @@ let unison_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
   in
   let tele = telemetry ?sink ~round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+    Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round
       ~stop:(U.Composed.is_normal graph)
       ~algorithm:U.Composed.algorithm ~graph ~daemon cfg
@@ -204,7 +204,7 @@ let unison_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
   tele.emit_summary o result;
   o
 
-let unison_bare ?sink ~steps ~graph ~daemon ~seed () =
+let unison_bare ?scheduler ?sink ~steps ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module U = Ssreset_unison.Unison.Make (struct
     let k = (2 * n) + 2
@@ -216,7 +216,7 @@ let unison_bare ?sink ~steps ~graph ~daemon ~seed () =
   in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps:steps ~observer ?on_step:tele.on_step
+    Engine.run ?scheduler ~rng:run_rng ~max_steps:steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round ~algorithm:U.bare ~graph ~daemon
       (U.gamma_init graph)
   in
@@ -231,7 +231,7 @@ let unison_bare ?sink ~steps ~graph ~daemon ~seed () =
   tele.emit_summary o result;
   o
 
-let tail_unison ?(max_steps = 50_000_000) ?sink ~graph ~daemon ~seed () =
+let tail_unison ?(max_steps = 50_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module T = Ssreset_unison.Tail_unison.Make (struct
     let k = (2 * n) + 2
@@ -241,7 +241,7 @@ let tail_unison ?(max_steps = 50_000_000) ?sink ~graph ~daemon ~seed () =
   let cfg = Fault.arbitrary cfg_rng T.clock_gen graph in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ?on_step:tele.on_step
+    Engine.run ?scheduler ~rng:run_rng ~max_steps ?on_step:tele.on_step
       ?on_round:tele.on_round
       ~stop:(T.is_legitimate graph)
       ~algorithm:T.algorithm ~graph ~daemon cfg
@@ -254,7 +254,7 @@ let tail_unison ?(max_steps = 50_000_000) ?sink ~graph ~daemon ~seed () =
   tele.emit_summary o result;
   o
 
-let unison_agr ?(max_steps = 2_000_000) ?sink ~graph ~daemon ~seed () =
+let unison_agr ?(max_steps = 2_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module U = Ssreset_unison.Unison.Make (struct
     let k = (2 * n) + 2
@@ -272,7 +272,7 @@ let unison_agr ?(max_steps = 2_000_000) ?sink ~graph ~daemon ~seed () =
   let cfg = Fault.arbitrary cfg_rng gen graph in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ?on_step:tele.on_step
+    Engine.run ?scheduler ~rng:run_rng ~max_steps ?on_step:tele.on_step
       ?on_round:tele.on_round
       ~stop:(A.is_normal graph)
       ~algorithm:A.algorithm ~graph ~daemon cfg
@@ -285,7 +285,7 @@ let unison_agr ?(max_steps = 2_000_000) ?sink ~graph ~daemon ~seed () =
   tele.emit_summary o result;
   o
 
-let min_unison ?(max_steps = 50_000_000) ?sink ~graph ~daemon ~seed () =
+let min_unison ?(max_steps = 50_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module M = Ssreset_unison.Min_unison.Make (struct
     let k = (n * n) + 1
@@ -295,7 +295,7 @@ let min_unison ?(max_steps = 50_000_000) ?sink ~graph ~daemon ~seed () =
   let cfg = Fault.arbitrary cfg_rng M.clock_gen graph in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ?on_step:tele.on_step
+    Engine.run ?scheduler ~rng:run_rng ~max_steps ?on_step:tele.on_step
       ?on_round:tele.on_round
       ~stop:(M.is_legitimate graph)
       ~algorithm:M.algorithm ~graph ~daemon cfg
@@ -313,7 +313,7 @@ let lemma25_bound graph u =
   let delta = Graph.max_degree graph in
   (8 * deg * delta) + (18 * deg) + 24
 
-let fga_bare ?(max_steps = 20_000_000) ?sink ~spec ~graph ~daemon ~seed () =
+let fga_bare ?(max_steps = 20_000_000) ?scheduler ?sink ~spec ~graph ~daemon ~seed () =
   let module F = Ssreset_alliance.Fga.Make (struct
     let graph = graph
     let spec = spec
@@ -322,7 +322,7 @@ let fga_bare ?(max_steps = 20_000_000) ?sink ~spec ~graph ~daemon ~seed () =
   let _, run_rng = rngs seed in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ?on_step:tele.on_step
+    Engine.run ?scheduler ~rng:run_rng ~max_steps ?on_step:tele.on_step
       ?on_round:tele.on_round ~algorithm:F.bare ~graph ~daemon (F.gamma_init ())
   in
   let terminal = result.Engine.outcome = Engine.Terminal in
@@ -341,7 +341,8 @@ let fga_bare ?(max_steps = 20_000_000) ?sink ~spec ~graph ~daemon ~seed () =
   tele.emit_summary o result;
   o
 
-let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false) ?sink
+let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false)
+    ?scheduler ?sink
     ~spec ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module F = Ssreset_alliance.Fga.Make (struct
@@ -360,7 +361,7 @@ let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false) ?sink
     if stop_at_normal then F.Composed.is_normal graph else fun _ -> false
   in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+    Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round ~stop ~algorithm:F.Composed.algorithm ~graph
       ~daemon cfg
   in
@@ -380,7 +381,7 @@ let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false) ?sink
   tele.emit_summary o result;
   o
 
-let coloring_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
+let coloring_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module C = Ssreset_coloring.Coloring.Make (struct
     let graph = graph
@@ -394,7 +395,7 @@ let coloring_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
   in
   let tele = telemetry ?sink ~round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+    Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round ~algorithm:C.Composed.algorithm ~graph ~daemon
       cfg
   in
@@ -407,7 +408,7 @@ let coloring_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
   tele.emit_summary o result;
   o
 
-let mis_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
+let mis_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module M = Ssreset_mis.Mis.Make (struct
     let graph = graph
@@ -421,7 +422,7 @@ let mis_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
   in
   let tele = telemetry ?sink ~round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+    Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round ~algorithm:M.Composed.algorithm ~graph ~daemon
       cfg
   in
@@ -435,7 +436,7 @@ let mis_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
   tele.emit_summary o result;
   o
 
-let matching_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
+let matching_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module M = Ssreset_matching.Matching.Make (struct
     let graph = graph
@@ -449,7 +450,7 @@ let matching_composed ?(max_steps = 20_000_000) ?sink ~graph ~daemon ~seed () =
   in
   let tele = telemetry ?sink ~round_extra () in
   let result =
-    Engine.run ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+    Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round ~algorithm:M.Composed.algorithm ~graph ~daemon
       cfg
   in

@@ -7,7 +7,12 @@
     {!Ssreset_obs.Sink.summary} (with per-rule move counters and a
     {!Ssreset_obs.Metrics} snapshot) into it.  The caller writes the
     manifest — it knows the graph family and CLI context; the runner does
-    not.  Without a sink no telemetry code runs at all. *)
+    not.  Without a sink no telemetry code runs at all.
+
+    Every runner also accepts [?scheduler], forwarded to
+    {!Ssreset_sim.Engine.run}: [`Full] rescan vs the default [`Incremental]
+    dirty-set scheduler.  The choice affects wall-clock only — results are
+    bit-identical. *)
 
 type obs = {
   outcome_ok : bool;
@@ -35,6 +40,7 @@ val obs_json : obs -> Ssreset_obs.Json.t
 
 val unison_composed :
   ?max_steps:int ->
+  ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
@@ -45,6 +51,7 @@ val unison_composed :
     first normal configuration. *)
 
 val unison_bare :
+  ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
   steps:int ->
   graph:Ssreset_graph.Graph.t ->
@@ -58,6 +65,7 @@ val unison_bare :
 
 val tail_unison :
   ?max_steps:int ->
+  ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
@@ -69,6 +77,7 @@ val tail_unison :
 
 val unison_agr :
   ?max_steps:int ->
+  ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
@@ -83,6 +92,7 @@ val unison_agr :
 
 val min_unison :
   ?max_steps:int ->
+  ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
@@ -94,6 +104,7 @@ val min_unison :
 
 val fga_bare :
   ?max_steps:int ->
+  ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
   spec:Ssreset_alliance.Spec.t ->
   graph:Ssreset_graph.Graph.t ->
@@ -107,6 +118,7 @@ val fga_bare :
 val fga_composed :
   ?max_steps:int ->
   ?stop_at_normal:bool ->
+  ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
   spec:Ssreset_alliance.Spec.t ->
   graph:Ssreset_graph.Graph.t ->
@@ -119,6 +131,7 @@ val fga_composed :
 
 val coloring_composed :
   ?max_steps:int ->
+  ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
@@ -128,6 +141,7 @@ val coloring_composed :
 
 val mis_composed :
   ?max_steps:int ->
+  ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
@@ -137,6 +151,7 @@ val mis_composed :
 
 val matching_composed :
   ?max_steps:int ->
+  ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->

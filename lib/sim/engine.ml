@@ -2,6 +2,8 @@ module Graph = Ssreset_graph.Graph
 
 type outcome = Stabilized | Terminal | Step_limit
 
+type scheduler = [ `Full | `Incremental ]
+
 type 'state result = {
   outcome : outcome;
   final : 'state array;
@@ -13,17 +15,47 @@ type 'state result = {
   wall_s : float;
 }
 
-(* Enabled rule of every process, or None.  This is the hot path: it is
-   recomputed from scratch every step, which is simple and fast enough for
-   the experiment sizes used here (n <= a few hundred). *)
+(* Enabled rule of every process, or None — the engine's hot path.  [run]
+   maintains this table persistently (see [refresh_full] / [refresh_moved]);
+   the standalone [enabled_table] builds it from scratch for the public
+   one-shot [step]. *)
 let enabled_table algo g cfg =
   Array.init (Graph.n g) (fun u ->
       Algorithm.enabled_rule algo (Algorithm.view g cfg u))
 
-(* Shared default RNG: allocated once at module initialization instead of on
-   every [step] call.  Callers that need per-call reproducibility pass their
-   own state; deterministic daemons never touch it. *)
-let default_rng = Random.State.make [| 0 |]
+let refresh_full algo g cfg table =
+  for u = 0 to Graph.n g - 1 do
+    table.(u) <- Algorithm.enabled_rule algo (Algorithm.view g cfg u)
+  done
+
+(* Dirty-set refresh: a process's enabled rule depends only on its view (its
+   own state plus its neighbors' states), and a step changes only the movers'
+   states — so only the closed neighborhoods of the movers can change
+   enabled status.  [stamp]/[gen] deduplicate processes shared by several
+   movers' neighborhoods without any per-step allocation. *)
+let refresh_moved algo g cfg table stamp gen moved =
+  incr gen;
+  let gen = !gen in
+  let touch u =
+    if stamp.(u) <> gen then begin
+      stamp.(u) <- gen;
+      table.(u) <- Algorithm.enabled_rule algo (Algorithm.view g cfg u)
+    end
+  in
+  List.iter
+    (fun (u, _rule) ->
+      touch u;
+      Array.iter touch (Graph.neighbors g u))
+    moved
+
+(* Sorted enabled list out of the table — an O(n) pointer scan, negligible
+   next to guard evaluation. *)
+let enabled_of_table table n =
+  let acc = ref [] in
+  for u = n - 1 downto 0 do
+    if table.(u) <> None then acc := u :: !acc
+  done;
+  !acc
 
 let assert_exclusive algorithm graph cfg enabled =
   List.iter
@@ -36,15 +68,12 @@ let assert_exclusive algorithm graph cfg enabled =
                (String.concat ", " names)))
     enabled
 
-let step ?rng ?(check_overlap = false) ?on_enabled ~algorithm ~graph ~daemon
-    ~step_index cfg =
-  let rng = match rng with Some r -> r | None -> default_rng in
-  let table = enabled_table algorithm graph cfg in
-  let enabled = ref [] in
-  for u = Graph.n graph - 1 downto 0 do
-    if table.(u) <> None then enabled := u :: !enabled
-  done;
-  match !enabled with
+(* Core of one atomic step, given the current enabled-rule [table] (which
+   must describe [cfg]).  Returns the next configuration and the activated
+   (process, rule-name) pairs, or [None] when terminal. *)
+let step_with_table ~rng ~check_overlap ~on_enabled ~algorithm ~graph ~daemon
+    ~step_index ~table cfg =
+  match enabled_of_table table (Graph.n graph) with
   | [] -> None
   | enabled ->
       if check_overlap then assert_exclusive algorithm graph cfg enabled;
@@ -76,10 +105,24 @@ let step ?rng ?(check_overlap = false) ?on_enabled ~algorithm ~graph ~daemon
       in
       Some (next, moved)
 
-let run ?rng ?(max_steps = 10_000_000) ?(check_overlap = false) ?observer
-    ?on_step ?on_round ?(stop = fun _ -> false) ~algorithm ~graph ~daemon cfg0
-    =
-  let rng = match rng with Some r -> r | None -> Random.State.make [| 0 |] in
+(* Each rng-less call gets a fresh state derived from [seed] (default 0):
+   a module-level shared state would make interleaved engine runs depend on
+   call order, which is exactly what reproducible traces cannot afford. *)
+let step ?rng ?(seed = 0) ?(check_overlap = false) ?on_enabled ~algorithm
+    ~graph ~daemon ~step_index cfg =
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| seed |]
+  in
+  let table = enabled_table algorithm graph cfg in
+  step_with_table ~rng ~check_overlap ~on_enabled ~algorithm ~graph ~daemon
+    ~step_index ~table cfg
+
+let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(check_overlap = false)
+    ?(scheduler = `Incremental) ?observer ?on_step ?on_round
+    ?(stop = fun _ -> false) ~algorithm ~graph ~daemon cfg0 =
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| seed |]
+  in
   let t0 = Unix.gettimeofday () in
   let n = Graph.n graph in
   let moves_per_process = Array.make n 0 in
@@ -88,19 +131,28 @@ let run ?rng ?(max_steps = 10_000_000) ?(check_overlap = false) ?observer
     Hashtbl.replace moves_per_rule name
       (1 + Option.value ~default:0 (Hashtbl.find_opt moves_per_rule name))
   in
+  (* The enabled-rule table always describes the *current* configuration:
+     full scan at start, then either a full rescan per step (`Full) or a
+     dirty-set refresh of the movers' closed neighborhoods (`Incremental).
+     Both paths maintain the same table contents, so every consumer below
+     (selection, neutralization, round refill) is scheduler-agnostic and the
+     two schedulers are bit-identical by construction. *)
+  let table = enabled_table algorithm graph cfg0 in
+  let stamp = Array.make n 0 in
+  let gen = ref 0 in
   (* Round accounting (§2.4): [pending] holds the processes enabled at the
      start of the current round that have neither executed a rule nor been
      neutralized yet.  When it empties, a round is complete. *)
   let pending = Hashtbl.create n in
   let completed_rounds = ref 0 in
   let steps_in_round = ref 0 in
-  let refill_pending cfg =
+  let refill_pending () =
     Hashtbl.reset pending;
-    List.iter
-      (fun u -> Hashtbl.replace pending u ())
-      (Algorithm.enabled_processes algorithm graph cfg)
+    for u = 0 to n - 1 do
+      if table.(u) <> None then Hashtbl.replace pending u ()
+    done
   in
-  refill_pending cfg0;
+  refill_pending ();
   let total_moves = ref 0 in
   let steps = ref 0 in
   let cfg = ref cfg0 in
@@ -118,8 +170,8 @@ let run ?rng ?(max_steps = 10_000_000) ?(check_overlap = false) ?observer
          | Some _ -> Some (fun l -> enabled_count := List.length l)
        in
        match
-         step ~rng ~check_overlap ?on_enabled ~algorithm ~graph ~daemon
-           ~step_index:!steps !cfg
+         step_with_table ~rng ~check_overlap ~on_enabled ~algorithm ~graph
+           ~daemon ~step_index:!steps ~table !cfg
        with
        | None ->
            outcome := Terminal;
@@ -134,13 +186,24 @@ let run ?rng ?(max_steps = 10_000_000) ?(check_overlap = false) ?observer
                bump_rule name;
                Hashtbl.remove pending u)
              moved;
+           (match scheduler with
+           | `Full -> refresh_full algorithm graph next table
+           | `Incremental ->
+               refresh_moved algorithm graph next table stamp gen moved);
            (* Neutralization: pending processes that were enabled before the
-              step (by definition of pending) and are disabled after it. *)
-           Hashtbl.iter
-             (fun u () ->
-               if not (Algorithm.is_enabled algorithm (Algorithm.view graph next u))
-               then Hashtbl.remove pending u)
-             (Hashtbl.copy pending);
+              step (by definition of pending) and are disabled after it.
+              Only the movers' closed neighborhoods can change enabled
+              status — the same invariant the incremental scheduler rests
+              on — so only they need checking: O(movers·Δ), not O(n), and
+              valid under either scheduler. *)
+           let neutralize u =
+             if table.(u) = None then Hashtbl.remove pending u
+           in
+           List.iter
+             (fun (u, _) ->
+               neutralize u;
+               Array.iter neutralize (Graph.neighbors graph u))
+             moved;
            cfg := next;
            (match observer with
            | Some f -> f ~step:(!steps - 1) ~moved next
@@ -161,7 +224,7 @@ let run ?rng ?(max_steps = 10_000_000) ?(check_overlap = false) ?observer
                  f ~round:!completed_rounds ~steps:!steps ~moves:!total_moves
                    next
              | None -> ());
-             refill_pending next
+             refill_pending ()
            end;
            if stop next then begin
              outcome := Stabilized;

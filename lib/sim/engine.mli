@@ -12,6 +12,18 @@ type outcome =
   | Terminal  (** no process is enabled (and [stop] was false) *)
   | Step_limit  (** [max_steps] was exhausted first *)
 
+type scheduler = [ `Full | `Incremental ]
+(** How [run] keeps its enabled-rule table up to date between steps.
+
+    [`Full] rescans every process after each step — the reference O(n·Δ)
+    path, kept for cross-checking.  [`Incremental] (the default) re-evaluates
+    only the closed neighborhoods of the processes that moved: a step changes
+    only the movers' states, and a guard reads only the process's own view,
+    so no other process can change enabled status.  Both schedulers maintain
+    the exact same table and consume the RNG identically, so results are
+    bit-identical — which the test suite asserts over the whole algorithm
+    zoo, every daemon and many seeds. *)
+
 type 'state result = {
   outcome : outcome;
   final : 'state array;
@@ -28,8 +40,10 @@ type 'state result = {
 
 val run :
   ?rng:Random.State.t ->
+  ?seed:int ->
   ?max_steps:int ->
   ?check_overlap:bool ->
+  ?scheduler:scheduler ->
   ?observer:(step:int -> moved:(int * string) list -> 'state array -> unit) ->
   ?on_step:(step:int -> enabled:int -> selected:int -> unit) ->
   ?on_round:(round:int -> steps:int -> moves:int -> 'state array -> unit) ->
@@ -45,6 +59,14 @@ val run :
     reached.  [observer] is called after each step with the activated
     (process, rule-name) pairs and the {e new} configuration.  The initial
     configuration is not copied; pass a fresh array.
+
+    When [rng] is absent the run allocates its own [Random.State] from
+    [seed] (default 0), so an rng-less run is reproducible regardless of
+    what other engine runs executed before it — there is no shared
+    module-level state.
+
+    [scheduler] selects how enabled rules are recomputed between steps (see
+    {!type:scheduler}); it affects wall-clock only, never results.
 
     Telemetry hooks (both default to off, with zero per-step cost then):
     [on_step] receives, after each step, the sizes of the enabled and the
@@ -63,6 +85,7 @@ val run :
 
 val step :
   ?rng:Random.State.t ->
+  ?seed:int ->
   ?check_overlap:bool ->
   ?on_enabled:(int list -> unit) ->
   algorithm:'state Algorithm.t ->
@@ -76,9 +99,10 @@ val step :
     [on_enabled] receives the (sorted, nonempty) enabled set before the
     daemon selects.  Exposed for fine-grained tests and traces.
 
-    When [rng] is absent a module-level state seeded with [0] is shared by
-    all such calls (no per-call allocation); pass an explicit state for
-    per-call reproducibility.  [check_overlap] is as in {!run}. *)
+    When [rng] is absent each call gets a {e fresh} state derived from
+    [seed] (default 0) — so repeated rng-less calls are independent of call
+    order; pass an explicit state to thread randomness across calls.
+    [check_overlap] is as in {!run}. *)
 
 val moves_of_rules : (string * int) list -> prefixes:string list -> int
 (** Sum of the move counts of rules whose name starts with one of the given

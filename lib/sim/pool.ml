@@ -1,0 +1,76 @@
+type job_error = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
+
+exception Job_failed of job_error
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Jobs are claimed off a shared atomic counter in index order, and every
+   result lands in its input slot — so the output (values *and* the choice
+   of surfaced error) depends only on the inputs, never on how the OS
+   scheduled the domains.  Workers never share mutable state beyond the
+   counter and their own result slots. *)
+let map_array ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = Array.length xs in
+  let collect results =
+    (* Deterministic error surfacing: the failure at the smallest index
+       wins, whichever domain hit it first. *)
+    Array.iteri
+      (fun _ r ->
+        match r with
+        | Some (Error e) -> raise (Job_failed e)
+        | Some (Ok _) | None -> ())
+      results;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error _) | None -> assert false)
+      results
+  in
+  if jobs <= 1 || n <= 1 then
+    collect
+      (Array.mapi
+         (fun index x ->
+           match f x with
+           | v -> Some (Ok v)
+           | exception exn ->
+               Some
+                 (Error
+                    { index; exn; backtrace = Printexc.get_raw_backtrace () }))
+         xs)
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let index = Atomic.fetch_and_add next 1 in
+        if index < n then begin
+          (results.(index) <-
+             (match f xs.(index) with
+             | v -> Some (Ok v)
+             | exception exn ->
+                 Some
+                   (Error
+                      { index; exn; backtrace = Printexc.get_raw_backtrace () })));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    collect results
+  end
+
+let map_list ?jobs f xs = Array.to_list (map_array ?jobs f (Array.of_list xs))
+
+let () =
+  Printexc.register_printer (function
+    | Job_failed { index; exn; _ } ->
+        Some
+          (Printf.sprintf "Pool.Job_failed(job %d: %s)" index
+             (Printexc.to_string exn))
+    | _ -> None)

@@ -1,0 +1,32 @@
+(** Zero-dependency worker pool over OCaml 5 domains, with deterministic
+    results.
+
+    Built for the experiment grids: every grid cell owns its RNG seed, so
+    cells are embarrassingly parallel — the only thing parallelism must not
+    change is the output.  [map_array]/[map_list] guarantee exactly that:
+    results are returned in input order and error propagation is
+    deterministic, so tables and JSON artifacts are byte-identical for any
+    [jobs] count (the test suite asserts jobs ∈ {1, 2, 4} agree).
+
+    Jobs must be independent: [f] runs concurrently on several domains, so
+    it must not touch shared mutable state (build graphs, daemons and RNG
+    states {e inside} the job). *)
+
+type job_error = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
+
+exception Job_failed of job_error
+(** Raised by [map_array]/[map_list] when a job raised.  All jobs still run
+    to completion (or failure); the failure with the {e smallest input
+    index} is the one surfaced, regardless of domain scheduling. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array ~jobs f xs] is [Array.map f xs] computed by up to [jobs]
+    domains (the calling domain included; default {!default_jobs}).  With
+    [jobs <= 1] or fewer than two elements no domain is spawned and [f]
+    runs inline, in order. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map_array}. *)

@@ -175,7 +175,8 @@ let tiny_profile =
   { Experiments.sizes = [ 8 ];
     fga_sizes = [ 7 ];
     seeds = 1;
-    bare_steps_factor = 25 }
+    bare_steps_factor = 25;
+    jobs = 1 }
 
 let last_col_ok table =
   let cols = List.length table.Table.headers in

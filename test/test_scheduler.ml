@@ -1,0 +1,190 @@
+(* Scheduler equivalence and pool determinism.
+
+   The dirty-set (`Incremental) scheduler must be bit-identical to the
+   reference full-rescan (`Full) path: same outcome, step, move and round
+   counts, same per-rule and per-process tallies, same final configuration —
+   on every registered algorithm, under every daemon of the zoo, across many
+   seeds.  And Pool.map_* must return the same values (and surface the same
+   error) for any jobs count. *)
+
+module Engine = Ssreset_sim.Engine
+module Daemon = Ssreset_sim.Daemon
+module Pool = Ssreset_sim.Pool
+module Graph = Ssreset_graph.Graph
+module Gen = Ssreset_graph.Gen
+module Registry = Ssreset_check.Registry
+module Finite = Ssreset_check.Finite
+module Experiments = Ssreset_expt.Experiments
+
+(* ------------------------ full vs incremental ------------------------- *)
+
+let seeds = 20
+let graphs () = [ Gen.ring 5; Gen.erdos_renyi (Random.State.make [| 9 |]) 6 0.4 ]
+
+(* Compare every field of the two results except wall_s (the only field a
+   scheduler may legitimately change). *)
+let same_result equal (a : _ Engine.result) (b : _ Engine.result) =
+  a.Engine.outcome = b.Engine.outcome
+  && a.Engine.steps = b.Engine.steps
+  && a.Engine.moves = b.Engine.moves
+  && a.Engine.rounds = b.Engine.rounds
+  && a.Engine.moves_per_rule = b.Engine.moves_per_rule
+  && a.Engine.moves_per_process = b.Engine.moves_per_process
+  && Array.length a.Engine.final = Array.length b.Engine.final
+  && Array.for_all2 equal a.Engine.final b.Engine.final
+
+(* Fresh daemon per run: round-robin carries a cursor, so a shared daemon
+   value would leak state from the `Full run into the `Incremental one. *)
+let fresh_daemon name = List.assoc name (Daemon.registry ())
+
+let scheduler_equivalence_case (entry : Registry.entry) =
+  Alcotest.test_case
+    (Printf.sprintf "%s: full ≡ incremental (every daemon, %d seeds)"
+       entry.Registry.name seeds)
+    `Quick
+    (fun () ->
+      List.iter
+        (fun g ->
+          if Graph.n g >= entry.Registry.min_n then begin
+            let module F = (val entry.Registry.instance g : Finite.FINITE) in
+            let random_cfg rng =
+              Array.init (Graph.n F.graph) (fun u ->
+                  let dom = F.domain u in
+                  List.nth dom (Random.State.int rng (List.length dom)))
+            in
+            let run_with scheduler ~daemon_name ~seed cfg =
+              Engine.run
+                ~rng:(Random.State.make [| seed |])
+                ~max_steps:2_000 ~scheduler ~algorithm:F.algorithm
+                ~graph:F.graph
+                ~daemon:(fresh_daemon daemon_name) (Array.copy cfg)
+            in
+            List.iter
+              (fun daemon_name ->
+                for seed = 1 to seeds do
+                  let cfg = random_cfg (Random.State.make [| seed; 77 |]) in
+                  let full = run_with `Full ~daemon_name ~seed cfg in
+                  let inc = run_with `Incremental ~daemon_name ~seed cfg in
+                  if
+                    not
+                      (same_result F.algorithm.Ssreset_sim.Algorithm.equal
+                         full inc)
+                  then
+                    Alcotest.failf
+                      "%s under %s, seed %d: schedulers diverged \
+                       (full: %d steps %d moves %d rounds; incremental: %d \
+                       steps %d moves %d rounds)"
+                      F.name daemon_name seed full.Engine.steps
+                      full.Engine.moves full.Engine.rounds inc.Engine.steps
+                      inc.Engine.moves inc.Engine.rounds
+                done)
+              (Daemon.names ())
+          end)
+        (graphs ()))
+
+(* Regression: rng-less runs used to share a module-level Random.State, so a
+   run's result depended on what other runs executed before it.  Now each
+   rng-less run derives a fresh state from ?seed, so interleaving other work
+   must not change anything. *)
+let rngless_runs_are_order_independent () =
+  let entry = List.hd Registry.entries in
+  let g = Gen.ring 5 in
+  let module F = (val entry.Registry.instance g : Finite.FINITE) in
+  let cfg =
+    Array.init (Graph.n F.graph) (fun u -> List.hd (F.domain u))
+  in
+  let go () =
+    Engine.run ~max_steps:500 ~algorithm:F.algorithm ~graph:F.graph
+      ~daemon:(fresh_daemon "distributed-random")
+      (Array.copy cfg)
+  in
+  let isolated = go () in
+  (* interleave two other rng-less runs, then repeat *)
+  ignore (Engine.run ~seed:99 ~max_steps:100 ~algorithm:F.algorithm
+            ~graph:F.graph ~daemon:(fresh_daemon "central-random")
+            (Array.copy cfg));
+  ignore (Engine.step ~algorithm:F.algorithm ~graph:F.graph
+            ~daemon:(fresh_daemon "central-random") ~step_index:0
+            (Array.copy cfg));
+  let interleaved = go () in
+  Alcotest.(check bool) "same result regardless of surrounding runs" true
+    (same_result F.algorithm.Ssreset_sim.Algorithm.equal isolated interleaved)
+
+let scheduler_tests =
+  List.map scheduler_equivalence_case Registry.entries
+  @ [ Alcotest.test_case "rng-less runs are order-independent (?seed, no \
+                          shared state)"
+        `Quick rngless_runs_are_order_independent ]
+
+(* ------------------------------- pool ---------------------------------- *)
+
+let jobs_variants = [ 1; 2; 4 ]
+
+let pool_map_identity () =
+  let xs = Array.init 37 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map_array jobs=%d" jobs)
+        expected
+        (Pool.map_array ~jobs f xs))
+    jobs_variants;
+  (* more workers than elements *)
+  Alcotest.(check (array int)) "jobs > n" expected (Pool.map_array ~jobs:64 f xs)
+
+let pool_error_deterministic () =
+  let xs = Array.init 16 (fun i -> i) in
+  let f x = if x = 3 || x = 7 then failwith (string_of_int x) else x in
+  List.iter
+    (fun jobs ->
+      match Pool.map_array ~jobs f xs with
+      | _ -> Alcotest.failf "jobs=%d: expected Job_failed" jobs
+      | exception Pool.Job_failed { index; exn = Failure msg; _ } ->
+          (* smallest failing index wins, whatever the domain interleaving *)
+          Alcotest.(check int)
+            (Printf.sprintf "failing index under jobs=%d" jobs)
+            3 index;
+          Alcotest.(check string) "carried exception" "3" msg
+      | exception e -> raise e)
+    jobs_variants
+
+let pool_map_list () =
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map_list jobs=%d" jobs)
+        [ 2; 4; 6; 8; 10 ]
+        (Pool.map_list ~jobs (fun x -> 2 * x) [ 1; 2; 3; 4; 5 ]))
+    jobs_variants
+
+(* The real consumer: an experiment sweep must produce identical tables for
+   any jobs count. *)
+let tiny_profile jobs =
+  { Experiments.sizes = [ 8 ]; fga_sizes = [ 7 ]; seeds = 1;
+    bare_steps_factor = 25; jobs }
+
+let grid_tables_jobs_invariant () =
+  let tables jobs = Experiments.e4_e5 (tiny_profile jobs) in
+  let reference = tables 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "e4_e5 tables identical under jobs=%d" jobs)
+        true
+        (tables jobs = reference))
+    [ 2; 4 ]
+
+let pool_tests =
+  [ Alcotest.test_case "map_array: order preserved for jobs ∈ {1,2,4,64}"
+      `Quick pool_map_identity;
+    Alcotest.test_case "map_array: smallest-index error wins deterministically"
+      `Quick pool_error_deterministic;
+    Alcotest.test_case "map_list: order preserved" `Quick pool_map_list;
+    Alcotest.test_case "experiment grid: tables jobs-invariant" `Quick
+      grid_tables_jobs_invariant ]
+
+let () =
+  Alcotest.run "scheduler"
+    [ ("full-vs-incremental", scheduler_tests); ("pool", pool_tests) ]

@@ -1,0 +1,156 @@
+(* bench_gate — CI performance gate.
+
+   Usage: bench_gate.exe BASELINE.json FRESH.json
+
+   Compares a freshly generated `bench --quick` results file against the
+   committed baseline (BENCH_results.json) and exits non-zero when:
+
+     - the fresh run has failures > 0, or any experiment / check record
+       with ok = false (correctness is never negotiable), or
+     - an experiment's fresh wall_s exceeds the baseline's by more than the
+       tolerance (default 25%) plus a fixed 0.1s of absolute slack — the
+       slack keeps sub-100ms experiments, whose timings are dominated by
+       scheduler noise, from flaking the gate — or
+     - the fresh file is missing an experiment id present in the baseline.
+
+   The tolerance is overridable via the BENCH_GATE_TOLERANCE environment
+   variable (a fraction: 0.25 = +25%, 2.0 = +200%).  CI sets it high
+   because hosted runners are noisy and unlike the machine that produced
+   the committed baseline; locally the default is tight enough to catch a
+   real regression in the engine or the experiment drivers.
+
+   Experiments only present in the fresh file (newly added ones) pass the
+   gate: the baseline learns them at the next refresh.  Bechamel timing and
+   the engine throughput section are reported for information, not gated —
+   single-run ns estimates on shared hardware are too noisy to fail a
+   build on. *)
+
+module Json = Ssreset_obs.Json
+
+let tolerance =
+  match Sys.getenv_opt "BENCH_GATE_TOLERANCE" with
+  | None -> 0.25
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some t when t >= 0. -> t
+      | _ ->
+          Printf.eprintf
+            "bench_gate: BENCH_GATE_TOLERANCE must be a non-negative \
+             fraction, got %S\n"
+            s;
+          exit 2)
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  match Json.of_string body with
+  | Ok json -> json
+  | Error msg ->
+      Printf.eprintf "bench_gate: %s: %s\n" path msg;
+      exit 2
+
+let str_field name json =
+  match Option.bind (Json.member name json) Json.to_string_opt with
+  | Some s -> s
+  | None -> "?"
+
+let float_field name json =
+  Option.bind (Json.member name json) Json.to_float_opt
+
+let bool_field name json =
+  match Json.member name json with Some (Json.Bool b) -> Some b | _ -> None
+
+let list_field name json =
+  match Json.member name json with Some (Json.List l) -> l | _ -> []
+
+let () =
+  let baseline_path, fresh_path =
+    match Sys.argv with
+    | [| _; b; f |] -> (b, f)
+    | _ ->
+        Printf.eprintf "usage: %s BASELINE.json FRESH.json\n" Sys.argv.(0);
+        exit 2
+  in
+  let baseline = load baseline_path and fresh = load fresh_path in
+  let failures = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr failures;
+        Printf.printf "FAIL  %s\n" msg)
+      fmt
+  in
+  let info fmt = Printf.ksprintf (fun msg -> Printf.printf "ok    %s\n" msg) fmt in
+
+  (* 1. Correctness of the fresh run. *)
+  (match Option.bind (Json.member "failures" fresh) Json.to_int_opt with
+  | Some 0 | None -> ()
+  | Some k -> fail "fresh run reports %d bound violation(s)" k);
+  List.iter
+    (fun record ->
+      match bool_field "ok" record with
+      | Some false -> fail "experiment %s: ok = false" (str_field "id" record)
+      | _ -> ())
+    (list_field "experiments" fresh);
+  List.iter
+    (fun record ->
+      match bool_field "ok" record with
+      | Some false -> fail "check %s: ok = false" (str_field "name" record)
+      | _ -> ())
+    (list_field "check" fresh);
+
+  (* 2. Per-experiment wall-clock vs the baseline. *)
+  let fresh_by_id =
+    List.filter_map
+      (fun r ->
+        match Option.bind (Json.member "id" r) Json.to_string_opt with
+        | Some id -> Some (id, r)
+        | None -> None)
+      (list_field "experiments" fresh)
+  in
+  List.iter
+    (fun base_record ->
+      let id = str_field "id" base_record in
+      match List.assoc_opt id fresh_by_id with
+      | None -> fail "experiment %s present in baseline but not in fresh run" id
+      | Some fresh_record -> (
+          match
+            (float_field "wall_s" base_record, float_field "wall_s" fresh_record)
+          with
+          | Some base_s, Some fresh_s when base_s > 0. ->
+              let ratio = fresh_s /. base_s in
+              if fresh_s > (base_s *. (1. +. tolerance)) +. 0.1 then
+                fail "experiment %s: wall-clock %.3fs vs baseline %.3fs \
+                      (%.0f%% > +%.0f%% tolerance)"
+                  id fresh_s base_s
+                  ((ratio -. 1.) *. 100.)
+                  (tolerance *. 100.)
+              else
+                info "experiment %s: %.3fs vs baseline %.3fs (%+.0f%%)" id
+                  fresh_s base_s
+                  ((ratio -. 1.) *. 100.)
+          | _ -> info "experiment %s: no comparable wall_s, skipped" id))
+    (list_field "experiments" baseline);
+
+  (* 3. Engine scheduler throughput — informational. *)
+  List.iter
+    (fun r ->
+      match
+        ( Option.bind (Json.member "n" r) Json.to_int_opt,
+          float_field "speedup" r )
+      with
+      | Some n, Some s -> info "engine n=%d: incremental speedup %.1fx" n s
+      | _ -> ())
+    (list_field "engine" fresh);
+
+  if !failures > 0 then begin
+    Printf.printf
+      "bench_gate: %d failure(s) (tolerance +%.0f%%; override with \
+       BENCH_GATE_TOLERANCE)\n"
+      !failures (tolerance *. 100.);
+    exit 1
+  end
+  else
+    Printf.printf "bench_gate: pass (tolerance +%.0f%%)\n" (tolerance *. 100.)

@@ -1,0 +1,43 @@
+(* ci_sync — keeps .github/workflows/ci.yml honest.
+
+   `dune runtest` cannot execute the hosted pipeline, but it can pin the
+   pipeline's contract: this golden test greps the workflow for the exact
+   commands the repo's guarantees rest on, so nobody can silently drop the
+   build+test step, the model-checking gate or the bench gate from CI
+   without this test going red in the same change. *)
+
+let required =
+  [ ("tier-1 build and test", "dune build && dune runtest");
+    ("model-checking gate", "check --quick");
+    ("quick bench", "--quick");
+    ("bench regression gate", "bench_gate");
+    ("OCaml 5.1 in the matrix", "5.1");
+    ("OCaml 5.2 in the matrix", "5.2") ]
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+        prerr_endline "usage: ci_sync.exe PATH/TO/ci.yml";
+        exit 2
+  in
+  let ic = open_in_bin path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let missing =
+    List.filter (fun (_, needle) -> not (contains ~needle body)) required
+  in
+  List.iter
+    (fun (what, needle) ->
+      Printf.printf "FAIL  %s: %S not found in %s\n" what needle path)
+    missing;
+  if missing = [] then Printf.printf "ci.yml contract intact (%s)\n" path
+  else exit 1
