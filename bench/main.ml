@@ -4,9 +4,11 @@
                    [EXPERIMENT-ID ...]
 
    Without ids, regenerates every experiment table of the paper reproduction
-   (E1..E16, see DESIGN.md and EXPERIMENTS.md) followed by the engine
-   scheduler throughput section and the Bechamel wall-clock suite (B1).
-   Exit status is non-zero if any table reports a violated bound.
+   (E1..E16, see DESIGN.md and EXPERIMENTS.md) followed by the checker
+   throughput sections (configs/s over the registry; check-v2 footprint
+   views/s and symmetry-reduced orbits/s), the engine scheduler throughput
+   section and the Bechamel wall-clock suite (B1).  Exit status is non-zero
+   if any table reports a violated bound.
 
    [--jobs N] fans the grid cells of each experiment across N OCaml domains
    (default: the profile's setting, 1).  Tables and the results file are
@@ -381,6 +383,78 @@ let run_check ~quick =
   print_newline ();
   (!failures, records)
 
+(* ------------------------------------------------------------------ *)
+(* check-v2 throughput: the two new static passes.                     *)
+(*   footprint — probing views per second over every registry entry    *)
+(*     (composed targets where the entry declares one);                *)
+(*   symmetry  — orbit representatives explored per second on the      *)
+(*     most symmetric graph family, where the quotient is deepest      *)
+(*     (|Aut(Kn)| = n!).                                               *)
+(* ------------------------------------------------------------------ *)
+
+module CFootprint = Ssreset_check.Footprint
+
+let run_check_v2 ~quick =
+  Printf.printf "== check-v2: footprint probing + symmetry-reduced \
+                 exploration ==\n%!";
+  let footprint =
+    List.map
+      (fun (e : CRegistry.entry) ->
+        let g = Ssreset_graph.Gen.path (max 3 e.CRegistry.min_n) in
+        let t0 = Unix.gettimeofday () in
+        let fp = CFootprint.analyze (CRegistry.footprint_target e g) in
+        let wall_s = Unix.gettimeofday () -. t0 in
+        let per_s =
+          if wall_s > 0. then float_of_int fp.CFootprint.views /. wall_s
+          else 0.
+        in
+        Printf.printf
+          "  footprint %-14s %8d views %6.2fs %10.0f views/s  %s\n%!"
+          e.CRegistry.name fp.CFootprint.views wall_s per_s
+          (if fp.CFootprint.findings = [] then "clean" else "FINDINGS");
+        Json.Obj
+          [ ("name", Json.String e.CRegistry.name);
+            ("composed", Json.Bool fp.CFootprint.composed);
+            ("views", Json.Int fp.CFootprint.views);
+            ("wall_s", Json.Float wall_s);
+            ("views_per_s", Json.Float per_s) ])
+      CRegistry.entries
+  in
+  let symmetry =
+    let n = if quick then 4 else 5 in
+    let e =
+      List.find (fun e -> e.CRegistry.name = "tail-unison") CRegistry.entries
+    in
+    let g = Ssreset_graph.Gen.complete n in
+    let inst = e.CRegistry.instance g in
+    let options = { CModel.default_options with CModel.symmetry = true } in
+    let t0 = Unix.gettimeofday () in
+    let r = CModel.check ~options inst in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let orbits = r.CModel.stats.CModel.configs in
+    let per_s = if wall_s > 0. then float_of_int orbits /. wall_s else 0. in
+    Printf.printf
+      "  symmetry  tail-unison K%d %8d orbits (|Aut| = %d) %6.2fs %10.0f \
+       orbits/s  %s\n\
+       %!"
+      n orbits
+      (Option.value ~default:1 r.CModel.automorphisms)
+      wall_s per_s
+      (if r.CModel.violations = [] && r.CModel.aborted = None then "ok"
+       else "DIRTY");
+    [ Json.Obj
+        [ ("instance", Json.String (Printf.sprintf "tail-unison K%d" n));
+          ("orbits", Json.Int orbits);
+          ("automorphisms",
+           Json.Int (Option.value ~default:1 r.CModel.automorphisms));
+          ("transitions", Json.Int r.CModel.stats.CModel.transitions);
+          ("wall_s", Json.Float wall_s);
+          ("orbits_per_s", Json.Float per_s) ] ]
+  in
+  print_newline ();
+  Json.Obj [ ("footprint", Json.List footprint);
+             ("symmetry", Json.List symmetry) ]
+
 let () =
   let quick, timing, out, jobs, ids = parse_args () in
   let profile =
@@ -403,6 +477,10 @@ let () =
     if ids = [] then run_check ~quick else (0, [])
   in
   let failures = failures + check_failures in
+  let check_v2 =
+    if ids = [] then run_check_v2 ~quick
+    else Json.Obj [ ("footprint", Json.List []); ("symmetry", Json.List []) ]
+  in
   let engine = if ids = [] then run_engine_bench ~quick else [] in
   let timings =
     if timing && ids = [] then run_bechamel ~quick else []
@@ -418,6 +496,7 @@ let () =
         ("experiments", Json.List experiments);
         ("engine", Json.List engine);
         ("check", Json.List check_records);
+        ("check_v2", check_v2);
         ("timing", Json.List timings) ]
   in
   let oc = open_out out in

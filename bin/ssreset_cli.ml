@@ -384,11 +384,22 @@ let graph_cmd =
     Term.(const run $ family $ size $ seed $ dot)
 
 let check_cmd =
-  let run algo json quick max_n list_only =
+  let family_conv =
+    let all = [ "all"; "complete"; "ring"; "path"; "star" ] in
+    Arg.enum (List.map (fun f -> (f, f)) all)
+  in
+  let graphs_of_family = function
+    | "complete" -> Some (fun n -> [ Ssreset_graph.Gen.complete n ])
+    | "ring" -> Some (fun n -> if n < 3 then [] else [ Ssreset_graph.Gen.ring n ])
+    | "path" -> Some (fun n -> if n < 2 then [] else [ Ssreset_graph.Gen.path n ])
+    | "star" -> Some (fun n -> if n < 2 then [] else [ Ssreset_graph.Gen.star n ])
+    | _ -> None
+  in
+  let run algo json quick max_n list_only symmetry footprint certs family =
     if list_only then begin
       List.iter
         (fun (e : Registry.entry) ->
-          Fmt.pr "%-14s %s@." e.Registry.name e.Registry.description)
+          Fmt.pr "%-16s %s@." e.Registry.name e.Registry.description)
         (Registry.entries @ Registry.fixtures);
       0
     end
@@ -405,8 +416,15 @@ let check_cmd =
           2
       | selected ->
           let mode = if quick then `Quick else `Full in
+          let options =
+            { Ssreset_check.Model.default_options with symmetry; certs }
+          in
+          let graphs = graphs_of_family family in
           let reports =
-            List.map (fun e -> Registry.run ~mode ?max_n e) selected
+            List.map
+              (fun e ->
+                Registry.run ~mode ?max_n ~footprint ?graphs ~options e)
+              selected
           in
           if json then print_endline (Json.to_string (Report.to_json reports))
           else Fmt.pr "%a@." Report.pp reports;
@@ -453,15 +471,62 @@ let check_cmd =
       value & flag
       & info [ "list" ] ~doc:"List registered algorithms and fixtures.")
   in
+  let symmetry =
+    Arg.(
+      value & flag
+      & info [ "symmetry" ]
+          ~doc:
+            "Explore one configuration per graph-automorphism orbit instead \
+             of the full configuration space.  Sound for anonymous \
+             instances (uniform state domains); verdicts and worst cases \
+             are identical to the unreduced run.  Lets exhaustive checking \
+             reach n = 6 on symmetric graphs within the default budget.")
+  in
+  let footprint =
+    Arg.(
+      value
+      & opt bool true
+      & info [ "footprint" ] ~docv:"BOOL"
+          ~doc:
+            "Run the footprint / non-interference pass (per-rule read and \
+             write sets; the paper's Requirements 2b, 2e and 3 on composed \
+             instances).  Default: $(b,true).")
+  in
+  let certs =
+    Arg.(
+      value
+      & opt bool true
+      & info [ "certs" ] ~docv:"BOOL"
+          ~doc:
+            "Verify registered potential-function certificates: on every \
+             explored transition out of an illegitimate configuration whose \
+             movers all fired covered rules, the potential must strictly \
+             decrease.  Default: $(b,true).")
+  in
+  let family =
+    Arg.(
+      value
+      & opt family_conv "all"
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Restrict the sweep to one graph family per size: \
+             $(b,complete), $(b,ring), $(b,path) or $(b,star) \
+             ($(b,all) = every connected graph up to isomorphism).  \
+             Combined with $(b,--symmetry), highly symmetric families \
+             stay exhaustive up to n = 6.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Lint rule sets and exhaustively model-check self-stabilization \
-          properties (closure, convergence/livelock-freedom, silence, \
-          exact worst-case moves and rounds vs the paper bounds) on all \
-          small connected graphs.  Exits 1 when findings or violations \
-          exist.")
-    Term.(const run $ algo $ json $ quick $ max_n $ list_only)
+         "Lint rule sets, analyze rule footprints and non-interference, \
+          and exhaustively model-check self-stabilization properties \
+          (closure, convergence/livelock-freedom, silence, certificate \
+          descent, exact worst-case moves and rounds vs the paper bounds) \
+          on all small connected graphs.  Exits 1 when findings or \
+          violations exist.")
+    Term.(
+      const run $ algo $ json $ quick $ max_n $ list_only $ symmetry
+      $ footprint $ certs $ family)
 
 let experiments_cmd =
   let run quick jobs ids csv json =

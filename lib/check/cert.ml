@@ -1,0 +1,29 @@
+(* Potential-function certificates (see cert.mli). *)
+
+type 's t = {
+  cert_name : string;
+  cert_rules : string list option;
+  potential : Ssreset_graph.Graph.t -> 's array -> int list;
+}
+
+let make ~name ?rules potential =
+  { cert_name = name; cert_rules = rules; potential }
+
+let covers c rule =
+  match c.cert_rules with
+  | None -> true
+  | Some rs -> List.mem rule rs
+
+(* Mismatched lengths are never ordered: a certificate whose tuple length
+   varies must surface as a violation, not silently pass. *)
+let lex_lt a b =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> false
+    | x :: xs, y :: ys -> x < y || (x = y && go xs ys)
+    | _ -> false
+  in
+  List.compare_lengths a b = 0 && go a b
+
+let pp_potential ppf p =
+  Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ",") int) p

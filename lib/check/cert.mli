@@ -1,0 +1,45 @@
+(** Potential-function convergence certificates.
+
+    A certificate attaches a ranking function to a finite instance: a map
+    from configurations to tuples of non-negative integers, compared
+    lexicographically.  The model checker ({!Model}) evaluates it on every
+    explored transition whose source configuration is illegitimate and
+    whose movers all fired rules covered by the certificate, and reports a
+    ["certificate"] violation unless the potential strictly decreases.
+
+    Unlike the enumerated verdicts, a checked certificate is evidence for
+    a convergence {e argument} whose shape is independent of the explored
+    n: the same closed-form measure is what a pen-and-paper proof would
+    induct on.  Certificates may be scoped to a subset of rules
+    ([rules]) because for reset-style dynamics no simple closed-form
+    measure decreases under {e every} rule (clock ticks wrap; SDR waves
+    re-cycle C → RB → RF → C while an error propagates) — the provable
+    measures are per-layer progress certificates: e.g. the number of
+    unfinished wave obligations under the SDR completion rules, or the
+    climb debt under the unison reconstruction rule.  [rules = None]
+    covers all rules. *)
+
+type 's t = {
+  cert_name : string;
+  cert_rules : string list option;
+      (** rule names the certificate covers; [None] = every rule.  A
+          transition is checked when all movers fired covered rules. *)
+  potential : Ssreset_graph.Graph.t -> 's array -> int list;
+      (** ranking tuple of a configuration, compared lexicographically;
+          must return a fixed length for a given instance. *)
+}
+
+val make :
+  name:string ->
+  ?rules:string list ->
+  (Ssreset_graph.Graph.t -> 's array -> int list) ->
+  's t
+
+val covers : 's t -> string -> bool
+(** [covers c rule] — is a move by [rule] within the certificate's scope? *)
+
+val lex_lt : int list -> int list -> bool
+(** Strict lexicographic order; tuples of different lengths are never
+    ordered (forcing a violation rather than a silent pass). *)
+
+val pp_potential : int list Fmt.t

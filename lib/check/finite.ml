@@ -10,12 +10,13 @@ module type FINITE = sig
   val domain : int -> state list
   val is_legitimate : state array -> bool
   val terminal_ok : state array -> bool
+  val certificate : state Cert.t option
 end
 
 type t = (module FINITE)
 
 let make (type s) ~name ~(algorithm : s Ssreset_sim.Algorithm.t) ~graph
-    ~domain ~legitimate ?terminal_ok () : t =
+    ~domain ~legitimate ?terminal_ok ?certificate () : t =
   let terminal_ok = Option.value ~default:legitimate terminal_ok in
   (module struct
     type state = s
@@ -26,6 +27,7 @@ let make (type s) ~name ~(algorithm : s Ssreset_sim.Algorithm.t) ~graph
     let domain = domain
     let is_legitimate cfg = legitimate graph cfg
     let terminal_ok cfg = terminal_ok graph cfg
+    let certificate = certificate
   end)
 
 let sdr_domain ~inner ~max_d u =

@@ -34,6 +34,10 @@ module type FINITE = sig
   (** Output validity of a terminal configuration — e.g. "the coloring is
       proper", "the alliance is 1-minimal".  Only evaluated on terminal
       configurations. *)
+
+  val certificate : state Cert.t option
+  (** Optional potential-function certificate, checked by {!Model} on every
+      explored illegitimate transition within its rule scope. *)
 end
 
 type t = (module FINITE)
@@ -45,9 +49,11 @@ val make :
   domain:(int -> 's list) ->
   legitimate:(Ssreset_graph.Graph.t -> 's array -> bool) ->
   ?terminal_ok:(Ssreset_graph.Graph.t -> 's array -> bool) ->
+  ?certificate:'s Cert.t ->
   unit ->
   t
-(** Pack an instance.  [terminal_ok] defaults to [legitimate]. *)
+(** Pack an instance.  [terminal_ok] defaults to [legitimate]; [certificate]
+    defaults to none. *)
 
 val sdr_domain :
   inner:(int -> 'i list) -> max_d:int -> int -> 'i Ssreset_core.Sdr.state list

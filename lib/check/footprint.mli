@@ -1,0 +1,135 @@
+(** Footprint and non-interference analysis of rule sets.
+
+    Every rule of an [Algorithm.t] is evaluated on probing views: for each
+    sampled view, each site of the closed neighborhood (self or a
+    neighbor) and each declared state {e field}, the site's state is
+    replaced by every domain state differing in exactly that field, and
+    the guard verdict and action result are compared.  A difference means
+    the rule {e reads} that field at that site; an enabled action whose
+    output differs from the input on a field {e writes} it.  (Locality —
+    guards consult only the closed neighborhood — holds by construction:
+    a [view] contains nothing else.  The footprint table makes the use of
+    that neighborhood explicit per rule.)
+
+    Action reads on the process's own state discount pass-through: copying
+    an untouched field into the output is not a read.  Precisely, rule [r]
+    reads own-field [f] through its action iff for some probe [v → v']
+    either the outputs differ on a field other than [f], or they differ on
+    [f] itself in a way not explained by both outputs copying their
+    inputs.  {!differential} re-evaluates the same predicates on random
+    probes, so a recorded footprint can be falsified but not argued with.
+
+    For composed [I ∘ SDR] targets ({!sdr_target}) the same probes decide
+    the paper's non-interference requirements (§3.5), promoting the
+    dynamic {!Ssreset_core.Requirements} spot checks to a whole-view-space
+    pass:
+
+    - ["write-escape"]: an enabled input rule changes an SDR field;
+    - ["input-gating"]: an input rule is enabled outside [P_Clean];
+    - ["read-escape"]: on [P_Clean]-preserving probes of an SDR field, an
+      input rule's verdict or inner output changes — the input layer reads
+      SDR variables;
+    - ["sdr-read"]: an SDR rule distinguishes inner states beyond the
+      sanctioned [P_reset]/[P_ICorrect] channels (the probe preserves
+      both, yet the verdict or the st/d output changes);
+    - ["sdr-write"]: an enabled SDR rule changes the inner state other
+      than by [reset];
+    - ["reset-determinism" | "reset-idempotent" | "reset-escape"]:
+      [reset] disagrees with itself, moves a reset state, or lands
+      outside [P_reset] (Requirements 2b and 2e). *)
+
+type 's composition = {
+  sdr_rules : string list;  (** rule names owned by the SDR layer *)
+  sdr_fields : string list;  (** fields owned by the SDR layer *)
+  same_sdr : 's -> 's -> bool;  (** agree on every SDR field *)
+  same_inner : 's -> 's -> bool;  (** agree on the input layer's state *)
+  reset_inner : 's -> 's;  (** apply [I.reset] to the inner component *)
+  landed : 's -> bool;  (** [I.p_reset] of the inner component *)
+  p_icorrect : 's Ssreset_sim.Algorithm.view -> bool;
+  p_clean : 's Ssreset_sim.Algorithm.view -> bool;
+}
+
+module type TARGET = sig
+  type state
+
+  val name : string
+  val algorithm : state Ssreset_sim.Algorithm.t
+  val graph : Ssreset_graph.Graph.t
+  val domain : int -> state list
+
+  val fields : (string * (state -> state -> bool)) list
+  (** [(name, same)] per field; [same a b] — do [a] and [b] agree on the
+      field?  Fields must jointly separate states: two states agreeing on
+      every field are equal. *)
+
+  val composition : state composition option
+end
+
+type target = (module TARGET)
+
+val target :
+  name:string ->
+  algorithm:'s Ssreset_sim.Algorithm.t ->
+  graph:Ssreset_graph.Graph.t ->
+  domain:(int -> 's list) ->
+  ?fields:(string * ('s -> 's -> bool)) list ->
+  ?composition:'s composition ->
+  unit ->
+  target
+(** [fields] defaults to the single field [("state", equal)]. *)
+
+val of_finite : Finite.t -> target
+(** Derive a monolithic single-field target from a checker instance. *)
+
+val sdr_target :
+  (module Ssreset_core.Sdr.INPUT with type state = 'i) ->
+  name:string ->
+  algorithm:'i Ssreset_core.Sdr.state Ssreset_sim.Algorithm.t ->
+  graph:Ssreset_graph.Graph.t ->
+  domain:(int -> 'i Ssreset_core.Sdr.state list) ->
+  target
+(** Composed target with fields [st], [d], [inner] and the full
+    non-interference [composition] derived from the input module. *)
+
+type rule_footprint = {
+  rule : string;
+  guard_self : string list;  (** fields the guard reads on the own state *)
+  guard_nbrs : string list;  (** fields the guard reads on neighbor states *)
+  action_self : string list;
+  action_nbrs : string list;
+  writes : string list;  (** own-state fields the action modifies *)
+}
+
+type finding = {
+  check : string;
+  rules : string list;
+  witness : string;
+  count : int;
+}
+
+type t = {
+  target_name : string;
+  fields : string list;
+  composed : bool;
+  rules : rule_footprint list;
+  findings : finding list;  (** empty = the pass is clean *)
+  views : int;  (** probed (view, site, field) bases *)
+}
+
+val analyze : ?max_views_per_process:int -> target -> t
+(** Sampled sweep (default 2000 views per process, strided uniformly when
+    the space is larger); every variant of every sampled view is probed. *)
+
+val merge : t list -> t
+(** Union of footprints and findings across graphs of one instance;
+    [views] accumulates.  Raises [Invalid_argument] on an empty list. *)
+
+val differential :
+  ?trials:int -> seed:int -> target -> t -> string option
+(** Randomized refutation of a recorded footprint: [trials] (default 500)
+    random probes; [Some description] when a probe exhibits a read outside
+    the recorded footprint.  Sound against a full-coverage [analyze] of
+    the same target. *)
+
+val pp : t Fmt.t
+val pp_finding : finding Fmt.t

@@ -23,6 +23,8 @@ type t = {
   aborted : string option;
   worst_moves : int option;
   worst_rounds : int option;
+  automorphisms : int option;
+  certificate : string option;
 }
 
 type options = {
@@ -30,13 +32,17 @@ type options = {
   max_round_states : int;
   rounds : [ `Auto | `On | `Off ];
   expect_silent : bool;
+  symmetry : bool;
+  certs : bool;
 }
 
 let default_options =
   { max_configs = 1_000_000;
     max_round_states = 600_000;
     rounds = `Auto;
-    expect_silent = false }
+    expect_silent = false;
+    symmetry = false;
+    certs = true }
 
 exception Abort of string
 
@@ -89,6 +95,29 @@ let check_instance (type s) ~options
   let t0 = Unix.gettimeofday () in
   let n = Graph.n F.graph in
   let algo = F.algorithm in
+  let doms = Array.init n (fun u -> Array.of_list (F.domain u)) in
+  (* Symmetry reduction applies only when every process has the same seed
+     domain (anonymous instances): then any graph automorphism maps
+     configurations to equivalent configurations — provided the algorithm
+     is neighbor-order invariant, which the Lint permutation pass checks
+     for registered instances — and one representative per orbit
+     suffices. *)
+  let reduce =
+    if not options.symmetry then None
+    else
+      let sym = Symmetry.of_graph F.graph in
+      if Symmetry.order sym <= 1 then None
+      else
+        let d0 = doms.(0) in
+        let uniform =
+          Array.for_all
+            (fun d ->
+              Array.length d = Array.length d0
+              && Array.for_all2 algo.Algorithm.equal d d0)
+            doms
+        in
+        if uniform then Some sym else None
+  in
   (* State interning.  Uses the polymorphic hash table: instance states are
      pure structural data (ints, records, variants), for which structural
      equality coincides with [algo.equal]. *)
@@ -105,10 +134,11 @@ let check_instance (type s) ~options
         id
   in
   (* Configuration interning: a configuration is the int array of its
-     processes' state ids. *)
+     processes' state ids, canonicalized to its orbit representative when
+     symmetry reduction is on. *)
   let cfg_ids : (int array, int) Hashtbl.t = Hashtbl.create 1024 in
   let cfgs : int array Vec.t = Vec.create [||] in
-  let intern_cfg cfg =
+  let intern_cfg_raw cfg =
     match Hashtbl.find_opt cfg_ids cfg with
     | Some id -> id
     | None ->
@@ -121,6 +151,11 @@ let check_instance (type s) ~options
         Vec.push cfgs cfg;
         Hashtbl.add cfg_ids cfg id;
         id
+  in
+  let intern_cfg cfg =
+    match reduce with
+    | None -> intern_cfg_raw cfg
+    | Some sym -> intern_cfg_raw (Symmetry.canonicalize sym cfg)
   in
   let materialize cfg = Array.map (fun sid -> Vec.get states sid) cfg in
   let pp_cfg ppf cfg =
@@ -141,28 +176,55 @@ let check_instance (type s) ~options
     | None -> Hashtbl.add vtable property (detail, ref 1)
   in
   let aborted = ref None in
+  (* Certificate checking: on each explored transition out of an
+     illegitimate configuration whose movers all fired covered rules, the
+     potential must strictly decrease (lexicographically).  Potentials are
+     memoized per interned configuration. *)
+  let cert = if options.certs then F.certificate else None in
+  let pot_memo : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  let rule_names = Array.make n "" in
   (try
-     (* Seed: the full product of the per-process domains. *)
-     let doms = Array.init n (fun u -> Array.of_list (F.domain u)) in
+     (* Seed: the full product of the per-process domains — or, under
+        symmetry reduction, one representative per orbit of that product,
+        enumerated directly (the raw product is exactly what blows the
+        budget on symmetric graphs). *)
      let seed_total =
        Array.fold_left (fun acc d -> acc * Array.length d) 1 doms
      in
-     if seed_total > options.max_configs then
-       raise
-         (Abort
-            (Printf.sprintf "seed domain has %d configurations (max %d)"
-               seed_total options.max_configs));
-     for k = 0 to seed_total - 1 do
-       let rest = ref k in
-       let cfg =
-         Array.init n (fun u ->
-             let len = Array.length doms.(u) in
-             let digit = !rest mod len in
-             rest := !rest / len;
-             intern_state doms.(u).(digit))
-       in
-       ignore (intern_cfg cfg)
-     done;
+     (match reduce with
+     | Some sym ->
+         (* [seed_total / |Aut|] lower-bounds the orbit count. *)
+         if seed_total / Symmetry.order sym > options.max_configs then
+           raise
+             (Abort
+                (Printf.sprintf
+                   "seed domain has %d configurations, at least %d orbits \
+                    (max %d)"
+                   seed_total
+                   (seed_total / Symmetry.order sym)
+                   options.max_configs));
+         (* Intern the common domain first so state id = domain index and
+            the canonical digit arrays from the DFS are configurations. *)
+         Array.iter (fun st -> ignore (intern_state st)) doms.(0);
+         Symmetry.iter_canonical sym ~arity:(Array.length doms.(0))
+           (fun digits -> ignore (intern_cfg_raw (Array.copy digits)))
+     | None ->
+         if seed_total > options.max_configs then
+           raise
+             (Abort
+                (Printf.sprintf "seed domain has %d configurations (max %d)"
+                   seed_total options.max_configs));
+         for k = 0 to seed_total - 1 do
+           let rest = ref k in
+           let cfg =
+             Array.init n (fun u ->
+                 let len = Array.length doms.(u) in
+                 let digit = !rest mod len in
+                 rest := !rest / len;
+                 intern_state doms.(u).(digit))
+           in
+           ignore (intern_cfg_raw cfg)
+         done);
      (* Close under transitions; configurations are processed in insertion
         order, so the worklist is just the id counter. *)
      let next = ref 0 in
@@ -179,6 +241,7 @@ let check_instance (type s) ~options
          match Algorithm.enabled_rule algo (Algorithm.view F.graph full u) with
          | Some r ->
              mask := !mask lor (1 lsl u);
+             rule_names.(u) <- r.Algorithm.rule_name;
              next_sid.(u) <-
                intern_state (r.Algorithm.action (Algorithm.view F.graph full u))
          | None -> ()
@@ -201,6 +264,36 @@ let check_instance (type s) ~options
            done;
            let sc = intern_cfg succ_cfg in
            incr transitions;
+           (match cert with
+           | Some ct when not (Vec.get legit c) ->
+               let covered = ref true in
+               for u = 0 to n - 1 do
+                 if sel land (1 lsl u) <> 0 && not (Cert.covers ct rule_names.(u))
+                 then covered := false
+               done;
+               if !covered then begin
+                 let potential_of id =
+                   match Hashtbl.find_opt pot_memo id with
+                   | Some p -> p
+                   | None ->
+                       let p =
+                         ct.Cert.potential F.graph
+                           (materialize (Vec.get cfgs id))
+                       in
+                       Hashtbl.add pot_memo id p;
+                       p
+                 in
+                 let pc = potential_of c and ps = potential_of sc in
+                 if not (Cert.lex_lt ps pc) then
+                   violate "certificate"
+                     (Fmt.str
+                        "potential %s: %a -> %a does not decrease on %a \
+                         --0x%x--> %a"
+                        ct.Cert.cert_name Cert.pp_potential pc
+                        Cert.pp_potential ps pp_cfg cfg sel pp_cfg
+                        (Vec.get cfgs sc))
+               end
+           | _ -> ());
            edges := pack sc sel :: !edges);
        Vec.push succs (Array.of_list (List.rev !edges))
      done;
@@ -384,22 +477,98 @@ let check_instance (type s) ~options
       let memo : (int, int) Hashtbl.t = Hashtbl.create 1024 in
       let grey : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
       let key c pending = (c lsl 6) lor pending in
+      (* Under symmetry reduction a stored successor is the canonical
+         relabeling of the raw successor, so the pending mask must be
+         transported through the automorphism that did the relabeling.  The
+         permutation per edge is recovered by recomputing the raw successor
+         and matching it against the stored representative; any matching
+         automorphism works — two matches differ by a stabilizer of the
+         representative, and stabilizer-related augmented states have equal
+         DP values.  Memoized per configuration; the rounds DP only runs on
+         small spaces (the `Auto` budget), so the recomputation is cheap. *)
+      let edge_perms =
+        let cache : (int, int array) Hashtbl.t = Hashtbl.create 256 in
+        fun sym c ->
+          match Hashtbl.find_opt cache c with
+          | Some a -> a
+          | None ->
+              let auts = Symmetry.auts sym in
+              let cfg = Vec.get cfgs c in
+              let full = materialize cfg in
+              let next_sid = Array.make n (-1) in
+              for u = 0 to n - 1 do
+                match
+                  Algorithm.enabled_rule algo (Algorithm.view F.graph full u)
+                with
+                | Some r ->
+                    next_sid.(u) <-
+                      intern_state
+                        (r.Algorithm.action (Algorithm.view F.graph full u))
+                | None -> ()
+              done;
+              let perms =
+                Array.map
+                  (fun e ->
+                    let sel = unpack_mask e and sc = unpack_succ e in
+                    let raw = Array.copy cfg in
+                    for u = 0 to n - 1 do
+                      if sel land (1 lsl u) <> 0 then raw.(u) <- next_sid.(u)
+                    done;
+                    let target = Vec.get cfgs sc in
+                    let matches p =
+                      let ok = ref true in
+                      for i = 0 to n - 1 do
+                        if target.(i) <> raw.(p.(i)) then ok := false
+                      done;
+                      !ok
+                    in
+                    let rec find a =
+                      if a >= Array.length auts then
+                        invalid_arg "Model: no automorphism matches successor"
+                      else if matches auts.(a) then a
+                      else find (a + 1)
+                    in
+                    find 0)
+                  (Vec.get succs c)
+              in
+              Hashtbl.add cache c perms;
+              perms
+      in
       (* Dependencies of an augmented state: (increment, key of child) per
          transition, or a constant 1 when the child is legitimate. *)
       let deps c pending =
         let edges = Vec.get succs c in
-        Array.map
-          (fun e ->
-            let sc = unpack_succ e and sel = unpack_mask e in
-            if Vec.get legit sc then `Const 1
-            else begin
-              let survivors =
-                pending land lnot sel land Vec.get enabled_masks sc
-              in
-              if survivors = 0 then `Dep (1, key sc (Vec.get enabled_masks sc))
-              else `Dep (0, key sc survivors)
-            end)
-          edges
+        match reduce with
+        | None ->
+            Array.map
+              (fun e ->
+                let sc = unpack_succ e and sel = unpack_mask e in
+                if Vec.get legit sc then `Const 1
+                else begin
+                  let survivors =
+                    pending land lnot sel land Vec.get enabled_masks sc
+                  in
+                  if survivors = 0 then
+                    `Dep (1, key sc (Vec.get enabled_masks sc))
+                  else `Dep (0, key sc survivors)
+                end)
+              edges
+        | Some sym ->
+            let perms = edge_perms sym c in
+            Array.mapi
+              (fun idx e ->
+                let sc = unpack_succ e and sel = unpack_mask e in
+                if Vec.get legit sc then `Const 1
+                else begin
+                  let p = (Symmetry.auts sym).(perms.(idx)) in
+                  let enabled = Vec.get enabled_masks sc in
+                  let survivors =
+                    pending land lnot sel land Symmetry.transport p enabled
+                  in
+                  if survivors = 0 then `Dep (1, key sc enabled)
+                  else `Dep (0, key sc (Symmetry.untransport p survivors))
+                end)
+              edges
       in
       let eval k0 =
         let stack = ref [ k0 ] in
@@ -480,7 +649,9 @@ let check_instance (type s) ~options
     violations;
     aborted = !aborted;
     worst_moves;
-    worst_rounds }
+    worst_rounds;
+    automorphisms = Option.map Symmetry.order reduce;
+    certificate = Option.map (fun ct -> ct.Cert.cert_name) cert }
 
 let check ?(options = default_options) (inst : Finite.t) =
   let (module F) = inst in

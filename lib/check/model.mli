@@ -55,6 +55,15 @@ type t = {
       (** exact worst-case rounds, engine convention (a final partial round
           counts); [None] if not computed — violations, abort, rounds
           budget, or [rounds = `Off] *)
+  automorphisms : int option;
+      (** [Some |Aut(G)|] when symmetry reduction was applied — the
+          explored configurations are then orbit representatives;
+          [None] when unreduced (symmetry off, asymmetric graph, or
+          per-process domains differ) *)
+  certificate : string option;
+      (** name of the potential-function certificate that was checked on
+          every explored illegitimate transition in its rule scope; a
+          failed check surfaces as a ["certificate"] violation *)
 }
 
 type options = {
@@ -68,6 +77,17 @@ type options = {
   expect_silent : bool;
       (** also require the legitimate region to be acyclic (default
           [false]) *)
+  symmetry : bool;
+      (** explore one configuration per graph-automorphism orbit instead of
+          all of them (default [false]).  Sound for anonymous instances:
+          identical per-process seed domains (checked here) and
+          neighbor-order-invariant rules (checked by {!Lint}'s permutation
+          pass).  Verdicts, [worst_moves] and [worst_rounds] are identical
+          to the unreduced run; [stats.configs] counts orbits.  Any
+          registered certificate must be automorphism-invariant (sums and
+          counts over processes are). *)
+  certs : bool;
+      (** evaluate the instance's {!Cert.t}, if any (default [true]) *)
 }
 
 val default_options : options

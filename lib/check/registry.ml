@@ -1,6 +1,7 @@
 module Graph = Ssreset_graph.Graph
 module Gen = Ssreset_graph.Gen
 module Algorithm = Ssreset_sim.Algorithm
+module Sdr = Ssreset_core.Sdr
 module Min_unison = Ssreset_unison.Min_unison
 module Tail_unison = Ssreset_unison.Tail_unison
 module Unison = Ssreset_unison.Unison
@@ -20,11 +21,20 @@ type entry = {
   max_n_quick : int;
   max_n_full : int;
   instance : Graph.t -> Finite.t;
+  footprint : (Graph.t -> Footprint.target) option;
 }
 
 (* --- instances ------------------------------------------------------- *)
 
 let never_terminal _ _ = false
+
+(* Certificates are layer-scoped progress measures (see {!Cert}): each one
+   provably strictly decreases on every step all of whose movers fired the
+   covered rules, which is exactly what the model checker enforces. *)
+
+let climb_debt rules =
+  Cert.make ~name:"climb-debt" ~rules (fun _ cfg ->
+      [ Array.fold_left (fun acc c -> acc + max 0 (-c)) 0 cfg ])
 
 let min_unison g =
   let n = Graph.n g in
@@ -37,7 +47,9 @@ let min_unison g =
     ~name:(Printf.sprintf "min-unison[K=%d,a=%d]" k alpha)
     ~algorithm:M.algorithm ~graph:g
     ~domain:(fun _ -> List.init (k + alpha) (fun i -> i - alpha))
-    ~legitimate:M.is_legitimate ~terminal_ok:never_terminal ()
+    ~legitimate:M.is_legitimate ~terminal_ok:never_terminal
+    ~certificate:(climb_debt [ Min_unison.rule_climb ])
+    ()
 
 let tail_unison g =
   let n = Graph.n g in
@@ -50,69 +62,165 @@ let tail_unison g =
     ~name:(Printf.sprintf "tail-unison[K=%d,a=%d]" k alpha)
     ~algorithm:T.algorithm ~graph:g
     ~domain:(fun _ -> List.init (k + alpha) (fun i -> i - alpha))
-    ~legitimate:T.is_legitimate ~terminal_ok:never_terminal ()
+    ~legitimate:T.is_legitimate ~terminal_ok:never_terminal
+    ~certificate:(climb_debt [ Tail_unison.rule_climb ])
+    ()
 
-let unison_sdr g =
+(* Σ over processes of the remaining wave obligations (RB = 2, RF = 1,
+   C = 0): SDR-RF turns a 2 into a 1 and SDR-C a 1 into a 0 at the mover,
+   touching nothing else — the paper's feedback-phase progress measure. *)
+let wave_completion =
+  Cert.make ~name:"wave-completion" ~rules:[ "SDR-RF"; "SDR-C" ]
+    (fun _ cfg ->
+      [ Array.fold_left
+          (fun acc s ->
+            acc + match s.Sdr.st with Sdr.RB -> 2 | Sdr.RF -> 1 | Sdr.C -> 0)
+          0 cfg ])
+
+(* Number of undecided inner states; the covered decision rules require the
+   mover to be undecided and decide it. *)
+let undecided_cert ~rules undecided =
+  Cert.make ~name:"undecided" ~rules (fun _ cfg ->
+      [ Array.fold_left
+          (fun acc s -> acc + if undecided s.Sdr.inner then 1 else 0)
+          0 cfg ])
+
+let unison_params g =
   let n = Graph.n g in
   let k = n + 2 in
+  let clocks = List.init k Fun.id in
+  (k, Finite.sdr_domain ~inner:(fun _ -> clocks) ~max_d:n)
+
+let unison_sdr g =
+  let k, domain = unison_params g in
   let module U = Unison.Make (struct
     let k = k
   end) in
-  let clocks = List.init k Fun.id in
   Finite.make
     ~name:(Printf.sprintf "unison-sdr[K=%d]" k)
-    ~algorithm:U.Composed.algorithm ~graph:g
-    ~domain:(Finite.sdr_domain ~inner:(fun _ -> clocks) ~max_d:n)
-    ~legitimate:U.Composed.is_normal ~terminal_ok:never_terminal ()
+    ~algorithm:U.Composed.algorithm ~graph:g ~domain
+    ~legitimate:U.Composed.is_normal ~terminal_ok:never_terminal
+    ~certificate:wave_completion ()
+
+let unison_sdr_footprint g =
+  let k, domain = unison_params g in
+  let module U = Unison.Make (struct
+    let k = k
+  end) in
+  Footprint.sdr_target
+    (module U.Input)
+    ~name:(Printf.sprintf "unison-sdr[K=%d]" k)
+    ~algorithm:U.Composed.algorithm ~graph:g ~domain
+
+let coloring_inner g u =
+  { Coloring.id = u; color = None }
+  :: List.init (Graph.degree g u + 1) (fun c ->
+         { Coloring.id = u; color = Some c })
 
 let coloring_sdr g =
   let module C = Coloring.Make (struct
     let graph = g
     let ids = None
   end) in
-  let inner u =
-    { Coloring.id = u; color = None }
-    :: List.init (Graph.degree g u + 1) (fun c ->
-           { Coloring.id = u; color = Some c })
-  in
   Finite.make ~name:"coloring-sdr" ~algorithm:C.Composed.algorithm ~graph:g
-    ~domain:(Finite.sdr_domain ~inner ~max_d:(Graph.n g))
+    ~domain:(Finite.sdr_domain ~inner:(coloring_inner g) ~max_d:(Graph.n g))
     ~legitimate:C.Composed.is_normal
     ~terminal_ok:(fun _ cfg -> C.is_proper (C.coloring_of_composed cfg))
+    ~certificate:
+      (undecided_cert ~rules:[ Coloring.rule_pick ] (fun s ->
+           s.Coloring.color = None))
     ()
+
+let coloring_sdr_footprint g =
+  let module C = Coloring.Make (struct
+    let graph = g
+    let ids = None
+  end) in
+  Footprint.sdr_target
+    (module C.Input)
+    ~name:"coloring-sdr" ~algorithm:C.Composed.algorithm ~graph:g
+    ~domain:(Finite.sdr_domain ~inner:(coloring_inner g) ~max_d:(Graph.n g))
+
+let mis_inner u =
+  List.map (fun m -> { Mis.id = u; m }) [ Mis.Undecided; Mis.In; Mis.Out ]
 
 let mis_sdr g =
   let module M = Mis.Make (struct
     let graph = g
     let ids = None
   end) in
-  let inner u =
-    List.map (fun m -> { Mis.id = u; m }) [ Mis.Undecided; Mis.In; Mis.Out ]
-  in
   Finite.make ~name:"mis-sdr" ~algorithm:M.Composed.algorithm ~graph:g
-    ~domain:(Finite.sdr_domain ~inner ~max_d:(Graph.n g))
+    ~domain:(Finite.sdr_domain ~inner:mis_inner ~max_d:(Graph.n g))
     ~legitimate:M.Composed.is_normal
     ~terminal_ok:(fun _ cfg -> M.is_mis (M.independent_set_of_composed cfg))
+    ~certificate:
+      (undecided_cert ~rules:[ Mis.rule_join; Mis.rule_out ] (fun s ->
+           s.Mis.m = Mis.Undecided))
     ()
+
+let mis_sdr_footprint g =
+  let module M = Mis.Make (struct
+    let graph = g
+    let ids = None
+  end) in
+  Footprint.sdr_target
+    (module M.Input)
+    ~name:"mis-sdr" ~algorithm:M.Composed.algorithm ~graph:g
+    ~domain:(Finite.sdr_domain ~inner:mis_inner ~max_d:(Graph.n g))
+
+let matching_inner g u =
+  { Matching.id = u; ptr = None }
+  :: Array.to_list
+       (Array.map
+          (fun v -> { Matching.id = u; ptr = Some v })
+          (Graph.neighbors g u))
 
 let matching_sdr g =
   let module M = Matching.Make (struct
     let graph = g
     let ids = None
   end) in
-  let inner u =
-    { Matching.id = u; ptr = None }
-    :: Array.to_list
-         (Array.map
-            (fun v -> { Matching.id = u; ptr = Some v })
-            (Graph.neighbors g u))
-  in
   Finite.make ~name:"matching-sdr" ~algorithm:M.Composed.algorithm ~graph:g
-    ~domain:(Finite.sdr_domain ~inner ~max_d:(Graph.n g))
+    ~domain:(Finite.sdr_domain ~inner:(matching_inner g) ~max_d:(Graph.n g))
     ~legitimate:M.Composed.is_normal
     ~terminal_ok:(fun _ cfg ->
       M.is_maximal_matching (M.matching_of_composed cfg))
     ()
+
+let matching_sdr_footprint g =
+  let module M = Matching.Make (struct
+    let graph = g
+    let ids = None
+  end) in
+  Footprint.sdr_target
+    (module M.Input)
+    ~name:"matching-sdr" ~algorithm:M.Composed.algorithm ~graph:g
+    ~domain:(Finite.sdr_domain ~inner:(matching_inner g) ~max_d:(Graph.n g))
+
+let fga_inner spec g u =
+  let ptrs =
+    None :: Some u
+    :: Array.to_list (Array.map (fun v -> Some v) (Graph.neighbors g u))
+  in
+  List.concat_map
+    (fun col ->
+      List.concat_map
+        (fun scr ->
+          List.concat_map
+            (fun can_q ->
+              List.map
+                (fun ptr ->
+                  { Fga.id = u;
+                    f_u = spec.Spec.f g u;
+                    g_u = spec.Spec.g g u;
+                    col;
+                    scr;
+                    can_q;
+                    ptr })
+                ptrs)
+            [ true; false ])
+        [ -1; 0; 1 ])
+    [ true; false ]
 
 let fga_sdr g =
   let spec = Spec.dominating_set in
@@ -121,41 +229,28 @@ let fga_sdr g =
     let spec = spec
     let ids = None
   end) in
-  let inner u =
-    let ptrs =
-      None :: Some u
-      :: Array.to_list (Array.map (fun v -> Some v) (Graph.neighbors g u))
-    in
-    List.concat_map
-      (fun col ->
-        List.concat_map
-          (fun scr ->
-            List.concat_map
-              (fun can_q ->
-                List.map
-                  (fun ptr ->
-                    { Fga.id = u;
-                      f_u = spec.Spec.f g u;
-                      g_u = spec.Spec.g g u;
-                      col;
-                      scr;
-                      can_q;
-                      ptr })
-                  ptrs)
-              [ true; false ])
-          [ -1; 0; 1 ])
-      [ true; false ]
-  in
   (* FGA ∘ SDR is silent: legitimacy IS termination, so the round bound
      8n+4 (Theorem 14) measures full stabilization and the output check
      (a 1-minimal (f,g)-alliance) covers the specification. *)
   Finite.make ~name:"fga-sdr[dominating-set]"
     ~algorithm:A.Composed.algorithm ~graph:g
-    ~domain:(Finite.sdr_domain ~inner ~max_d:(Graph.n g))
+    ~domain:(Finite.sdr_domain ~inner:(fga_inner spec g) ~max_d:(Graph.n g))
     ~legitimate:(fun g cfg -> Algorithm.is_terminal A.Composed.algorithm g cfg)
     ~terminal_ok:(fun g cfg ->
       Checker.is_one_minimal g spec (A.alliance_of_composed cfg))
     ()
+
+let fga_sdr_footprint g =
+  let spec = Spec.dominating_set in
+  let module A = Fga.Make (struct
+    let graph = g
+    let spec = spec
+    let ids = None
+  end) in
+  Footprint.sdr_target
+    (module A.Input)
+    ~name:"fga-sdr[dominating-set]" ~algorithm:A.Composed.algorithm ~graph:g
+    ~domain:(Finite.sdr_domain ~inner:(fga_inner spec g) ~max_d:(Graph.n g))
 
 (* --- registry -------------------------------------------------------- *)
 
@@ -167,7 +262,8 @@ let entries =
       min_n = 1;
       max_n_quick = 3;
       max_n_full = 4;
-      instance = min_unison };
+      instance = min_unison;
+      footprint = None };
     { name = "tail-unison";
       description = "tail-reset unison, K = 2n + 2, alpha = n";
       expect_silent = false;
@@ -175,7 +271,8 @@ let entries =
       min_n = 1;
       max_n_quick = 3;
       max_n_full = 4;
-      instance = tail_unison };
+      instance = tail_unison;
+      footprint = None };
     { name = "unison-sdr";
       description = "unison composed with SDR, K = n + 2 (3n-round recovery)";
       expect_silent = false;
@@ -183,7 +280,8 @@ let entries =
       min_n = 1;
       max_n_quick = 2;
       max_n_full = 3;
-      instance = unison_sdr };
+      instance = unison_sdr;
+      footprint = Some unison_sdr_footprint };
     { name = "coloring-sdr";
       description = "greedy (Δ+1)-coloring composed with SDR (silent)";
       expect_silent = true;
@@ -191,7 +289,8 @@ let entries =
       min_n = 1;
       max_n_quick = 2;
       max_n_full = 3;
-      instance = coloring_sdr };
+      instance = coloring_sdr;
+      footprint = Some coloring_sdr_footprint };
     { name = "mis-sdr";
       description = "maximal independent set composed with SDR (silent)";
       expect_silent = true;
@@ -199,7 +298,8 @@ let entries =
       min_n = 1;
       max_n_quick = 2;
       max_n_full = 3;
-      instance = mis_sdr };
+      instance = mis_sdr;
+      footprint = Some mis_sdr_footprint };
     { name = "matching-sdr";
       description = "maximal matching composed with SDR (silent)";
       expect_silent = true;
@@ -207,7 +307,8 @@ let entries =
       min_n = 1;
       max_n_quick = 2;
       max_n_full = 3;
-      instance = matching_sdr };
+      instance = matching_sdr;
+      footprint = Some matching_sdr_footprint };
     { name = "fga-sdr";
       description =
         "1-minimal (1,0)-alliance (FGA) composed with SDR (silent, 8n+4 \
@@ -217,7 +318,8 @@ let entries =
       min_n = 2;
       max_n_quick = 2;
       max_n_full = 2;
-      instance = fga_sdr } ]
+      instance = fga_sdr;
+      footprint = Some fga_sdr_footprint } ]
 
 let fixtures =
   [ { name = "toy-livelock";
@@ -227,7 +329,8 @@ let fixtures =
       min_n = 2;
       max_n_quick = 2;
       max_n_full = 3;
-      instance = Toy.livelock };
+      instance = Toy.livelock;
+      footprint = None };
     { name = "toy-overlap";
       description = "fixture: overlapping guards and a silent move";
       expect_silent = false;
@@ -235,7 +338,30 @@ let fixtures =
       min_n = 1;
       max_n_quick = 2;
       max_n_full = 3;
-      instance = Toy.overlap } ]
+      instance = Toy.overlap;
+      footprint = None };
+    { name = "toy-interference";
+      description =
+        "fixture: composed input rule writes the SDR distance — footprint \
+         must flag";
+      expect_silent = false;
+      round_bound = None;
+      min_n = 1;
+      max_n_quick = 2;
+      max_n_full = 3;
+      instance = Toy.interference;
+      footprint = Some Toy.interference_footprint };
+    { name = "toy-badcert";
+      description =
+        "fixture: increasing potential registered as certificate — cert \
+         pass must flag";
+      expect_silent = false;
+      round_bound = None;
+      min_n = 1;
+      max_n_quick = 2;
+      max_n_full = 3;
+      instance = Toy.badcert;
+      footprint = None } ]
 
 let contains ~needle haystack =
   let h = String.lowercase_ascii haystack
@@ -266,7 +392,13 @@ let merge_findings findings =
   |> List.sort (fun (a : Lint.finding) b ->
          compare (a.Lint.lint, a.Lint.rules) (b.Lint.lint, b.Lint.rules))
 
-let run ?(mode = `Full) ?max_n ?max_views_per_process ?options entry =
+let footprint_target entry g =
+  match entry.footprint with
+  | Some f -> f g
+  | None -> Footprint.of_finite (entry.instance g)
+
+let run ?(mode = `Full) ?max_n ?max_views_per_process ?(footprint = true)
+    ?(graphs = fun n -> Gen.all_connected n) ?options entry =
   let max_n =
     match max_n with
     | Some n -> n
@@ -282,6 +414,7 @@ let run ?(mode = `Full) ?max_n ?max_views_per_process ?options entry =
   let lint_findings = ref [] in
   let lint_views = ref 0 in
   let models = ref [] in
+  let footprints = ref [] in
   for n = entry.min_n to max_n do
     List.iter
       (fun g ->
@@ -290,6 +423,8 @@ let run ?(mode = `Full) ?max_n ?max_views_per_process ?options entry =
           Lint.run ?max_views_per_process inst @ !lint_findings;
         lint_views :=
           !lint_views + Lint.views_checked ?max_views_per_process inst;
+        if footprint then
+          footprints := Footprint.analyze (footprint_target entry g) :: !footprints;
         let result = Model.check ~options inst in
         let bound = Option.map (fun f -> f n) entry.round_bound in
         let result =
@@ -307,10 +442,14 @@ let run ?(mode = `Full) ?max_n ?max_views_per_process ?options entry =
           | _ -> result
         in
         models := { Report.bound; result } :: !models)
-      (Gen.all_connected n)
+      (graphs n)
   done;
   { Report.name = entry.name;
     description = entry.description;
     lint = merge_findings !lint_findings;
     lint_views = !lint_views;
+    footprint =
+      (match List.rev !footprints with
+      | [] -> None
+      | fps -> Some (Footprint.merge fps));
     models = List.rev !models }

@@ -20,14 +20,23 @@ type entry = {
   max_n_quick : int;  (** graph-size ceiling under [dune runtest] *)
   max_n_full : int;  (** graph-size ceiling for the CLI default *)
   instance : Ssreset_graph.Graph.t -> Finite.t;
+  footprint : (Ssreset_graph.Graph.t -> Footprint.target) option;
+      (** composed targets carry the full layer decomposition; [None]
+          falls back to the monolithic {!Footprint.of_finite} view *)
 }
 
 val entries : entry list
 (** min-unison, tail-unison, unison-sdr, coloring-sdr, mis-sdr,
-    matching-sdr, fga-sdr. *)
+    matching-sdr, fga-sdr.  The unison entries carry a ["climb-debt"]
+    certificate, unison-sdr a ["wave-completion"] one, and coloring-sdr /
+    mis-sdr an ["undecided"] one ({!Cert}). *)
 
 val fixtures : entry list
-(** toy-livelock, toy-overlap ({!Toy}). *)
+(** toy-livelock, toy-overlap, toy-interference, toy-badcert ({!Toy}). *)
+
+val footprint_target : entry -> Ssreset_graph.Graph.t -> Footprint.target
+(** The target {!run} analyzes for this entry on one graph (declared or
+    derived). *)
 
 val find : string -> entry list
 (** Case-insensitive substring match over entries and fixtures — ["unison"]
@@ -37,13 +46,21 @@ val run :
   ?mode:[ `Quick | `Full ] ->
   ?max_n:int ->
   ?max_views_per_process:int ->
+  ?footprint:bool ->
+  ?graphs:(int -> Ssreset_graph.Graph.t list) ->
   ?options:Model.options ->
   entry ->
   Report.entry_report
-(** Lint and model-check one entry on every connected graph with
-    [entry.min_n ≤ n ≤ max_n] (default: the entry's quick/full ceiling for
-    [mode], itself defaulting to [`Full]).  [options.expect_silent] is
-    overridden by the entry's flag; when the entry declares a round bound
-    and the checker computed a worst case above it, a ["round-bound"]
-    violation is added to that graph's result.  Lint findings are merged
-    across graphs (one per lint × rule set, counts summed). *)
+(** Lint, footprint-analyze and model-check one entry on every graph
+    yielded by [graphs n] (default [Gen.all_connected]: every connected
+    graph, one per isomorphism class) for [entry.min_n ≤ n ≤ max_n]
+    (default: the entry's quick/full ceiling for [mode], itself defaulting
+    to [`Full]).  Restricting [graphs] to one family (e.g. complete
+    graphs) lets symmetry-reduced runs reach larger [n] affordably.
+    [options.expect_silent] is overridden by the entry's flag; when the
+    entry declares a round bound and the checker computed a worst case
+    above it, a ["round-bound"] violation is added to that graph's result.
+    Lint findings are merged across graphs (one per lint × rule set,
+    counts summed); footprint reports are {!Footprint.merge}d the same way
+    ([footprint:false] skips the pass and leaves the report field
+    [None]). *)

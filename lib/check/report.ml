@@ -10,23 +10,58 @@ type entry_report = {
   description : string;
   lint : Lint.finding list;
   lint_views : int;
+  footprint : Footprint.t option;
   models : model_item list;
 }
 
+let footprint_ok = function
+  | None -> true
+  | Some (fp : Footprint.t) -> fp.Footprint.findings = []
+
 let entry_ok e =
   e.lint = []
+  && footprint_ok e.footprint
   && List.for_all (fun m -> m.result.Model.violations = []) e.models
 
 let ok reports = List.for_all entry_ok reports
 
 let opt_int = function None -> Json.Null | Some i -> Json.Int i
+let opt_string = function None -> Json.Null | Some s -> Json.String s
+let strings l = Json.List (List.map (fun s -> Json.String s) l)
 
 let json_of_finding (f : Lint.finding) =
   Json.Obj
     [ ("lint", Json.String f.Lint.lint);
-      ("rules", Json.List (List.map (fun r -> Json.String r) f.Lint.rules));
+      ("rules", strings f.Lint.rules);
       ("witness", Json.String f.Lint.witness);
       ("views", Json.Int f.Lint.count) ]
+
+let json_of_rule_footprint (r : Footprint.rule_footprint) =
+  Json.Obj
+    [ ("rule", Json.String r.Footprint.rule);
+      ("guard_self", strings r.Footprint.guard_self);
+      ("guard_nbrs", strings r.Footprint.guard_nbrs);
+      ("action_self", strings r.Footprint.action_self);
+      ("action_nbrs", strings r.Footprint.action_nbrs);
+      ("writes", strings r.Footprint.writes) ]
+
+let json_of_footprint_finding (f : Footprint.finding) =
+  Json.Obj
+    [ ("check", Json.String f.Footprint.check);
+      ("rules", strings f.Footprint.rules);
+      ("witness", Json.String f.Footprint.witness);
+      ("views", Json.Int f.Footprint.count) ]
+
+let json_of_footprint (fp : Footprint.t) =
+  Json.Obj
+    [ ("ok", Json.Bool (fp.Footprint.findings = []));
+      ("composed", Json.Bool fp.Footprint.composed);
+      ("fields", strings fp.Footprint.fields);
+      ("views", Json.Int fp.Footprint.views);
+      ("rules", Json.List (List.map json_of_rule_footprint fp.Footprint.rules));
+      ( "findings",
+        Json.List (List.map json_of_footprint_finding fp.Footprint.findings)
+      ) ]
 
 let json_of_model { bound; result = r } =
   let s = r.Model.stats in
@@ -39,6 +74,8 @@ let json_of_model { bound; result = r } =
       ("legitimate", Json.Int s.Model.legitimate);
       ("terminal", Json.Int s.Model.terminal);
       ("wall_s", Json.Float s.Model.wall_s);
+      ("automorphisms", opt_int r.Model.automorphisms);
+      ("certificate", opt_string r.Model.certificate);
       ( "violations",
         Json.List
           (List.map
@@ -64,6 +101,10 @@ let json_of_entry e =
           [ ("ok", Json.Bool (e.lint = []));
             ("views", Json.Int e.lint_views);
             ("findings", Json.List (List.map json_of_finding e.lint)) ] );
+      ( "footprint",
+        match e.footprint with
+        | None -> Json.Null
+        | Some fp -> json_of_footprint fp );
       ( "model",
         Json.Obj
           [ ( "ok",
@@ -76,7 +117,8 @@ let json_of_entry e =
 
 let to_json reports =
   Json.Obj
-    [ ("schema", Json.String "ssreset-check-v1");
+    [ ("schema", Json.String "ssreset-check-v2");
+      ("schema_version", Json.Int 2);
       ("ok", Json.Bool (ok reports));
       ("entries", Json.List (List.map json_of_entry reports)) ]
 
@@ -86,6 +128,12 @@ let pp_model ppf { bound; result = r } =
               legitimate, %d terminal (%.2fs)"
     r.Model.instance r.Model.graph_n r.Model.graph_m s.Model.configs
     s.Model.transitions s.Model.legitimate s.Model.terminal s.Model.wall_s;
+  (match r.Model.automorphisms with
+  | Some a when a > 1 -> Fmt.pf ppf "@,symmetry-reduced: |Aut| = %d" a
+  | _ -> ());
+  (match r.Model.certificate with
+  | Some c -> Fmt.pf ppf "@,certificate: %s" c
+  | None -> ());
   (match r.Model.aborted with
   | Some reason -> Fmt.pf ppf "@,ABORTED: %s" reason
   | None -> ());
@@ -114,6 +162,9 @@ let pp_entry ppf e =
     (if e.lint = [] then "clean" else "FINDINGS")
     e.lint_views;
   List.iter (fun f -> Fmt.pf ppf "@,  %a" Lint.pp_finding f) e.lint;
+  (match e.footprint with
+  | None -> ()
+  | Some fp -> Fmt.pf ppf "@,%a" Footprint.pp fp);
   List.iter (fun m -> Fmt.pf ppf "@,%a" pp_model m) e.models;
   Fmt.pf ppf "@]"
 

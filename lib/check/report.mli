@@ -1,6 +1,7 @@
-(** Findings report: aggregates lint findings and model-checker results per
-    algorithm entry, renders them for humans, and emits machine-readable
-    JSON (schema ["ssreset-check-v1"]) through {!Ssreset_obs.Json}. *)
+(** Findings report: aggregates lint findings, footprint analyses and
+    model-checker results per algorithm entry, renders them for humans, and
+    emits machine-readable JSON (schema ["ssreset-check-v2"],
+    [schema_version 2]) through {!Ssreset_obs.Json}. *)
 
 type model_item = {
   bound : int option;
@@ -14,19 +15,25 @@ type entry_report = {
   description : string;
   lint : Lint.finding list;
   lint_views : int;  (** views the lint pass evaluated *)
+  footprint : Footprint.t option;
+      (** merged over checked graphs; [None] when the pass was skipped *)
   models : model_item list;  (** one per checked graph *)
 }
 
 val entry_ok : entry_report -> bool
-(** No lint findings and no model violations.  Aborted model runs do not
-    fail the entry — they are visible in the JSON and the human report as
-    unverified — but violations found before the abort do. *)
+(** No lint findings, no footprint findings and no model violations.
+    Aborted model runs do not fail the entry — they are visible in the
+    JSON and the human report as unverified — but violations found before
+    the abort do. *)
 
 val ok : entry_report list -> bool
 
 val to_json : entry_report list -> Ssreset_obs.Json.t
-(** Top level: [{schema; ok; entries}]; each entry carries [lint] (findings
-    + ok) and [model] (per-graph stats, violations, worst cases, bound). *)
+(** Top level: [{schema; schema_version; ok; entries}]; each entry carries
+    [lint] (findings + ok), [footprint] (per-rule read/write tables +
+    non-interference findings, or [null]) and [model] (per-graph stats,
+    violations, worst cases, bound, automorphism order and certificate
+    name when those passes ran). *)
 
 val pp : entry_report list Fmt.t
 (** Human-readable summary, one block per entry. *)

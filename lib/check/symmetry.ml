@@ -1,0 +1,215 @@
+(* Graph automorphisms and orbit canonicalization (see symmetry.mli).
+
+   Everything here is sized for the model checker's graphs: n ≤ 6, so the
+   full S_n has at most 720 elements and brute force over permutations is
+   instantaneous.  The interesting engineering is in [iter_canonical],
+   which must enumerate orbit representatives of domain^n without ever
+   materializing the full product — that product is what blows the
+   checker's budget at n = 6 in the first place. *)
+
+module Graph = Ssreset_graph.Graph
+
+type t = {
+  n : int;
+  auts : int array array; (* identity first (lex-least permutation) *)
+  blocks : int array option;
+      (* Young fast path: block id per vertex when Aut = Π S_{orbit} *)
+}
+
+let order t = Array.length t.auts
+let auts t = t.auts
+
+(* All permutations of [0..n-1] in lexicographic order, so the identity is
+   generated first and ends up at index 0 after filtering. *)
+let rec perms_of = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (perms_of rest))
+        l
+
+let transport p m =
+  let out = ref 0 in
+  Array.iteri (fun i pi -> if m land (1 lsl i) <> 0 then out := !out lor (1 lsl pi)) p;
+  !out
+
+let untransport p m =
+  let out = ref 0 in
+  Array.iteri (fun i pi -> if m land (1 lsl pi) <> 0 then out := !out lor (1 lsl i)) p;
+  !out
+
+let rec factorial k = if k <= 1 then 1 else k * factorial (k - 1)
+
+let of_graph g =
+  let n = Graph.n g in
+  let adj = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- adj.(u) lor (1 lsl v);
+      adj.(v) <- adj.(v) lor (1 lsl u))
+    (Graph.edges g);
+  let is_aut p =
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      if transport p adj.(u) <> adj.(p.(u)) then ok := false
+    done;
+    !ok
+  in
+  let auts =
+    perms_of (List.init n Fun.id)
+    |> List.map Array.of_list
+    |> List.filter is_aut
+    |> Array.of_list
+  in
+  (* Vertex orbits: u ~ p(u) for every automorphism p. *)
+  let block = Array.make n (-1) in
+  let nblocks = ref 0 in
+  for u = 0 to n - 1 do
+    if block.(u) < 0 then begin
+      let b = !nblocks in
+      incr nblocks;
+      Array.iter (fun p -> block.(p.(u)) <- b) auts
+    end
+  done;
+  let sizes = Array.make !nblocks 0 in
+  Array.iter (fun b -> sizes.(b) <- sizes.(b) + 1) block;
+  let young_order = Array.fold_left (fun acc s -> acc * factorial s) 1 sizes in
+  let blocks =
+    if Array.length auts > 1 && young_order = Array.length auts then Some block
+    else None
+  in
+  { n; auts; blocks }
+
+let canonicalize t cfg =
+  let n = t.n in
+  match t.blocks with
+  | _ when Array.length t.auts <= 1 -> Array.copy cfg
+  | Some block ->
+      (* Aut is the full symmetric group on each block: the lexmin
+         relabeling sorts values within each block (block members appear
+         in vertex order, so "within" is by position). *)
+      let out = Array.copy cfg in
+      let nblocks = 1 + Array.fold_left max 0 block in
+      for b = 0 to nblocks - 1 do
+        let vals = ref [] in
+        for i = n - 1 downto 0 do
+          if block.(i) = b then vals := cfg.(i) :: !vals
+        done;
+        let sorted = List.sort compare !vals in
+        let rem = ref sorted in
+        for i = 0 to n - 1 do
+          if block.(i) = b then begin
+            out.(i) <- List.hd !rem;
+            rem := List.tl !rem
+          end
+        done
+      done;
+      out
+  | None ->
+      let best = Array.copy cfg in
+      let na = Array.length t.auts in
+      for a = 1 to na - 1 do
+        let p = t.auts.(a) in
+        (* lex-compare cfg∘p against best, adopting on strictly smaller *)
+        let rec cmp i =
+          if i = n then 0
+          else
+            let v = cfg.(p.(i)) in
+            if v < best.(i) then -1 else if v > best.(i) then 1 else cmp (i + 1)
+        in
+        if cmp 0 < 0 then
+          for i = 0 to n - 1 do
+            best.(i) <- cfg.(p.(i))
+          done
+      done;
+      best
+
+let iter_canonical t ~arity f =
+  let n = t.n in
+  let digits = Array.make n 0 in
+  match t.blocks with
+  | Some block when Array.length t.auts > 1 ->
+      (* Canonical ⇔ non-decreasing within each block (positions ascend),
+         so generate exactly those digit arrays: the lower bound for
+         position k is the last digit already placed in k's block. *)
+      let rec go k =
+        if k = n then f digits
+        else begin
+          let lb = ref 0 in
+          for j = 0 to k - 1 do
+            if block.(j) = block.(k) then lb := digits.(j)
+          done;
+          for x = !lb to arity - 1 do
+            digits.(k) <- x;
+            go (k + 1)
+          done
+        end
+      in
+      go 0
+  | _ ->
+      if Array.length t.auts <= 1 then begin
+        (* No symmetry: plain product enumeration. *)
+        let rec go k =
+          if k = n then f digits
+          else
+            for x = 0 to arity - 1 do
+              digits.(k) <- x;
+              go (k + 1)
+            done
+        in
+        go 0
+      end
+      else begin
+        (* General group: DFS with prefix pruning.  A prefix d[0..k] is
+           viable only if no automorphism p stabilizing {0..k} setwise
+           relabels it to something lex-smaller; at the leaf we require
+           lex-minimality over the whole group. *)
+        let na = Array.length t.auts in
+        let prefix_auts =
+          Array.init n (fun k ->
+              List.filter
+                (fun a ->
+                  let p = t.auts.(a) in
+                  let ok = ref true in
+                  for i = 0 to k do
+                    if p.(i) > k then ok := false
+                  done;
+                  !ok)
+                (List.init na Fun.id |> List.tl)
+              |> Array.of_list)
+        in
+        (* digits∘p <lex digits restricted to [0..k]? *)
+        let smaller_prefix p k =
+          let rec cmp i =
+            if i > k then false
+            else
+              let v = digits.(p.(i)) in
+              if v < digits.(i) then true
+              else if v > digits.(i) then false
+              else cmp (i + 1)
+          in
+          cmp 0
+        in
+        let canonical_leaf () =
+          let ok = ref true in
+          for a = 1 to na - 1 do
+            if !ok && smaller_prefix t.auts.(a) (n - 1) then ok := false
+          done;
+          !ok
+        in
+        let rec go k =
+          if k = n then (if canonical_leaf () then f digits)
+          else
+            for x = 0 to arity - 1 do
+              digits.(k) <- x;
+              let pruned = ref false in
+              Array.iter
+                (fun a -> if (not !pruned) && smaller_prefix t.auts.(a) k then pruned := true)
+                prefix_auts.(k);
+              if not !pruned then go (k + 1)
+            done
+        in
+        go 0
+      end

@@ -1,0 +1,53 @@
+(** Graph automorphisms and orbit canonicalization of configurations.
+
+    Self-stabilization properties are invariant under graph automorphisms
+    whenever the algorithm is {e anonymous}: every process runs the same
+    rules, the per-process seed domains coincide, and guards/actions are
+    neighbor-order independent (the {!Lint} permutation pass checks the
+    latter).  Two configurations related by an automorphism then generate
+    isomorphic transition systems, so the model checker only needs one
+    representative per orbit — a reduction by up to [|Aut(G)|] (720 on K6).
+
+    The canonical representative of a configuration [cfg] (an int array of
+    state ids) is the lexicographically smallest relabeling
+    [i ↦ cfg.(p.(i))] over all automorphisms [p].  When the automorphism
+    group is exactly a Young subgroup — the full symmetric group on each
+    vertex orbit, detected by [|Aut| = Π |orbit|!] as on complete graphs
+    and stars — canonicalization degenerates to sorting within orbits and
+    canonical seeds are enumerated directly without rejection. *)
+
+type t
+
+val of_graph : Ssreset_graph.Graph.t -> t
+(** Compute the full automorphism group by brute force over vertex
+    permutations — fine for the checker's graphs ([n ≤ 6], at most 720
+    candidates). *)
+
+val order : t -> int
+(** [|Aut(G)|]; [1] means the graph is asymmetric and reduction is
+    pointless. *)
+
+val auts : t -> int array array
+(** All automorphisms as permutation arrays; [auts.(0)] is the identity. *)
+
+val canonicalize : t -> int array -> int array
+(** [canonicalize t cfg] is a fresh array holding the lexicographically
+    smallest [i ↦ cfg.(p.(i))] over all automorphisms [p]. *)
+
+val iter_canonical : t -> arity:int -> (int array -> unit) -> unit
+(** [iter_canonical t ~arity f] enumerates exactly the canonical
+    representatives of the orbits of [{0..arity-1}^n] (digit arrays over a
+    common per-vertex domain), calling [f] on each.  The array passed to
+    [f] is reused between calls — copy it.  Enumeration is a DFS over
+    prefix assignments, pruned by the automorphisms that preserve the
+    assigned prefix; on Young groups it generates canonical arrays
+    directly (sorted within orbits) with no rejection at all. *)
+
+val transport : int array -> int -> int
+(** [transport p m] maps a bit mask from canonical coordinates to raw
+    coordinates: bit [i] of [m] becomes bit [p.(i)].  Used by the rounds
+    DP to carry pending-process sets across the relabeling applied when a
+    successor was canonicalized ({!Model}). *)
+
+val untransport : int array -> int -> int
+(** Inverse of {!transport}: bit [p.(i)] of [m] becomes bit [i]. *)

@@ -1,4 +1,5 @@
 module Algorithm = Ssreset_sim.Algorithm
+module Sdr = Ssreset_core.Sdr
 
 let livelock graph =
   let flip =
@@ -40,4 +41,87 @@ let overlap graph =
   Finite.make ~name:"toy-overlap" ~algorithm ~graph
     ~domain:(fun _ -> [ 0; 1; 2 ])
     ~legitimate:(fun _ cfg -> Array.for_all (fun s -> s = 1) cfg)
+    ()
+
+(* A composed-shaped algorithm whose single "input" rule writes the SDR
+   distance variable alongside its own layer — exactly the non-interference
+   breach Requirement 3 forbids.  Everything else is clean by design
+   (guards gated by P_Clean, all configurations legitimate, each process
+   pokes at most once), so only the footprint pass can flag it. *)
+
+let interference_p_clean (v : int Sdr.state Algorithm.view) =
+  Sdr.status_equal v.Algorithm.state.Sdr.st Sdr.C
+  && Array.for_all (fun s -> Sdr.status_equal s.Sdr.st Sdr.C) v.Algorithm.nbrs
+
+let interference_algorithm =
+  let poke =
+    { Algorithm.rule_name = "TI-poke";
+      guard =
+        (fun v -> interference_p_clean v && v.Algorithm.state.Sdr.inner = 0);
+      action =
+        (fun v ->
+          { v.Algorithm.state with
+            Sdr.d = v.Algorithm.state.Sdr.d + 1;
+            inner = 1 }) }
+  in
+  { Algorithm.name = "toy-interference";
+    rules = [ poke ];
+    equal =
+      (fun a b ->
+        Sdr.status_equal a.Sdr.st b.Sdr.st
+        && a.Sdr.d = b.Sdr.d
+        && a.Sdr.inner = b.Sdr.inner);
+    pp =
+      (fun ppf s ->
+        Fmt.pf ppf "%a/%d/%d" Sdr.pp_status s.Sdr.st s.Sdr.d s.Sdr.inner) }
+
+let interference_domain _ =
+  List.concat_map
+    (fun d -> List.map (fun i -> { Sdr.st = Sdr.C; d; inner = i }) [ 0; 1 ])
+    [ 0; 1 ]
+
+let interference graph =
+  Finite.make ~name:"toy-interference" ~algorithm:interference_algorithm
+    ~graph ~domain:interference_domain
+    ~legitimate:(fun _ _ -> true)
+    ()
+
+module Interference_input = struct
+  type state = int
+
+  let name = "toy-interference-input"
+  let equal = Int.equal
+  let pp = Fmt.int
+  let p_icorrect _ = true
+  let p_reset i = i = 0
+  let reset _ = 0
+  let rules = []
+end
+
+let interference_footprint graph =
+  Footprint.sdr_target
+    (module Interference_input)
+    ~name:"toy-interference" ~algorithm:interference_algorithm ~graph
+    ~domain:interference_domain
+
+(* A correct, trivially convergent counter registered with an increasing
+   "potential": lint and the enumerated model verdicts are clean, so only
+   the certificate pass can flag the bogus measure. *)
+let badcert graph =
+  let up =
+    { Algorithm.rule_name = "T-up";
+      guard = (fun v -> v.Algorithm.state < 2);
+      action = (fun v -> v.Algorithm.state + 1) }
+  in
+  let algorithm =
+    { Algorithm.name = "toy-badcert";
+      rules = [ up ];
+      equal = Int.equal;
+      pp = Fmt.int }
+  in
+  Finite.make ~name:"toy-badcert" ~algorithm ~graph
+    ~domain:(fun _ -> [ 0; 1; 2 ])
+    ~legitimate:(fun _ cfg -> Array.for_all (fun s -> s = 2) cfg)
+    ~certificate:
+      (Cert.make ~name:"bogus-up" (fun _ cfg -> [ Array.fold_left ( + ) 0 cfg ]))
     ()

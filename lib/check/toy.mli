@@ -18,3 +18,21 @@ val overlap : Ssreset_graph.Graph.t -> Finite.t
     makes list order load-bearing), and [T-noop] "rewrites" state 2 to
     itself (a silent move, and a self-loop livelock for the model
     checker). *)
+
+val interference : Ssreset_graph.Graph.t -> Finite.t
+(** A composed-shaped algorithm (states are [int Sdr.state]) whose input
+    rule [TI-poke] is properly gated by [P_Clean] but bumps the SDR
+    distance variable [d] alongside its own layer — the non-interference
+    breach of the paper's Requirement 3.  Lint and the model checker are
+    clean by construction (every configuration is legitimate; each process
+    pokes once); only {!Footprint}'s ["write-escape"] check can flag it. *)
+
+val interference_footprint : Ssreset_graph.Graph.t -> Footprint.target
+(** The composed footprint target for {!interference}, with the honest
+    layer decomposition ([reset] to inner 0, [P_reset] = inner 0). *)
+
+val badcert : Ssreset_graph.Graph.t -> Finite.t
+(** A correct monotone counter ([T-up]: 0 → 1 → 2; legitimate = all-2)
+    registered with a bogus {e increasing} potential [Σ state] — clean
+    under lint and every enumerated verdict, so only {!Model}'s
+    certificate pass (a ["certificate"] violation) can flag it. *)

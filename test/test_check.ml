@@ -1,10 +1,13 @@
 open Helpers
 module Algorithm = Ssreset_sim.Algorithm
+module Cert = Ssreset_check.Cert
 module Finite = Ssreset_check.Finite
+module Footprint = Ssreset_check.Footprint
 module Lint = Ssreset_check.Lint
 module Model = Ssreset_check.Model
 module Registry = Ssreset_check.Registry
 module Report = Ssreset_check.Report
+module Symmetry = Ssreset_check.Symmetry
 module Toy = Ssreset_check.Toy
 
 (* ---------------------------- graph enumeration ------------------------- *)
@@ -151,12 +154,244 @@ let model_tests =
             (Gen.all_connected n)
         done) ]
 
+(* ------------------------------ symmetry -------------------------------- *)
+
+let sorted_props r = List.sort compare (properties r)
+
+(* The reduction must be invisible: same verdicts, same exact worst cases. *)
+let check_reduction_parity name inst =
+  let base = Model.check inst in
+  let red =
+    Model.check ~options:{ Model.default_options with symmetry = true } inst
+  in
+  check Alcotest.(list string) (name ^ " violations") (sorted_props base)
+    (sorted_props red);
+  check
+    Alcotest.(option string)
+    (name ^ " aborted") base.Model.aborted red.Model.aborted;
+  check
+    Alcotest.(option int)
+    (name ^ " worst moves") base.Model.worst_moves red.Model.worst_moves;
+  check
+    Alcotest.(option int)
+    (name ^ " worst rounds") base.Model.worst_rounds red.Model.worst_rounds
+
+let entry name = List.find (fun e -> e.Registry.name = name) Registry.entries
+
+let symmetry_tests =
+  [ test "automorphism groups of the small zoo" (fun () ->
+        List.iter
+          (fun (name, g, expected) ->
+            check_int name expected (Symmetry.order (Symmetry.of_graph g)))
+          [ ("path3", Gen.path 3, 2);
+            ("ring4", Gen.ring 4, 8);
+            ("K4", Gen.complete 4, 24);
+            ("star4", Gen.star 4, 6);
+            ("ring5", Gen.ring 5, 10) ]);
+    test "canonicalize picks one representative per orbit" (fun () ->
+        let sym = Symmetry.of_graph (Gen.ring 4) in
+        let rng = rng 42 in
+        for _ = 1 to 100 do
+          let cfg = Array.init 4 (fun _ -> Random.State.int rng 3) in
+          let canon = Symmetry.canonicalize sym cfg in
+          Array.iter
+            (fun p ->
+              let permuted = Array.init 4 (fun i -> cfg.(p.(i))) in
+              check
+                Alcotest.(array int)
+                "orbit-invariant" canon
+                (Symmetry.canonicalize sym permuted))
+            (Symmetry.auts sym);
+          (* the canonical form is itself a member of the orbit *)
+          check_true "in orbit"
+            (Array.exists
+               (fun p -> Array.init 4 (fun i -> cfg.(p.(i))) = canon)
+               (Symmetry.auts sym))
+        done);
+    test "iter_canonical agrees with canonicalizing the full product"
+      (fun () ->
+        let sym = Symmetry.of_graph (Gen.ring 4) in
+        let seen = Hashtbl.create 64 in
+        Symmetry.iter_canonical sym ~arity:3 (fun digits ->
+            Hashtbl.replace seen (Array.to_list digits) ());
+        let expected = Hashtbl.create 64 in
+        for code = 0 to (3 * 3 * 3 * 3) - 1 do
+          let cfg = Array.make 4 0 in
+          let c = ref code in
+          for i = 0 to 3 do
+            cfg.(i) <- !c mod 3;
+            c := !c / 3
+          done;
+          Hashtbl.replace expected
+            (Array.to_list (Symmetry.canonicalize sym cfg))
+            ()
+        done;
+        check_int "orbit count" (Hashtbl.length expected) (Hashtbl.length seen);
+        Hashtbl.iter
+          (fun k () -> check_true "canonical" (Hashtbl.mem expected k))
+          seen);
+    test "reduced verdicts and worst cases match the unreduced checker"
+      (fun () ->
+        for n = 1 to 3 do
+          List.iter
+            (fun g ->
+              let tag e = Fmt.str "%s n=%d m=%d" e n (Graph.m g) in
+              check_reduction_parity (tag "tail-unison")
+                ((entry "tail-unison").Registry.instance g);
+              check_reduction_parity (tag "min-unison")
+                ((entry "min-unison").Registry.instance g))
+            (Gen.all_connected n)
+        done;
+        check_reduction_parity "unison-sdr n=2"
+          ((entry "unison-sdr").Registry.instance (Gen.path 2));
+        check_reduction_parity "toy-livelock ring3"
+          (Toy.livelock (Gen.ring 3)));
+    test "orbit counts: tail-unison on K3 explores C(13,3) = 286 seeds"
+      (fun () ->
+        let r =
+          Model.check
+            ~options:{ Model.default_options with symmetry = true }
+            ((entry "tail-unison").Registry.instance (Gen.complete 3))
+        in
+        check_int "configs" 286 r.Model.stats.Model.configs;
+        check
+          Alcotest.(option int)
+          "automorphisms" (Some 6) r.Model.automorphisms);
+    test "symmetry-reduced checking reproduces the C5 tail-unison livelock"
+      (fun () ->
+        (* Discovered by this pass: the homegrown tail-reset unison
+           livelocks on the 5-cycle (a reset wave chases a clock at 2
+           around the odd hole forever) — beyond the old exhaustive
+           envelope (n <= 4).  Reduction makes the 17^5-configuration
+           space fit the budget as 144,449 orbits; pin the verdict. *)
+        let r =
+          Model.check
+            ~options:{ Model.default_options with symmetry = true }
+            ((entry "tail-unison").Registry.instance (Gen.ring 5))
+        in
+        check_true "no abort" (r.Model.aborted = None);
+        check_true "livelock" (List.mem "livelock" (properties r))) ]
+
+(* ----------------------------- certificates ----------------------------- *)
+
+let cert_tests =
+  [ test "lex_lt is a strict lexicographic order" (fun () ->
+        check_true "lt" (Cert.lex_lt [ 1; 9 ] [ 2; 0 ]);
+        check_true "tie then lt" (Cert.lex_lt [ 2; 1 ] [ 2; 3 ]);
+        check_false "eq" (Cert.lex_lt [ 2; 3 ] [ 2; 3 ]);
+        check_false "gt" (Cert.lex_lt [ 3; 0 ] [ 2; 9 ]);
+        (* length mismatch is never "less": it must surface as a
+           violation rather than vacuously pass *)
+        check_false "short" (Cert.lex_lt [ 1 ] [ 2; 3 ]);
+        check_false "empty" (Cert.lex_lt [] [ 1 ]));
+    test "toy-badcert: the bogus increasing potential is flagged" (fun () ->
+        let r = Model.check (Toy.badcert (Gen.path 2)) in
+        check
+          Alcotest.(option string)
+          "name" (Some "bogus-up") r.Model.certificate;
+        check_true "violation" (List.mem "certificate" (properties r)));
+    test "climb-debt certificate verifies on tail-unison" (fun () ->
+        let r =
+          Model.check ((entry "tail-unison").Registry.instance (Gen.path 2))
+        in
+        check
+          Alcotest.(option string)
+          "name" (Some "climb-debt") r.Model.certificate;
+        check_true "clean" (r.Model.violations = []));
+    test "certs:false disables the pass" (fun () ->
+        let r =
+          Model.check
+            ~options:{ Model.default_options with certs = false }
+            (Toy.badcert (Gen.path 2))
+        in
+        check Alcotest.(option string) "off" None r.Model.certificate;
+        check_false "no certificate violation"
+          (List.mem "certificate" (properties r))) ]
+
+(* ------------------------------ footprint ------------------------------- *)
+
+let footprint_tests =
+  [ test "monolithic footprint of tail-unison reads self and neighbors"
+      (fun () ->
+        let fp =
+          Footprint.analyze
+            (Footprint.of_finite
+               ((entry "tail-unison").Registry.instance (Gen.path 2)))
+        in
+        check_true "clean" (fp.Footprint.findings = []);
+        check_false "not composed" fp.Footprint.composed;
+        let tick =
+          List.find
+            (fun (r : Footprint.rule_footprint) ->
+              r.Footprint.rule = Ssreset_unison.Tail_unison.rule_tick)
+            fp.Footprint.rules
+        in
+        check
+          Alcotest.(list string)
+          "guard self" [ "state" ] tick.Footprint.guard_self;
+        check
+          Alcotest.(list string)
+          "guard nbrs" [ "state" ] tick.Footprint.guard_nbrs;
+        check
+          Alcotest.(list string)
+          "writes" [ "state" ] tick.Footprint.writes);
+    test "composed unison-sdr passes every non-interference check" (fun () ->
+        let fp =
+          Footprint.analyze (Registry.footprint_target (entry "unison-sdr")
+                               (Gen.path 2))
+        in
+        check_true "composed" fp.Footprint.composed;
+        if fp.Footprint.findings <> [] then
+          Alcotest.failf "findings: %a"
+            Fmt.(list ~sep:(any "; ") Footprint.pp_finding)
+            fp.Footprint.findings);
+    test "toy-interference: the input-layer write to d is caught" (fun () ->
+        let fp =
+          Footprint.analyze (Toy.interference_footprint (Gen.path 2))
+        in
+        check_true "write-escape"
+          (List.exists
+             (fun (f : Footprint.finding) ->
+               f.Footprint.check = "write-escape"
+               && List.mem "TI-poke" f.Footprint.rules)
+             fp.Footprint.findings));
+    test "merge accumulates views and unions findings" (fun () ->
+        let t g = Toy.interference_footprint g in
+        let a = Footprint.analyze (t (Gen.path 2))
+        and b = Footprint.analyze (t (Gen.path 3)) in
+        let m = Footprint.merge [ a; b ] in
+        check_int "views" (a.Footprint.views + b.Footprint.views)
+          m.Footprint.views;
+        check_true "findings survive" (m.Footprint.findings <> []));
+    test "recorded footprints survive randomized differential probing"
+      (fun () ->
+        (* Soundness: at n = 2 the analyzer covers the whole view space,
+           so no random probe may exhibit a read outside the recorded
+           footprint — for all seven paper algorithms, composed targets
+           included. *)
+        List.iter
+          (fun (e : Registry.entry) ->
+            let n = max 2 e.Registry.min_n in
+            let g = Gen.path n in
+            let target = Registry.footprint_target e g in
+            let fp =
+              Footprint.analyze ~max_views_per_process:200_000 target
+            in
+            List.iter
+              (fun seed ->
+                match Footprint.differential ~trials:200 ~seed target fp with
+                | None -> ()
+                | Some d ->
+                    Alcotest.failf "%s (seed %d): %s" e.Registry.name seed d)
+              [ 1; 7; 23 ])
+          Registry.entries) ]
+
 (* ------------------------------- registry ------------------------------- *)
 
 let registry_tests =
   [ test "find matches case-insensitive substrings" (fun () ->
         check_int "unison" 3 (List.length (Registry.find "UNISON"));
-        check_int "toy" 2 (List.length (Registry.find "toy"));
+        check_int "toy" 4 (List.length (Registry.find "toy"));
         check_int "none" 0 (List.length (Registry.find "zzz")));
     test "fixtures are reported dirty, entries clean (quick mode)" (fun () ->
         List.iter
@@ -168,11 +403,24 @@ let registry_tests =
           Registry.fixtures;
         let e = List.hd Registry.entries in
         check_true "first entry clean"
-          (Report.entry_ok (Registry.run ~mode:`Quick ~max_n:3 e))) ]
+          (Report.entry_ok (Registry.run ~mode:`Quick ~max_n:3 e)));
+    test "footprint:false skips the pass; graphs restricts the sweep"
+      (fun () ->
+        let e = entry "tail-unison" in
+        let r =
+          Registry.run ~mode:`Quick ~max_n:3 ~footprint:false
+            ~graphs:(fun n -> [ Gen.complete n ])
+            e
+        in
+        check_true "no footprint" (r.Report.footprint = None);
+        check_int "one graph per size" 3 (List.length r.Report.models)) ]
 
 let () =
   Alcotest.run "check"
     [ ("enumeration", enumeration_tests);
       ("lint", lint_tests);
       ("model", model_tests);
+      ("symmetry", symmetry_tests);
+      ("cert", cert_tests);
+      ("footprint", footprint_tests);
       ("registry", registry_tests) ]

@@ -1,11 +1,13 @@
-(* CI gate: run the quick lint + model-check suite over every registered
-   algorithm (all must be clean) and over the toy fixtures (all must be
-   flagged — the checker must have no false negatives).  Wired under
-   `dune runtest` from tools/dune; exits non-zero on any discrepancy. *)
+(* CI gate: run the quick lint + footprint + model-check suite over every
+   registered algorithm (all must be clean) and over the toy fixtures (all
+   must be flagged — the checker must have no false negatives).  Wired
+   under `dune runtest` from tools/dune; exits non-zero on any
+   discrepancy. *)
 
 module Registry = Ssreset_check.Registry
 module Report = Ssreset_check.Report
 module Model = Ssreset_check.Model
+module Footprint = Ssreset_check.Footprint
 
 let () =
   let failures = ref 0 in
@@ -42,15 +44,22 @@ let () =
           (fun (m : Report.model_item) ->
             m.Report.result.Model.violations <> [])
           r.Report.models
+      and footprint_dirty =
+        match r.Report.footprint with
+        | None -> false
+        | Some fp -> fp.Footprint.findings <> []
       in
-      let dirty = r.Report.lint <> [] || model_dirty in
+      let dirty = r.Report.lint <> [] || model_dirty || footprint_dirty in
       if not dirty then
         fail "%s: fixture was NOT flagged (false negative)" r.Report.name
       else
-        Printf.printf "ok   %-14s fixture flagged as expected (%d lint, %s)\n"
+        Printf.printf
+          "ok   %-16s fixture flagged as expected (%d lint, model %s, \
+           footprint %s)\n"
           r.Report.name
           (List.length r.Report.lint)
-          (if model_dirty then "model violations" else "model clean"))
+          (if model_dirty then "dirty" else "clean")
+          (if footprint_dirty then "dirty" else "clean"))
     Registry.fixtures;
   if !failures > 0 then begin
     Printf.printf "check_all: %d failure(s)\n" !failures;

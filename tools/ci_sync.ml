@@ -9,6 +9,8 @@
 let required =
   [ ("tier-1 build and test", "dune build && dune runtest");
     ("model-checking gate", "check --quick");
+    ( "symmetry-reduced exhaustive check",
+      "check tail-unison --symmetry --family complete --max-n 6" );
     ("quick bench", "--quick");
     ("bench regression gate", "bench_gate");
     ("OCaml 5.1 in the matrix", "5.1");

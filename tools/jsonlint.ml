@@ -1,14 +1,18 @@
 (* Validate JSON / JSONL files produced by the telemetry layer.
 
-   usage: jsonlint [--jsonl] [--require-keys k,...] [--require-types t,...] FILE
+   usage: jsonlint [--jsonl] [--require-keys k,...] [--require-types t,...]
+                   [--check-report] FILE
 
    Plain mode parses FILE as one JSON document; [--require-keys] then checks
    the top-level object has every listed key.  With [--jsonl] every nonempty
    line must parse on its own, and [--require-types] checks that the set of
    "type" field values seen across the lines covers every listed type (so a
    run trace can be required to contain a manifest, round records and a
-   summary).  Exit status 0 iff the file is valid; used by the `dune runtest`
-   smoke rules in bench/ and bin/. *)
+   summary).  [--check-report] validates the ssreset-check-v2 findings
+   report schema: schema_version >= 2, per-entry lint/footprint/model
+   sections, and per-graph model records carrying the v2 automorphisms and
+   certificate fields.  Exit status 0 iff the file is valid; used by the
+   `dune runtest` smoke rules in bench/ and bin/. *)
 
 module Json = Ssreset_obs.Json
 
@@ -32,8 +36,95 @@ let check_keys ~path keys = function
         keys
   | _ -> if keys <> [] then fail "%s: top-level value is not an object" path
 
+(* --- ssreset-check-v2 report schema ---------------------------------- *)
+
+let obj_keys ~path ~ctx keys json =
+  match json with
+  | Json.Obj fields ->
+      List.iter
+        (fun k ->
+          if not (List.mem_assoc k fields) then
+            fail "%s: %s: missing key %S" path ctx k)
+        keys;
+      fields
+  | _ -> fail "%s: %s: not an object" path ctx
+
+let as_list ~path ~ctx = function
+  | Json.List l -> l
+  | _ -> fail "%s: %s: not a list" path ctx
+
+let check_report ~path json =
+  let top =
+    obj_keys ~path ~ctx:"report"
+      [ "schema"; "schema_version"; "ok"; "entries" ]
+      json
+  in
+  (match Option.bind (Json.member "schema" json) Json.to_string_opt with
+  | Some "ssreset-check-v2" -> ()
+  | Some other -> fail "%s: unexpected schema %S" path other
+  | None -> fail "%s: schema is not a string" path);
+  (match Option.bind (Json.member "schema_version" json) Json.to_int_opt with
+  | Some v when v >= 2 -> ()
+  | Some v -> fail "%s: schema_version %d < 2" path v
+  | None -> fail "%s: schema_version is not an int" path);
+  let entries =
+    as_list ~path ~ctx:"entries" (List.assoc "entries" top)
+  in
+  List.iter
+    (fun entry ->
+      let name =
+        match Option.bind (Json.member "name" entry) Json.to_string_opt with
+        | Some n -> n
+        | None -> fail "%s: entry without a name" path
+      in
+      let ctx = "entry " ^ name in
+      ignore
+        (obj_keys ~path ~ctx
+           [ "name"; "description"; "lint"; "footprint"; "model"; "ok" ]
+           entry);
+      (match Json.member "lint" entry with
+      | Some lint ->
+          ignore (obj_keys ~path ~ctx:(ctx ^ " lint")
+                    [ "ok"; "views"; "findings" ] lint)
+      | None -> assert false);
+      (match Json.member "footprint" entry with
+      | Some Json.Null | None -> ()
+      | Some fp ->
+          let fields =
+            obj_keys ~path ~ctx:(ctx ^ " footprint")
+              [ "ok"; "composed"; "fields"; "views"; "rules"; "findings" ]
+              fp
+          in
+          List.iter
+            (fun rule ->
+              ignore
+                (obj_keys ~path ~ctx:(ctx ^ " footprint rule")
+                   [ "rule"; "guard_self"; "guard_nbrs"; "action_self";
+                     "action_nbrs"; "writes" ]
+                   rule))
+            (as_list ~path ~ctx:(ctx ^ " footprint rules")
+               (List.assoc "rules" fields)));
+      match Json.member "model" entry with
+      | None -> assert false
+      | Some model ->
+          let mfields =
+            obj_keys ~path ~ctx:(ctx ^ " model") [ "ok"; "graphs" ] model
+          in
+          List.iter
+            (fun g ->
+              ignore
+                (obj_keys ~path ~ctx:(ctx ^ " model graph")
+                   [ "instance"; "n"; "m"; "configs"; "transitions";
+                     "automorphisms"; "certificate"; "violations";
+                     "aborted"; "worst_moves"; "worst_rounds" ]
+                   g))
+            (as_list ~path ~ctx:(ctx ^ " model graphs")
+               (List.assoc "graphs" mfields)))
+    entries
+
 let () =
   let jsonl = ref false in
+  let report = ref false in
   let require_keys = ref [] in
   let require_types = ref [] in
   let files = ref [] in
@@ -42,6 +133,7 @@ let () =
   while !i < argc do
     (match Sys.argv.(!i) with
     | "--jsonl" -> jsonl := true
+    | "--check-report" -> report := true
     | "--require-keys" when !i + 1 < argc ->
         incr i;
         require_keys := split_commas Sys.argv.(!i)
@@ -51,7 +143,7 @@ let () =
     | "--help" | "-h" ->
         print_endline
           "usage: jsonlint [--jsonl] [--require-keys k,...] \
-           [--require-types t,...] FILE...";
+           [--require-types t,...] [--check-report] FILE...";
         exit 0
     | arg when String.length arg > 0 && arg.[0] = '-' ->
         fail "unknown option %S" arg
@@ -84,5 +176,7 @@ let () =
       else
         match Json.of_string contents with
         | Error msg -> fail "%s: %s" path msg
-        | Ok json -> check_keys ~path !require_keys json)
+        | Ok json ->
+            check_keys ~path !require_keys json;
+            if !report then check_report ~path json)
     (List.rev !files)
