@@ -455,6 +455,93 @@ let run_check_v2 ~quick =
   Json.Obj [ ("footprint", Json.List footprint);
              ("symmetry", Json.List symmetry) ]
 
+(* ------------------------------------------------------------------ *)
+(* trace-v1: observability overhead.  The same U∘SDR stabilization     *)
+(* three ways — no sink, sink with online bound monitors, sink with    *)
+(* monitors plus wave-tagged step records — reporting engine steps/s   *)
+(* for each and the event rate of the full trace.  The gate holds the  *)
+(* monitors-off rate to the committed baseline: observability must     *)
+(* stay pay-for-what-you-use.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_trace_bench ~quick =
+  Printf.printf
+    "== trace-v1: monitor + step-trace overhead, U∘SDR ring ==\n%!";
+  let n = if quick then 128 else 512 in
+  let graph = Ssreset_graph.Gen.ring n in
+  (* Central-random: one mover per step, so the same stabilization takes
+     thousands of steps — enough work for a stable steps/s estimate (the
+     synchronous run finishes in ~20 big steps, far below timer noise). *)
+  let run ?sink ?(trace_steps = false) () =
+    Expt.Runner.unison_composed ?sink ~trace_steps ~graph
+      ~daemon:Ssreset_sim.Daemon.central_random ~seed:11 ()
+  in
+  let rate (o : Expt.Runner.obs) =
+    if o.Expt.Runner.wall_s > 0. then
+      float_of_int o.Expt.Runner.steps /. o.Expt.Runner.wall_s
+    else 0.
+  in
+  (* Best of 3: stabilization is deterministic per seed, so the runs only
+     differ by scheduler noise and the fastest is the least noisy. *)
+  let best_of f =
+    let best = ref 0. in
+    for _ = 1 to 3 do
+      best := Float.max !best (rate (f ()))
+    done;
+    !best
+  in
+  let steps = (run ()).Expt.Runner.steps in
+  let off = best_of (fun () -> run ()) in
+  let null = open_out Filename.null in
+  let on =
+    best_of (fun () -> run ~sink:(Ssreset_obs.Sink.of_channel null) ())
+  in
+  close_out null;
+  let tmp = Filename.temp_file "ssreset-trace" ".jsonl" in
+  let traced =
+    let sink = Ssreset_obs.Sink.create tmp in
+    let o = run ~sink ~trace_steps:true () in
+    Ssreset_obs.Sink.close sink;
+    o
+  in
+  let events =
+    let ic = open_in tmp in
+    let k = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr k
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !k
+  in
+  Sys.remove tmp;
+  let traced_rate = rate traced in
+  let events_per_s =
+    if traced.Expt.Runner.wall_s > 0. then
+      float_of_int events /. traced.Expt.Runner.wall_s
+    else 0.
+  in
+  let overhead off on = if off > 0. then 100. *. (1. -. (on /. off)) else 0. in
+  Printf.printf
+    "  n=%-5d %7d steps   off %10.0f steps/s   monitors %10.0f steps/s \
+     (%.1f%%)   +step-trace %10.0f steps/s (%.1f%%)   %d events %10.0f \
+     events/s\n\n\
+     %!"
+    n steps off on (overhead off on) traced_rate
+    (overhead off traced_rate)
+    events events_per_s;
+  [ Json.Obj
+      [ ("n", Json.Int n);
+        ("steps", Json.Int steps);
+        ("monitors_off_steps_per_s", Json.Float off);
+        ("monitors_on_steps_per_s", Json.Float on);
+        ("monitor_overhead_pct", Json.Float (overhead off on));
+        ("trace_steps_per_s", Json.Float traced_rate);
+        ("trace_events", Json.Int events);
+        ("trace_events_per_s", Json.Float events_per_s) ] ]
+
 let () =
   let quick, timing, out, jobs, ids = parse_args () in
   let profile =
@@ -482,6 +569,7 @@ let () =
     else Json.Obj [ ("footprint", Json.List []); ("symmetry", Json.List []) ]
   in
   let engine = if ids = [] then run_engine_bench ~quick else [] in
+  let trace_v1 = if ids = [] then run_trace_bench ~quick else [] in
   let timings =
     if timing && ids = [] then run_bechamel ~quick else []
   in
@@ -495,6 +583,7 @@ let () =
         ("wall_s", Json.Float (Unix.gettimeofday () -. t0));
         ("experiments", Json.List experiments);
         ("engine", Json.List engine);
+        ("trace_v1", Json.List trace_v1);
         ("check", Json.List check_records);
         ("check_v2", check_v2);
         ("timing", Json.List timings) ]

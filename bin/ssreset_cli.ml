@@ -16,6 +16,9 @@ module Runner = Ssreset_expt.Runner
 module Workload = Ssreset_expt.Workload
 module Json = Ssreset_obs.Json
 module Sink = Ssreset_obs.Sink
+module Span = Ssreset_obs.Span
+module Tracefile = Ssreset_obs.Tracefile
+module Causality = Ssreset_obs.Causality
 module Registry = Ssreset_check.Registry
 module Report = Ssreset_check.Report
 
@@ -124,7 +127,7 @@ let scheduler =
 
 (* ------------------------- telemetry output opts ------------------------ *)
 
-type output = { json : bool; trace_out : string option }
+type output = { json : bool; trace_out : string option; trace_steps : bool }
 
 let output_term =
   let json =
@@ -144,7 +147,19 @@ let output_term =
             "Write a JSONL run trace to $(docv): one manifest record, one \
              record per completed round, one final summary record.")
   in
-  Term.(const (fun json trace_out -> { json; trace_out }) $ json $ trace_out)
+  let trace_steps =
+    Arg.(
+      value & flag
+      & info [ "trace-steps" ]
+          ~doc:
+            "With $(b,--trace-out): also record one step record per engine \
+             step (movers tagged with their reset-wave events for composed \
+             systems) — the full ssreset-trace-v1 stream that $(b,ssreset \
+             trace) analyzes.")
+  in
+  Term.(
+    const (fun json trace_out trace_steps -> { json; trace_out; trace_steps })
+    $ json $ trace_out $ trace_steps)
 
 let report ~json name (obs : Runner.obs) =
   if json then print_endline (Json.to_string (Runner.obs_json obs))
@@ -189,10 +204,21 @@ let measured ~output ~system ~title ~family ~n ~seed ~daemon_name
       | None -> run ~sink:None ~graph ~daemon
       | Some path ->
           let sink = Sink.create path in
+          (* The manifest carries the graph itself (trace_schema + edges),
+             so offline analyses need no side channel. *)
           Sink.write sink
             (Sink.manifest ~system ~family:family.Workload.family_name
                ~n:(Graph.n graph) ~m:(Graph.m graph) ~seed
-               ~daemon:daemon.Daemon.daemon_name ());
+               ~daemon:daemon.Daemon.daemon_name
+               ~extra:
+                 [ ("trace_schema", Json.String Tracefile.schema);
+                   ( "edges",
+                     Json.List
+                       (List.map
+                          (fun (u, v) ->
+                            Json.List [ Json.Int u; Json.Int v ])
+                          (Graph.edges graph)) ) ]
+               ());
           Fun.protect
             ~finally:(fun () -> Sink.close sink)
             (fun () -> run ~sink:(Some sink) ~graph ~daemon)
@@ -209,60 +235,60 @@ let measured ~output ~system ~title ~family ~n ~seed ~daemon_name
 (* Each system: CLI name, doc, and a runner closure.  The `run` subcommand
    dispatches on the name; the per-system subcommands reuse the same
    closures. *)
-let unison_run ~seed ~scheduler = fun ~sink ~graph ~daemon ->
-  Runner.unison_composed ?sink ~scheduler ~graph ~daemon ~seed ()
+let unison_run ~seed ~scheduler ~trace_steps = fun ~sink ~graph ~daemon ->
+  Runner.unison_composed ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ()
 
-let systems ~spec ~seed ~scheduler =
+let systems ~spec ~seed ~scheduler ~trace_steps =
   [ ("unison",
      "U∘SDR from an arbitrary configuration (stop at first normal)",
-     unison_run ~seed ~scheduler);
+     unison_run ~seed ~scheduler ~trace_steps);
     ("tail-unison",
      "tail-unison baseline from an arbitrary configuration",
      fun ~sink ~graph ~daemon ->
-       Runner.tail_unison ?sink ~scheduler ~graph ~daemon ~seed ());
+       Runner.tail_unison ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ());
     ("min-unison",
      "min-unison baseline (K = n²+1) from an arbitrary configuration",
      fun ~sink ~graph ~daemon ->
-       Runner.min_unison ?sink ~scheduler ~graph ~daemon ~seed ());
+       Runner.min_unison ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ());
     ("agr-unison",
      "U∘AGR (mono-initiator reset baseline; needs a weakly fair daemon)",
      fun ~sink ~graph ~daemon ->
-       Runner.unison_agr ?sink ~scheduler ~graph ~daemon ~seed ());
+       Runner.unison_agr ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ());
     ("alliance",
      Printf.sprintf "FGA(%s)∘SDR from an arbitrary configuration"
        spec.Spec.spec_name,
      fun ~sink ~graph ~daemon ->
-       Runner.fga_composed ?sink ~scheduler ~spec ~graph ~daemon ~seed ());
+       Runner.fga_composed ?sink ~scheduler ~trace_steps ~spec ~graph ~daemon ~seed ());
     ("alliance-bare",
      Printf.sprintf "FGA(%s) from γ_init (non self-stabilizing run)"
        spec.Spec.spec_name,
      fun ~sink ~graph ~daemon ->
-       Runner.fga_bare ?sink ~scheduler ~spec ~graph ~daemon ~seed ());
+       Runner.fga_bare ?sink ~scheduler ~trace_steps ~spec ~graph ~daemon ~seed ());
     ("coloring",
      "coloring∘SDR from an arbitrary configuration",
      fun ~sink ~graph ~daemon ->
-       Runner.coloring_composed ?sink ~scheduler ~graph ~daemon ~seed ());
+       Runner.coloring_composed ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ());
     ("mis",
      "MIS∘SDR from an arbitrary configuration",
      fun ~sink ~graph ~daemon ->
-       Runner.mis_composed ?sink ~scheduler ~graph ~daemon ~seed ());
+       Runner.mis_composed ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ());
     ("matching",
      "matching∘SDR from an arbitrary configuration",
      fun ~sink ~graph ~daemon ->
-       Runner.matching_composed ?sink ~scheduler ~graph ~daemon ~seed ()) ]
+       Runner.matching_composed ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ()) ]
 
 let run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec ~scheduler =
   match
     List.find_opt
       (fun (name, _, _) -> name = system)
-      (systems ~spec ~seed ~scheduler)
+      (systems ~spec ~seed ~scheduler ~trace_steps:output.trace_steps)
   with
   | None ->
       Fmt.epr "unknown system %S (one of: %s)@." system
         (String.concat ", "
            (List.map
               (fun (name, _, _) -> name)
-              (systems ~spec ~seed ~scheduler)));
+              (systems ~spec ~seed ~scheduler ~trace_steps:false)));
       2
   | Some (_, title, run) ->
       if
@@ -528,6 +554,380 @@ let check_cmd =
       const run $ algo $ json $ quick $ max_n $ list_only $ symmetry
       $ footprint $ certs $ family)
 
+(* ----------------------------- trace explorer --------------------------- *)
+
+(* Offline wave reconstruction: replay the recorded wave tags through the
+   same span builder the online tracker feeds. *)
+let span_of_trace (t : Tracefile.t) =
+  let graph = Tracefile.graph_of t in
+  let span = Span.create ~n:t.Tracefile.n in
+  Span.seed_active ~graph span
+    (List.map (fun (p, _, d) -> (p, d)) t.Tracefile.init_active);
+  List.iter
+    (fun (s : Tracefile.step) ->
+      Span.feed_step span ~step:s.Tracefile.index
+        (List.filter_map
+           (fun (m : Tracefile.mover) ->
+             Option.map (fun ev -> (m.Tracefile.p, ev)) m.Tracefile.wave)
+           s.Tracefile.movers))
+    t.Tracefile.steps;
+  span
+
+let causality_of_trace ?keep_edges (t : Tracefile.t) =
+  Causality.build ?keep_edges ~graph:(Tracefile.graph_of t)
+    (Tracefile.mover_pairs t)
+
+let require_steps (t : Tracefile.t) k =
+  if t.Tracefile.steps = [] then begin
+    Fmt.epr
+      "ssreset trace: no step records — record the run with --trace-out \
+       FILE --trace-steps@.";
+    2
+  end
+  else k ()
+
+let wave_moves_total (w : Span.wave) =
+  w.Span.r_moves + w.Span.rb_moves + w.Span.rf_moves + w.Span.c_moves
+
+let trace_summary ~json (t : Tracefile.t) =
+  let s = t.Tracefile.summary in
+  let st = Span.stats (span_of_trace t) in
+  let cp =
+    if t.Tracefile.steps = [] then None
+    else Some (Causality.critical_length (causality_of_trace t))
+  in
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            ([ ("system", Json.String t.Tracefile.system);
+               ("family", Json.String t.Tracefile.family);
+               ("n", Json.Int t.Tracefile.n);
+               ("seed", Json.Int t.Tracefile.seed);
+               ("daemon", Json.String t.Tracefile.daemon);
+               ("outcome", Json.String s.Tracefile.outcome);
+               ("rounds", Json.Int s.Tracefile.rounds);
+               ("steps", Json.Int s.Tracefile.steps);
+               ("moves", Json.Int s.Tracefile.moves);
+               ("anomalies", Json.Int (List.length t.Tracefile.anomalies));
+               ("waves", Json.Int st.Span.wave_count);
+               ("waves_completed", Json.Int st.Span.completed);
+               ("max_wave_depth", Json.Int st.Span.max_depth);
+               ("max_wave_members", Json.Int st.Span.max_members);
+               ("max_wave_duration", Json.Int st.Span.max_duration) ]
+            @
+            match cp with
+            | Some cp -> [ ("critical_path", Json.Int cp) ]
+            | None -> [])))
+  else begin
+    Fmt.pr "%s on %s n=%d (seed %d, %s daemon)@." t.Tracefile.system
+      t.Tracefile.family t.Tracefile.n t.Tracefile.seed t.Tracefile.daemon;
+    Fmt.pr "  outcome:       %s@." s.Tracefile.outcome;
+    Fmt.pr "  rounds:        %d@." s.Tracefile.rounds;
+    Fmt.pr "  steps:         %d@." s.Tracefile.steps;
+    Fmt.pr "  moves:         %d@." s.Tracefile.moves;
+    Fmt.pr "  anomalies:     %d@." (List.length t.Tracefile.anomalies);
+    List.iter
+      (fun (a : Tracefile.anomaly) ->
+        Fmt.pr "    %s at step %d: value %d > bound %d%s@."
+          a.Tracefile.monitor a.Tracefile.step a.Tracefile.value
+          a.Tracefile.bound
+          (match a.Tracefile.process with
+          | Some p -> Printf.sprintf " (process %d)" p
+          | None -> ""))
+      t.Tracefile.anomalies;
+    if t.Tracefile.steps <> [] then begin
+      Fmt.pr "  waves:         %d (%d completed, %d preexisting)@."
+        st.Span.wave_count st.Span.completed st.Span.preexisting_count;
+      Fmt.pr "  max depth:     %d@." st.Span.max_depth;
+      Fmt.pr "  max members:   %d@." st.Span.max_members;
+      Fmt.pr "  max duration:  %d steps@." st.Span.max_duration;
+      match cp with
+      | Some cp ->
+          Fmt.pr "  critical path: %d moves (rounds %d)@." cp
+            s.Tracefile.rounds
+      | None -> ()
+    end
+  end;
+  0
+
+let trace_waves ~json ~check (t : Tracefile.t) =
+  require_steps t @@ fun () ->
+  let span = span_of_trace t in
+  let waves = Span.waves span in
+  let st = Span.stats span in
+  (if json then
+     print_endline
+       (Json.to_string
+          (Json.List
+             (List.map
+                (fun (w : Span.wave) ->
+                  Json.Obj
+                    [ ("id", Json.Int w.Span.id);
+                      ("root", Json.Int w.Span.root);
+                      ("preexisting", Json.Bool w.Span.preexisting);
+                      ("members", Json.Int w.Span.members);
+                      ("depth", Json.Int w.Span.depth);
+                      ("r", Json.Int w.Span.r_moves);
+                      ("rb", Json.Int w.Span.rb_moves);
+                      ("rf", Json.Int w.Span.rf_moves);
+                      ("c", Json.Int w.Span.c_moves);
+                      ("first_step", Json.Int w.Span.first_step);
+                      ("last_step", Json.Int w.Span.last_step);
+                      ("completed", Json.Bool (w.Span.active = 0)) ])
+                waves)))
+   else begin
+     Fmt.pr "%d wave(s), %d completed, max depth %d@." st.Span.wave_count
+       st.Span.completed st.Span.max_depth;
+     Fmt.pr "  %4s %5s %7s %5s %5s  %-17s %s@." "id" "root" "members" "depth"
+       "moves" "r/rb/rf/c" "steps";
+     List.iter
+       (fun (w : Span.wave) ->
+         Fmt.pr "  %4d %5d %7d %5d %5d  %-17s %d..%d%s%s@." w.Span.id
+           w.Span.root w.Span.members w.Span.depth (wave_moves_total w)
+           (Printf.sprintf "%d/%d/%d/%d" w.Span.r_moves w.Span.rb_moves
+              w.Span.rf_moves w.Span.c_moves)
+           w.Span.first_step w.Span.last_step
+           (if w.Span.preexisting then " (preexisting)" else "")
+           (if w.Span.active > 0 then
+              Printf.sprintf " [active %d]" w.Span.active
+            else ""))
+       waves
+   end);
+  if not check then 0
+  else begin
+    let require_complete = t.Tracefile.summary.Tracefile.outcome <> "step-limit" in
+    let errors = ref (Span.check ~require_complete span) in
+    (* Every wave-tagged move must be attributed to exactly one span: the
+       per-wave totals must add up to the per-rule counters of the summary. *)
+    let expect rule total =
+      match
+        List.assoc_opt rule t.Tracefile.summary.Tracefile.moves_per_rule
+      with
+      | Some expected when expected <> total ->
+          errors :=
+            !errors
+            @ [ Printf.sprintf
+                  "%s: %d moves attributed to waves but the summary counted \
+                   %d"
+                  rule total expected ]
+      | _ -> ()
+    in
+    expect "SDR-R" (List.fold_left (fun a w -> a + w.Span.r_moves) 0 waves);
+    expect "SDR-RB" (List.fold_left (fun a w -> a + w.Span.rb_moves) 0 waves);
+    expect "SDR-RF" (List.fold_left (fun a w -> a + w.Span.rf_moves) 0 waves);
+    expect "SDR-C" (List.fold_left (fun a w -> a + w.Span.c_moves) 0 waves);
+    if st.Span.synthetic > 0 then
+      errors :=
+        !errors
+        @ [ Printf.sprintf "%d synthetic wave(s): events without provenance"
+              st.Span.synthetic ];
+    match !errors with
+    | [] ->
+        Fmt.pr "wave check: OK (%d waves, every RB/RF move attributed, \
+                completions balanced)@."
+          st.Span.wave_count;
+        0
+    | errs ->
+        List.iter (fun e -> Fmt.epr "wave check FAIL: %s@." e) errs;
+        1
+  end
+
+let trace_critical_path ~json ~check (t : Tracefile.t) =
+  require_steps t @@ fun () ->
+  let c = causality_of_trace t in
+  let cp = Causality.critical_length c in
+  let s = t.Tracefile.summary in
+  (if json then
+     print_endline
+       (Json.to_string
+          (Json.Obj
+             [ ("critical_path", Json.Int cp);
+               ("moves", Json.Int (Causality.move_count c));
+               ("edges", Json.Int (Causality.edge_count c));
+               ("steps", Json.Int s.Tracefile.steps);
+               ("rounds", Json.Int s.Tracefile.rounds);
+               ( "attribution",
+                 Json.Obj
+                   (List.map
+                      (fun (rule, count) -> (rule, Json.Int count))
+                      (Causality.attribution c)) ) ]))
+   else begin
+     Fmt.pr "critical path: %d move(s) over %d total (%d causal edges)@." cp
+       (Causality.move_count c) (Causality.edge_count c);
+     Fmt.pr "  steps %d, rounds %d — the path explains %d of %d rounds@."
+       s.Tracefile.steps s.Tracefile.rounds (min cp s.Tracefile.rounds)
+       s.Tracefile.rounds;
+     List.iter
+       (fun (rule, count) -> Fmt.pr "  %-12s %d@." rule count)
+       (Causality.attribution c)
+   end);
+  if not check then 0
+  else begin
+    let errors = ref [] in
+    if cp > s.Tracefile.steps then
+      errors :=
+        [ Printf.sprintf "critical path %d exceeds steps %d" cp
+            s.Tracefile.steps ];
+    (* Under the synchronous daemon every move at step k was enabled or
+       rewritten by a step-(k-1) neighborhood move, so the longest chain
+       spans every step exactly. *)
+    if t.Tracefile.daemon = "synchronous" && cp <> s.Tracefile.steps then
+      errors :=
+        !errors
+        @ [ Printf.sprintf
+              "synchronous daemon: critical path %d should equal steps %d" cp
+              s.Tracefile.steps ];
+    match !errors with
+    | [] ->
+        Fmt.pr "critical-path check: OK@.";
+        0
+    | errs ->
+        List.iter (fun e -> Fmt.epr "critical-path check FAIL: %s@." e) errs;
+        1
+  end
+
+let trace_dot ~what ~max_moves (t : Tracefile.t) =
+  require_steps t @@ fun () ->
+  (match what with
+  | `Waves -> print_string (Span.to_dot (span_of_trace t))
+  | `Causal ->
+      print_string
+        (Causality.to_dot ~max_moves (causality_of_trace ~keep_edges:true t)));
+  0
+
+let trace_diff ~json (a : Tracefile.t) (b : Tracefile.t) =
+  let sa = a.Tracefile.summary and sb = b.Tracefile.summary in
+  let sta = Span.stats (span_of_trace a)
+  and stb = Span.stats (span_of_trace b) in
+  let cp (t : Tracefile.t) =
+    if t.Tracefile.steps = [] then 0
+    else Causality.critical_length (causality_of_trace t)
+  in
+  let cpa = cp a and cpb = cp b in
+  let fields =
+    [ ("system", a.Tracefile.system, b.Tracefile.system);
+      ("family", a.Tracefile.family, b.Tracefile.family);
+      ("daemon", a.Tracefile.daemon, b.Tracefile.daemon);
+      ("n", string_of_int a.Tracefile.n, string_of_int b.Tracefile.n);
+      ("seed", string_of_int a.Tracefile.seed, string_of_int b.Tracefile.seed);
+      ("outcome", sa.Tracefile.outcome, sb.Tracefile.outcome);
+      ("rounds", string_of_int sa.Tracefile.rounds,
+       string_of_int sb.Tracefile.rounds);
+      ("steps", string_of_int sa.Tracefile.steps,
+       string_of_int sb.Tracefile.steps);
+      ("moves", string_of_int sa.Tracefile.moves,
+       string_of_int sb.Tracefile.moves);
+      ("waves", string_of_int sta.Span.wave_count,
+       string_of_int stb.Span.wave_count);
+      ("max_wave_depth", string_of_int sta.Span.max_depth,
+       string_of_int stb.Span.max_depth);
+      ("critical_path", string_of_int cpa, string_of_int cpb);
+      ("anomalies", string_of_int (List.length a.Tracefile.anomalies),
+       string_of_int (List.length b.Tracefile.anomalies)) ]
+  in
+  let diffs = List.filter (fun (_, x, y) -> x <> y) fields in
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            (List.map
+               (fun (name, x, y) ->
+                 (name, Json.Obj [ ("a", Json.String x); ("b", Json.String y) ]))
+               diffs)))
+  else if diffs = [] then Fmt.pr "traces agree on every compared field@."
+  else
+    List.iter
+      (fun (name, x, y) -> Fmt.pr "%-15s %s | %s@." name x y)
+      diffs;
+  if diffs = [] then 0 else 1
+
+let trace_cmd =
+  let run action file file2 json check what max_moves =
+    let load path k =
+      match Tracefile.load_file path with
+      | Error msg ->
+          Fmt.epr "ssreset trace: %s@." msg;
+          2
+      | Ok t -> k t
+    in
+    match action with
+    | "summary" -> load file (trace_summary ~json)
+    | "waves" -> load file (trace_waves ~json ~check)
+    | "critical-path" -> load file (trace_critical_path ~json ~check)
+    | "dot" -> load file (trace_dot ~what ~max_moves)
+    | "diff" -> (
+        match file2 with
+        | None ->
+            Fmt.epr "ssreset trace diff needs two trace files@.";
+            2
+        | Some f2 -> load file (fun a -> load f2 (fun b -> trace_diff ~json a b)))
+    | other ->
+        Fmt.epr
+          "unknown trace action %S (summary, waves, critical-path, diff, \
+           dot)@."
+          other;
+        2
+  in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "$(b,summary) (outcome, wave and critical-path overview), \
+             $(b,waves) (per-wave spans), $(b,critical-path) (happens-before \
+             analysis), $(b,diff) (compare two traces), $(b,dot) (Graphviz \
+             export).")
+  in
+  let file =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"JSONL trace recorded with --trace-out.")
+  in
+  let file2 =
+    Arg.(
+      value
+      & pos 2 (some string) None
+      & info [] ~docv:"TRACE2" ~doc:"Second trace (for $(b,diff)).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the analysis as JSON.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Verify structural invariants (wave balance; critical path ≤ \
+             steps, = steps under the synchronous daemon) and exit 1 on \
+             violation.")
+  in
+  let what =
+    Arg.(
+      value
+      & opt (enum [ ("waves", `Waves); ("causal", `Causal) ]) `Waves
+      & info [ "what" ] ~docv:"WHAT"
+          ~doc:"For $(b,dot): $(b,waves) (wave DAG) or $(b,causal) \
+                (happens-before DAG).")
+  in
+  let max_moves =
+    Arg.(
+      value & opt int 400
+      & info [ "max-moves" ] ~docv:"N"
+          ~doc:"For $(b,dot --what causal): render at most $(docv) moves.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Explore a recorded ssreset-trace-v1 JSONL trace: reset-wave \
+          provenance, happens-before critical paths, bound-monitor \
+          anomalies, DOT export.  Record traces with --trace-out FILE \
+          --trace-steps.")
+    Term.(
+      const run $ action $ file $ file2 $ json $ check $ what $ max_moves)
+
 let experiments_cmd =
   let run quick jobs ids csv json =
     let profile =
@@ -593,6 +993,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; unison_cmd; tail_cmd; min_cmd; agr_unison_cmd;
+          [ run_cmd; trace_cmd; unison_cmd; tail_cmd; min_cmd; agr_unison_cmd;
             alliance_cmd; coloring_cmd; mis_cmd; matching_cmd; graph_cmd;
             check_cmd; experiments_cmd ]))

@@ -10,6 +10,8 @@ let pp_status ppf = function
 
 let status_equal (a : status) b = a = b
 
+let status_to_string = function C -> "C" | RB -> "RB" | RF -> "RF"
+
 type 'inner state = {
   st : status;
   d : int;
@@ -67,6 +69,31 @@ module type S = sig
 
     val count : t -> int
     val alive_root_history : t -> int list
+  end
+
+  module Waves : sig
+    val classify :
+      Ssreset_graph.Graph.t ->
+      state array ->
+      int ->
+      string ->
+      Ssreset_obs.Span.event option
+
+    val initial_active : state array -> (int * status * int) list
+
+    type tracker
+
+    val create : Ssreset_graph.Graph.t -> state array -> tracker
+
+    val observer :
+      tracker -> step:int -> moved:(int * string) list -> state array -> unit
+
+    val span : tracker -> Ssreset_obs.Span.t
+
+    val classify_movers :
+      tracker ->
+      (int * string) list ->
+      (int * string * Ssreset_obs.Span.event option) list
   end
 end
 
@@ -236,5 +263,70 @@ module Make (I : INPUT) = struct
 
     let count t = t.segments
     let alive_root_history t = List.rev t.history
+  end
+
+  module Waves = struct
+    module Span = Ssreset_obs.Span
+
+    let classify g before u rule =
+      match rule with
+      | "SDR-R" -> Some Span.Init
+      | "SDR-RF" -> Some Span.Feedback
+      | "SDR-C" -> Some Span.Complete
+      | "SDR-RB" ->
+          (* Replay the [compute] macro on the pre-step configuration: the
+             parent is the minimum-d RB neighbor; strict [<] over the sorted
+             neighbor array keeps the smallest index on ties. *)
+          let parent = ref (-1) and min_d = ref max_int in
+          Array.iter
+            (fun v ->
+              let s = before.(v) in
+              if s.st = RB && s.d < !min_d then begin
+                min_d := s.d;
+                parent := v
+              end)
+            (Graph.neighbors g u);
+          if !parent < 0 then None
+            (* Unreachable from a real run: P_RB guarantees an RB neighbor. *)
+          else Some (Span.Join { parent = !parent; d = !min_d + 1 })
+      | _ -> None
+
+    let initial_active cfg =
+      let acc = ref [] in
+      for u = Array.length cfg - 1 downto 0 do
+        if cfg.(u).st <> C then acc := (u, cfg.(u).st, cfg.(u).d) :: !acc
+      done;
+      !acc
+
+    type tracker = {
+      graph : Graph.t;
+      cur : state array;  (* the pre-step configuration, kept incrementally *)
+      span : Span.t;
+    }
+
+    let create graph cfg0 =
+      let span = Span.create ~n:(Array.length cfg0) in
+      Span.seed_active ~graph span
+        (List.map (fun (p, _, d) -> (p, d)) (initial_active cfg0));
+      { graph; cur = Array.copy cfg0; span }
+
+    let classify_movers t moved =
+      List.map
+        (fun (p, rule) -> (p, rule, classify t.graph t.cur p rule))
+        moved
+
+    let observer t ~step ~moved after =
+      Span.feed_step t.span ~step
+        (List.filter_map
+           (fun (p, rule) ->
+             Option.map
+               (fun ev -> (p, ev))
+               (classify t.graph t.cur p rule))
+           moved);
+      (* Only movers changed state: advance the pre-step copy in O(movers)
+         rather than O(n). *)
+      List.iter (fun (p, _) -> t.cur.(p) <- after.(p)) moved
+
+    let span t = t.span
   end
 end

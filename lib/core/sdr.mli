@@ -19,6 +19,9 @@ type status = C  (** correct: not involved in a reset *)
 val pp_status : status Fmt.t
 val status_equal : status -> status -> bool
 
+val status_to_string : status -> string
+(** ["C"], ["RB"] or ["RF"] — the encoding used by trace records. *)
+
 type 'inner state = {
   st : status;  (** variable [st_u] *)
   d : int;  (** variable [d_u], the distance in the reset DAG *)
@@ -136,6 +139,49 @@ module type S = sig
 
     val alive_root_history : t -> int list
     (** Alive-root count of every configuration seen, in order. *)
+  end
+
+  (** {2 Wave provenance}
+
+      Classify SDR moves into the wave events consumed by
+      {!Ssreset_obs.Span}: [SDR-R] initiates a wave, [SDR-RB] joins the
+      parent's wave (the parent being the minimum-[d] RB neighbor the
+      [compute] macro read, ties to the smallest index), [SDR-RF] is
+      feedback and [SDR-C] completion. *)
+  module Waves : sig
+    val classify :
+      Ssreset_graph.Graph.t ->
+      state array ->
+      int ->
+      string ->
+      Ssreset_obs.Span.event option
+    (** [classify g before u rule] is the wave event of [u]'s move firing
+        [rule] from the {e pre-step} configuration [before]; [None] for
+        input-algorithm rules. *)
+
+    val initial_active : state array -> (int * status * int) list
+    (** The processes mid-reset ([st ≠ C]) in a configuration, as
+        [(process, status, d)] — the seed for {!Ssreset_obs.Span.seed_active}
+        and the trace's [init] record. *)
+
+    type tracker
+    (** Online wave reconstruction: keeps an incrementally-updated copy of
+        the pre-step configuration (no per-step [O(n)] copies) and feeds a
+        {!Ssreset_obs.Span.t}. *)
+
+    val create : Ssreset_graph.Graph.t -> state array -> tracker
+
+    val observer :
+      tracker -> step:int -> moved:(int * string) list -> state array -> unit
+    (** Plug into {!Ssreset_sim.Engine.run}'s [observer]. *)
+
+    val span : tracker -> Ssreset_obs.Span.t
+
+    val classify_movers :
+      tracker -> (int * string) list -> (int * string * Ssreset_obs.Span.event option) list
+    (** Classify the movers of the {e next} step against the tracker's
+        current (pre-step) configuration, without advancing it — for
+        emitting step records from the same hook that feeds the span. *)
   end
 end
 

@@ -5,6 +5,7 @@ module Graph = Ssreset_graph.Graph
 module Sdr = Ssreset_core.Sdr
 module Json = Ssreset_obs.Json
 module Metrics = Ssreset_obs.Metrics
+module Monitor = Ssreset_obs.Monitor
 module Obs = Ssreset_obs.Obs
 module Sink = Ssreset_obs.Sink
 
@@ -66,7 +67,8 @@ type 'state telemetry = {
 let no_telemetry =
   { on_step = None; on_round = None; emit_summary = (fun _ _ -> ()) }
 
-let telemetry ?sink ~round_extra () =
+let telemetry ?sink ?(monitor_round = fun ~round:_ ~steps:_ -> ())
+    ?(summary_extra = fun () -> []) ~round_extra () =
   match sink with
   | None -> no_telemetry
   | Some sink ->
@@ -83,6 +85,9 @@ let telemetry ?sink ~round_extra () =
       let on_round ~round ~steps ~moves cfg =
         Metrics.observe h_round (float_of_int (steps - !last_round_steps));
         last_round_steps := steps;
+        (* Bound monitors see the round before its record is written, so an
+           anomaly precedes the round record that exposes it. *)
+        monitor_round ~round ~steps;
         Sink.write sink
           (Sink.round_record ~round ~steps ~moves ~extra:(round_extra cfg) ())
       in
@@ -101,7 +106,7 @@ let telemetry ?sink ~round_extra () =
           (Sink.summary ~outcome:(outcome_string result.Engine.outcome)
              ~rounds:o.rounds ~steps:o.steps ~moves:o.moves ~wall_s:o.wall_s
              ~extra:
-               [ ("outcome_ok", Json.Bool o.outcome_ok);
+               ([ ("outcome_ok", Json.Bool o.outcome_ok);
                  ("result_ok", Json.Bool o.result_ok);
                  ("sdr_moves", Json.Int o.sdr_moves);
                  ("max_proc_moves", Json.Int o.max_proc_moves);
@@ -120,6 +125,7 @@ let telemetry ?sink ~round_extra () =
                        (fun (rule, count) -> (rule, Json.Int count))
                        result.Engine.moves_per_rule));
                  ("metrics", Metrics.to_json metrics) ]
+               @ summary_extra ())
              ())
       in
       { on_step = Some on_step; on_round = Some on_round; emit_summary }
@@ -128,9 +134,12 @@ let no_round_extra _ = []
 
 (* Observers shared by all composed runs, as a stack of reusable probes:
    per-process SDR move counts, segment counting, and the subset check of
-   Remark 4 (alive-root sets only shrink). *)
-let composed_observers (type s) (module C : Sdr.S with type inner = s) graph
-    cfg0 =
+   Remark 4 (alive-root sets only shrink).  With a sink attached, online
+   bound monitors ride along (move/round bounds per system, alive-root
+   monotonicity for all) and [trace_steps] adds the step-level wave-tagged
+   records of the ssreset-trace-v1 schema. *)
+let composed_observers (type s) (module C : Sdr.S with type inner = s) ?sink
+    ?(trace_steps = false) ?rounds_bound ?moves_bound graph cfg0 =
   let per_proc_sdr, sdr_probe =
     Obs.per_process_moves ~n:(Graph.n graph) ~matches:is_sdr_rule ()
   in
@@ -138,8 +147,39 @@ let composed_observers (type s) (module C : Sdr.S with type inner = s) graph
   let monotone, root_probe =
     Obs.shrinking ~measure:(C.alive_roots graph) ~init:(C.alive_roots graph cfg0)
   in
+  let monitor = Option.map (fun sink -> Monitor.create ~sink ()) sink in
+  let monitor_probes =
+    match monitor with
+    | None -> []
+    | Some m ->
+        (match moves_bound with
+        | Some bound -> [ Monitor.move_bound m ~name:"moves-bound" ~bound ]
+        | None -> [])
+        @ [ Monitor.non_increasing m ~name:"alive-roots-monotone"
+              ~measure:(C.count_alive_roots graph)
+              ~init:(C.count_alive_roots graph cfg0) ]
+  in
+  let tracer =
+    match (sink, trace_steps) with
+    | Some sink, true ->
+        let tracker = C.Waves.create graph cfg0 in
+        Sink.write sink
+          (Sink.init_record
+             ~active:
+               (List.map
+                  (fun (p, st, d) -> (p, Sdr.status_to_string st, d))
+                  (C.Waves.initial_active cfg0)));
+        [ (fun ~step ~moved after ->
+            Sink.write sink
+              (Sink.step_record ~step
+                 ~movers:(C.Waves.classify_movers tracker moved));
+            C.Waves.observer tracker ~step ~moved after) ]
+    | _ -> []
+  in
   let observer =
-    Obs.combine [ sdr_probe; C.Segments.observer segments; root_probe ]
+    Obs.combine
+      ([ sdr_probe; C.Segments.observer segments; root_probe ]
+      @ monitor_probes @ tracer)
   in
   let finish (result : _ Engine.result) ~outcome_ok ~result_ok =
     { outcome_ok;
@@ -159,7 +199,29 @@ let composed_observers (type s) (module C : Sdr.S with type inner = s) graph
     [ ("alive_roots", Json.Int (C.count_alive_roots graph cfg));
       ("segments", Json.Int (C.Segments.count segments)) ]
   in
-  (observer, finish, round_extra)
+  let monitor_round ~round ~steps =
+    match (monitor, rounds_bound) with
+    | Some m, Some bound ->
+        Monitor.round_bound m ~name:"rounds-bound" ~bound ~round ~steps
+    | _ -> ()
+  in
+  let summary_extra () =
+    match monitor with
+    | Some m -> [ ("anomalies", Json.Int (Monitor.anomaly_count m)) ]
+    | None -> []
+  in
+  (observer, finish, round_extra, monitor_round, summary_extra)
+
+(* Step-level tracing for non-composed runs: movers carry no wave tags. *)
+let bare_tracer ?sink ~trace_steps () =
+  match sink with
+  | Some sink when trace_steps ->
+      Some
+        (fun ~step ~moved _cfg ->
+          Sink.write sink
+            (Sink.step_record ~step
+               ~movers:(List.map (fun (p, rule) -> (p, rule, None)) moved)))
+  | _ -> None
 
 (* Bare (non-composed) runs measure neither segments nor alive-root
    monotonicity — those fields are [None], not fabricated values. *)
@@ -178,7 +240,8 @@ let bare_obs (result : _ Engine.result) ~outcome_ok ~result_ok =
 
 let rngs seed = (Random.State.make [| seed; 17 |], Random.State.make [| seed; 91 |])
 
-let unison_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
+let unison_composed ?(max_steps = 20_000_000) ?scheduler ?sink
+    ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module U = Ssreset_unison.Unison.Make (struct
     let k = (2 * n) + 2
@@ -186,10 +249,18 @@ let unison_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon ~s
   let cfg_rng, run_rng = rngs seed in
   let gen = U.Composed.generator ~inner:U.clock_gen ~max_d:(2 * n) in
   let cfg = Fault.arbitrary cfg_rng gen graph in
-  let observer, finish, round_extra =
-    composed_observers (module U.Composed) graph cfg
+  (* The D·n² bound needs the diameter; only pay for it when a sink is
+     actually watching. *)
+  let moves_bound =
+    Option.map
+      (fun _ -> Ssreset_graph.Metrics.diameter graph * n * n)
+      sink
   in
-  let tele = telemetry ?sink ~round_extra () in
+  let observer, finish, round_extra, monitor_round, summary_extra =
+    composed_observers (module U.Composed) ?sink ~trace_steps
+      ~rounds_bound:(3 * n) ?moves_bound graph cfg
+  in
+  let tele = telemetry ?sink ~monitor_round ~summary_extra ~round_extra () in
   let result =
     Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round
@@ -204,15 +275,21 @@ let unison_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon ~s
   tele.emit_summary o result;
   o
 
-let unison_bare ?scheduler ?sink ~steps ~graph ~daemon ~seed () =
+let unison_bare ?scheduler ?sink ?(trace_steps = false) ~steps ~graph ~daemon
+    ~seed () =
   let n = Graph.n graph in
   let module U = Ssreset_unison.Unison.Make (struct
     let k = (2 * n) + 2
   end) in
   let _, run_rng = rngs seed in
   let monitor = Ssreset_unison.Checker.create_monitor ~k:U.k graph in
-  let observer ~step ~moved cfg =
+  let checker_obs ~step ~moved cfg =
     Ssreset_unison.Checker.observe_bare monitor ~step ~moved cfg
+  in
+  let observer =
+    match bare_tracer ?sink ~trace_steps () with
+    | Some tracer -> Obs.combine [ checker_obs; tracer ]
+    | None -> checker_obs
   in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
@@ -231,7 +308,8 @@ let unison_bare ?scheduler ?sink ~steps ~graph ~daemon ~seed () =
   tele.emit_summary o result;
   o
 
-let tail_unison ?(max_steps = 50_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
+let tail_unison ?(max_steps = 50_000_000) ?scheduler ?sink
+    ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module T = Ssreset_unison.Tail_unison.Make (struct
     let k = (2 * n) + 2
@@ -241,8 +319,9 @@ let tail_unison ?(max_steps = 50_000_000) ?scheduler ?sink ~graph ~daemon ~seed 
   let cfg = Fault.arbitrary cfg_rng T.clock_gen graph in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps ?on_step:tele.on_step
-      ?on_round:tele.on_round
+    Engine.run ?scheduler ~rng:run_rng ~max_steps
+      ?observer:(bare_tracer ?sink ~trace_steps ())
+      ?on_step:tele.on_step ?on_round:tele.on_round
       ~stop:(T.is_legitimate graph)
       ~algorithm:T.algorithm ~graph ~daemon cfg
   in
@@ -254,7 +333,8 @@ let tail_unison ?(max_steps = 50_000_000) ?scheduler ?sink ~graph ~daemon ~seed 
   tele.emit_summary o result;
   o
 
-let unison_agr ?(max_steps = 2_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
+let unison_agr ?(max_steps = 2_000_000) ?scheduler ?sink
+    ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module U = Ssreset_unison.Unison.Make (struct
     let k = (2 * n) + 2
@@ -272,8 +352,9 @@ let unison_agr ?(max_steps = 2_000_000) ?scheduler ?sink ~graph ~daemon ~seed ()
   let cfg = Fault.arbitrary cfg_rng gen graph in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps ?on_step:tele.on_step
-      ?on_round:tele.on_round
+    Engine.run ?scheduler ~rng:run_rng ~max_steps
+      ?observer:(bare_tracer ?sink ~trace_steps ())
+      ?on_step:tele.on_step ?on_round:tele.on_round
       ~stop:(A.is_normal graph)
       ~algorithm:A.algorithm ~graph ~daemon cfg
   in
@@ -285,7 +366,8 @@ let unison_agr ?(max_steps = 2_000_000) ?scheduler ?sink ~graph ~daemon ~seed ()
   tele.emit_summary o result;
   o
 
-let min_unison ?(max_steps = 50_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
+let min_unison ?(max_steps = 50_000_000) ?scheduler ?sink
+    ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module M = Ssreset_unison.Min_unison.Make (struct
     let k = (n * n) + 1
@@ -295,8 +377,9 @@ let min_unison ?(max_steps = 50_000_000) ?scheduler ?sink ~graph ~daemon ~seed (
   let cfg = Fault.arbitrary cfg_rng M.clock_gen graph in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps ?on_step:tele.on_step
-      ?on_round:tele.on_round
+    Engine.run ?scheduler ~rng:run_rng ~max_steps
+      ?observer:(bare_tracer ?sink ~trace_steps ())
+      ?on_step:tele.on_step ?on_round:tele.on_round
       ~stop:(M.is_legitimate graph)
       ~algorithm:M.algorithm ~graph ~daemon cfg
   in
@@ -313,7 +396,8 @@ let lemma25_bound graph u =
   let delta = Graph.max_degree graph in
   (8 * deg * delta) + (18 * deg) + 24
 
-let fga_bare ?(max_steps = 20_000_000) ?scheduler ?sink ~spec ~graph ~daemon ~seed () =
+let fga_bare ?(max_steps = 20_000_000) ?scheduler ?sink
+    ?(trace_steps = false) ~spec ~graph ~daemon ~seed () =
   let module F = Ssreset_alliance.Fga.Make (struct
     let graph = graph
     let spec = spec
@@ -322,8 +406,10 @@ let fga_bare ?(max_steps = 20_000_000) ?scheduler ?sink ~spec ~graph ~daemon ~se
   let _, run_rng = rngs seed in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps ?on_step:tele.on_step
-      ?on_round:tele.on_round ~algorithm:F.bare ~graph ~daemon (F.gamma_init ())
+    Engine.run ?scheduler ~rng:run_rng ~max_steps
+      ?observer:(bare_tracer ?sink ~trace_steps ())
+      ?on_step:tele.on_step ?on_round:tele.on_round ~algorithm:F.bare ~graph
+      ~daemon (F.gamma_init ())
   in
   let terminal = result.Engine.outcome = Engine.Terminal in
   let moves_ok =
@@ -342,7 +428,7 @@ let fga_bare ?(max_steps = 20_000_000) ?scheduler ?sink ~spec ~graph ~daemon ~se
   o
 
 let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false)
-    ?scheduler ?sink
+    ?scheduler ?sink ?(trace_steps = false)
     ~spec ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module F = Ssreset_alliance.Fga.Make (struct
@@ -353,10 +439,11 @@ let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false)
   let cfg_rng, run_rng = rngs seed in
   let gen = F.Composed.generator ~inner:F.gen ~max_d:(2 * n) in
   let cfg = Fault.arbitrary cfg_rng gen graph in
-  let observer, finish, round_extra =
-    composed_observers (module F.Composed) graph cfg
+  let observer, finish, round_extra, monitor_round, summary_extra =
+    composed_observers (module F.Composed) ?sink ~trace_steps
+      ~rounds_bound:((8 * n) + 4) graph cfg
   in
-  let tele = telemetry ?sink ~round_extra () in
+  let tele = telemetry ?sink ~monitor_round ~summary_extra ~round_extra () in
   let stop =
     if stop_at_normal then F.Composed.is_normal graph else fun _ -> false
   in
@@ -381,7 +468,8 @@ let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false)
   tele.emit_summary o result;
   o
 
-let coloring_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
+let coloring_composed ?(max_steps = 20_000_000) ?scheduler ?sink
+    ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module C = Ssreset_coloring.Coloring.Make (struct
     let graph = graph
@@ -390,10 +478,10 @@ let coloring_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon 
   let cfg_rng, run_rng = rngs seed in
   let gen = C.Composed.generator ~inner:C.gen ~max_d:(2 * n) in
   let cfg = Fault.arbitrary cfg_rng gen graph in
-  let observer, finish, round_extra =
-    composed_observers (module C.Composed) graph cfg
+  let observer, finish, round_extra, monitor_round, summary_extra =
+    composed_observers (module C.Composed) ?sink ~trace_steps graph cfg
   in
-  let tele = telemetry ?sink ~round_extra () in
+  let tele = telemetry ?sink ~monitor_round ~summary_extra ~round_extra () in
   let result =
     Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round ~algorithm:C.Composed.algorithm ~graph ~daemon
@@ -408,7 +496,8 @@ let coloring_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon 
   tele.emit_summary o result;
   o
 
-let mis_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
+let mis_composed ?(max_steps = 20_000_000) ?scheduler ?sink
+    ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module M = Ssreset_mis.Mis.Make (struct
     let graph = graph
@@ -417,10 +506,10 @@ let mis_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon ~seed
   let cfg_rng, run_rng = rngs seed in
   let gen = M.Composed.generator ~inner:M.gen ~max_d:(2 * n) in
   let cfg = Fault.arbitrary cfg_rng gen graph in
-  let observer, finish, round_extra =
-    composed_observers (module M.Composed) graph cfg
+  let observer, finish, round_extra, monitor_round, summary_extra =
+    composed_observers (module M.Composed) ?sink ~trace_steps graph cfg
   in
-  let tele = telemetry ?sink ~round_extra () in
+  let tele = telemetry ?sink ~monitor_round ~summary_extra ~round_extra () in
   let result =
     Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round ~algorithm:M.Composed.algorithm ~graph ~daemon
@@ -436,7 +525,8 @@ let mis_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon ~seed
   tele.emit_summary o result;
   o
 
-let matching_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon ~seed () =
+let matching_composed ?(max_steps = 20_000_000) ?scheduler ?sink
+    ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module M = Ssreset_matching.Matching.Make (struct
     let graph = graph
@@ -445,10 +535,10 @@ let matching_composed ?(max_steps = 20_000_000) ?scheduler ?sink ~graph ~daemon 
   let cfg_rng, run_rng = rngs seed in
   let gen = M.Composed.generator ~inner:M.gen ~max_d:(2 * n) in
   let cfg = Fault.arbitrary cfg_rng gen graph in
-  let observer, finish, round_extra =
-    composed_observers (module M.Composed) graph cfg
+  let observer, finish, round_extra, monitor_round, summary_extra =
+    composed_observers (module M.Composed) ?sink ~trace_steps graph cfg
   in
-  let tele = telemetry ?sink ~round_extra () in
+  let tele = telemetry ?sink ~monitor_round ~summary_extra ~round_extra () in
   let result =
     Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round ~algorithm:M.Composed.algorithm ~graph ~daemon

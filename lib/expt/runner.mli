@@ -12,7 +12,18 @@
     Every runner also accepts [?scheduler], forwarded to
     {!Ssreset_sim.Engine.run}: [`Full] rescan vs the default [`Incremental]
     dirty-set scheduler.  The choice affects wall-clock only — results are
-    bit-identical. *)
+    bit-identical.
+
+    With a sink attached, composed runs additionally install online
+    {!Ssreset_obs.Monitor}s: the 3n round bound and D·n² move bound for
+    U∘SDR (8n+4 rounds for FGA∘SDR) and the alive-root monotonicity of
+    Remark 4 — any violation emits an [anomaly] record the moment it is
+    observed, and the summary carries the anomaly count.  Passing
+    [~trace_steps:true] (requires a sink) additionally streams one [init]
+    record plus one wave-tagged [step] record per engine step — the
+    [ssreset-trace-v1] schema consumed by {!Ssreset_obs.Tracefile} and the
+    [ssreset trace] CLI.  Bare runs trace steps without wave tags and
+    install no monitors. *)
 
 type obs = {
   outcome_ok : bool;
@@ -42,6 +53,7 @@ val unison_composed :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
+  ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->
@@ -53,6 +65,7 @@ val unison_composed :
 val unison_bare :
   ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
+  ?trace_steps:bool ->
   steps:int ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
@@ -67,6 +80,7 @@ val tail_unison :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
+  ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->
@@ -79,6 +93,7 @@ val unison_agr :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
+  ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->
@@ -94,6 +109,7 @@ val min_unison :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
+  ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->
@@ -106,6 +122,7 @@ val fga_bare :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
+  ?trace_steps:bool ->
   spec:Ssreset_alliance.Spec.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
@@ -120,6 +137,7 @@ val fga_composed :
   ?stop_at_normal:bool ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
+  ?trace_steps:bool ->
   spec:Ssreset_alliance.Spec.t ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
@@ -133,6 +151,7 @@ val coloring_composed :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
+  ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->
@@ -143,6 +162,7 @@ val mis_composed :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
+  ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->
@@ -153,6 +173,7 @@ val matching_composed :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
   ?sink:Ssreset_obs.Sink.t ->
+  ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->
   daemon:Ssreset_sim.Daemon.t ->
   seed:int ->

@@ -1,0 +1,136 @@
+type move = {
+  index : int;
+  step : int;
+  process : int;
+  rule : string;
+  depth : int;
+}
+
+type t = {
+  moves : move array;
+  best_pred : int array;  (* move index -> deepest predecessor, -1 if none *)
+  edge_count : int;
+  edges : (int * int) list;  (* (pred, succ); empty unless keep_edges *)
+}
+
+let build ?(keep_edges = false) ~graph steps =
+  let n = Ssreset_graph.Graph.n graph in
+  let total =
+    List.fold_left (fun acc (_, movers) -> acc + List.length movers) 0 steps
+  in
+  let step_a = Array.make total 0
+  and proc_a = Array.make total 0
+  and rule_a = Array.make total ""
+  and depth_a = Array.make total 0
+  and best_pred = Array.make total (-1)
+  and last_writer = Array.make n (-1) in
+  let edges_rev = ref [] and edge_count = ref 0 and i = ref 0 in
+  List.iter
+    (fun (step, movers) ->
+      (* Composite atomicity: every mover of this step read the pre-step
+         configuration, so predecessors are resolved against [last_writer]
+         for ALL movers before any of them is recorded as a writer — moves
+         of the same step are never causally ordered. *)
+      let start = !i in
+      List.iter
+        (fun (p, rule) ->
+          let m = !i in
+          if p < 0 || p >= n then
+            invalid_arg
+              (Printf.sprintf "Causality.build: process %d out of range" p);
+          step_a.(m) <- step;
+          proc_a.(m) <- p;
+          rule_a.(m) <- rule;
+          let best = ref (-1) and best_depth = ref 0 in
+          let consider w =
+            let lw = last_writer.(w) in
+            if lw >= 0 then begin
+              incr edge_count;
+              if keep_edges then edges_rev := (lw, m) :: !edges_rev;
+              if depth_a.(lw) > !best_depth then begin
+                best_depth := depth_a.(lw);
+                best := lw
+              end
+            end
+          in
+          consider p;
+          Array.iter consider (Ssreset_graph.Graph.neighbors graph p);
+          depth_a.(m) <- 1 + !best_depth;
+          best_pred.(m) <- !best;
+          incr i)
+        movers;
+      for m = start to !i - 1 do
+        last_writer.(proc_a.(m)) <- m
+      done)
+    steps;
+  let moves =
+    Array.init total (fun m ->
+        {
+          index = m;
+          step = step_a.(m);
+          process = proc_a.(m);
+          rule = rule_a.(m);
+          depth = depth_a.(m);
+        })
+  in
+  { moves; best_pred; edge_count = !edge_count; edges = List.rev !edges_rev }
+
+let moves t = t.moves
+let move_count t = Array.length t.moves
+let edge_count t = t.edge_count
+let edges t = t.edges
+
+let critical_length t =
+  Array.fold_left (fun acc m -> max acc m.depth) 0 t.moves
+
+let critical_path t =
+  if Array.length t.moves = 0 then []
+  else begin
+    let tip = ref 0 in
+    Array.iter
+      (fun m -> if m.depth > t.moves.(!tip).depth then tip := m.index)
+      t.moves;
+    let rec back acc m = if m < 0 then acc else back (t.moves.(m) :: acc) t.best_pred.(m) in
+    back [] !tip
+  end
+
+let attribution t =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let c = try Hashtbl.find counts m.rule with Not_found -> 0 in
+      Hashtbl.replace counts m.rule (c + 1))
+    (critical_path t);
+  Hashtbl.fold (fun rule c acc -> (rule, c) :: acc) counts []
+  |> List.sort (fun (r1, c1) (r2, c2) ->
+         if c1 <> c2 then compare c2 c1 else compare r1 r2)
+
+let to_dot ?(max_moves = 400) t =
+  let limit = min max_moves (Array.length t.moves) in
+  let on_path = Array.make (Array.length t.moves) false in
+  List.iter (fun m -> on_path.(m.index) <- true) (critical_path t);
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph causal {\n  rankdir=LR;\n";
+  for m = 0 to limit - 1 do
+    let mv = t.moves.(m) in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  m%d [label=\"#%d s%d p%d\\n%s\\ndepth %d\"%s];\n" m mv.index
+         mv.step mv.process mv.rule mv.depth
+         (if on_path.(m) then ",color=red,penwidth=2" else ""))
+  done;
+  let emit_edge (a, b) =
+    if a < limit && b < limit then
+      Buffer.add_string buf
+        (Printf.sprintf "  m%d -> m%d%s;\n" a b
+           (if on_path.(a) && on_path.(b) && t.best_pred.(b) = a then
+              " [color=red,penwidth=2]"
+            else ""))
+  in
+  if t.edges <> [] then List.iter emit_edge t.edges
+  else
+    Array.iteri
+      (fun m pred -> if pred >= 0 then emit_edge (pred, m))
+      t.best_pred;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

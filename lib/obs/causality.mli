@@ -1,0 +1,62 @@
+(** Happens-before analysis over the moves of a recorded execution.
+
+    Under the locally shared memory model a mover's guard reads the states
+    of its closed neighborhood, so a move {e causally depends} on the most
+    recent earlier move of each process in [N[u] ∪ {u}].  Steps have
+    composite atomicity — every mover of a step reads the {e pre-step}
+    configuration — so two moves of the same step are never causally
+    ordered, even between neighbors.
+
+    The {e critical path} is the longest chain in this DAG.  Its length
+    lower-bounds the number of steps any daemon needs, and under the
+    synchronous daemon it equals the step (= round) count exactly: every
+    synchronous move at step [k > 0] was disabled or rewritten by some
+    neighborhood move at step [k - 1]. *)
+
+type move = {
+  index : int;  (** Dense move index, in execution order. *)
+  step : int;
+  process : int;
+  rule : string;
+  depth : int;  (** Length of the longest causal chain ending here (≥ 1). *)
+}
+
+type t
+
+val build :
+  ?keep_edges:bool ->
+  graph:Ssreset_graph.Graph.t ->
+  (int * (int * string) list) list ->
+  t
+(** [build ~graph steps] consumes the per-step mover lists
+    [(step, [(process, rule); ...])] in execution order.  With
+    [~keep_edges:true] the full edge list is retained for {!edges} and
+    {!to_dot} (memory grows with moves × degree); otherwise only the
+    per-move best predecessor survives, which is all the critical path
+    needs. *)
+
+val moves : t -> move array
+val move_count : t -> int
+
+val edge_count : t -> int
+(** Number of happens-before edges (counted in either mode). *)
+
+val edges : t -> (int * int) list
+(** [(pred, succ)] move-index pairs; empty unless built with
+    [~keep_edges:true]. *)
+
+val critical_length : t -> int
+(** Length (in moves) of the longest causal chain; [0] for an empty run. *)
+
+val critical_path : t -> move list
+(** One longest chain, in execution order.  Ties broken towards the
+    earliest final move. *)
+
+val attribution : t -> (string * int) list
+(** Rule → number of critical-path moves, sorted by descending count then
+    rule name. *)
+
+val to_dot : ?max_moves:int -> t -> string
+(** Causal DAG in Graphviz DOT, critical-path moves and edges highlighted.
+    Requires [~keep_edges:true] at build time for non-critical edges;
+    renders at most [max_moves] (default 400) moves. *)

@@ -1,0 +1,108 @@
+type anomaly = {
+  monitor : string;
+  step : int;
+  process : int option;
+  value : int;
+  bound : int;
+  window : (int * int * string) list;
+}
+
+type t = {
+  sink : Sink.t option;
+  ring : (int * int * string) option array;
+  mutable ring_pos : int;
+  mutable last_fed : int;  (* last step fed into the ring *)
+  tripped : (string, unit) Hashtbl.t;
+  mutable anomalies_rev : anomaly list;
+}
+
+let create ?sink ?(window = 8) () =
+  {
+    sink;
+    ring = Array.make (max 1 window) None;
+    ring_pos = 0;
+    last_fed = -1;
+    tripped = Hashtbl.create 4;
+    anomalies_rev = [];
+  }
+
+(* Every monitor's observer feeds the shared window, but observers all see
+   the same step in combine order — the guard makes the feed idempotent. *)
+let maybe_feed t ~step moved =
+  if step > t.last_fed then begin
+    t.last_fed <- step;
+    List.iter
+      (fun (p, rule) ->
+        t.ring.(t.ring_pos) <- Some (step, p, rule);
+        t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring)
+      moved
+  end
+
+let window_snapshot t =
+  let k = Array.length t.ring in
+  let rec collect i acc =
+    if i >= k then List.rev acc
+    else
+      let slot = t.ring.((t.ring_pos + i) mod k) in
+      collect (i + 1) (match slot with Some e -> e :: acc | None -> acc)
+  in
+  (* Slots are overwritten oldest-first, so reading from ring_pos onwards
+     yields oldest → newest. *)
+  collect 0 []
+
+let anomaly_json a =
+  Json.Obj
+    ([ ("type", Json.String "anomaly");
+       ("monitor", Json.String a.monitor);
+       ("step", Json.Int a.step) ]
+    @ (match a.process with
+      | Some p -> [ ("process", Json.Int p) ]
+      | None -> [])
+    @ [ ("value", Json.Int a.value);
+        ("bound", Json.Int a.bound);
+        ( "window",
+          Json.List
+            (List.map
+               (fun (step, p, rule) ->
+                 Json.Obj
+                   [ ("step", Json.Int step);
+                     ("p", Json.Int p);
+                     ("rule", Json.String rule) ])
+               a.window) ) ])
+
+let trip t ~monitor ~step ?process ~value ~bound () =
+  if not (Hashtbl.mem t.tripped monitor) then begin
+    Hashtbl.replace t.tripped monitor ();
+    let a =
+      { monitor; step; process; value; bound; window = window_snapshot t }
+    in
+    t.anomalies_rev <- a :: t.anomalies_rev;
+    match t.sink with
+    | Some sink -> Sink.write sink (anomaly_json a)
+    | None -> ()
+  end
+
+let move_bound t ~name ~bound =
+  let count = ref 0 in
+  fun ~step ~moved _cfg ->
+    maybe_feed t ~step moved;
+    List.iter
+      (fun (p, _) ->
+        incr count;
+        if !count > bound then
+          trip t ~monitor:name ~step ~process:p ~value:!count ~bound ())
+      moved
+
+let round_bound t ~name ~bound ~round ~steps =
+  if round > bound then trip t ~monitor:name ~step:steps ~value:round ~bound ()
+
+let non_increasing t ~name ~measure ~init =
+  let prev = ref init in
+  fun ~step ~moved cfg ->
+    maybe_feed t ~step moved;
+    let v = measure cfg in
+    if v > !prev then trip t ~monitor:name ~step ~value:v ~bound:!prev ();
+    prev := v
+
+let anomalies t = List.rev t.anomalies_rev
+let anomaly_count t = List.length t.anomalies_rev

@@ -35,6 +35,39 @@ let manifest ?(extra = []) ~system ~family ~n ~m ~seed ~daemon () =
        ("git", Json.String (git_describe ())) ]
     @ extra)
 
+let wave_tag = function
+  | Span.Init -> [ ("w", Json.String "init") ]
+  | Span.Join { parent; d } ->
+      [ ("w", Json.String "join"); ("parent", Json.Int parent);
+        ("d", Json.Int d) ]
+  | Span.Feedback -> [ ("w", Json.String "rf") ]
+  | Span.Complete -> [ ("w", Json.String "c") ]
+
+let step_record ~step ~movers =
+  Json.Obj
+    [ ("type", Json.String "step");
+      ("step", Json.Int step);
+      ( "movers",
+        Json.List
+          (List.map
+             (fun (p, rule, wave) ->
+               Json.Obj
+                 ([ ("p", Json.Int p); ("rule", Json.String rule) ]
+                 @ match wave with Some ev -> wave_tag ev | None -> []))
+             movers) ) ]
+
+let init_record ~active =
+  Json.Obj
+    [ ("type", Json.String "init");
+      ( "active",
+        Json.List
+          (List.map
+             (fun (p, st, d) ->
+               Json.Obj
+                 [ ("p", Json.Int p); ("st", Json.String st);
+                   ("d", Json.Int d) ])
+             active) ) ]
+
 let round_record ?(extra = []) ~round ~steps ~moves () =
   Json.Obj
     ([ ("type", Json.String "round");

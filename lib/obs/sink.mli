@@ -45,6 +45,17 @@ val manifest :
 (** The [git] field records [git describe --always --dirty] when available,
     ["unknown"] otherwise. *)
 
+val step_record :
+  step:int -> movers:(int * string * Span.event option) list -> Json.t
+(** One per engine step when step-level tracing is enabled: the activated
+    (process, rule) pairs, each optionally tagged with its classified wave
+    event ([w] ∈ [init|join|rf|c]; joins carry [parent] and [d]). *)
+
+val init_record : active:(int * string * int) list -> Json.t
+(** Declares the processes already mid-reset in the initial configuration
+    as [(process, status, d)] triples — the seed for offline wave
+    reconstruction ({!Span.seed_active}). *)
+
 val round_record :
   ?extra:(string * Json.t) list ->
   round:int ->

@@ -1,0 +1,279 @@
+type event =
+  | Init
+  | Join of { parent : int; d : int }
+  | Feedback
+  | Complete
+
+type wave = {
+  id : int;
+  root : int;
+  preexisting : bool;
+  mutable init_step : int option;
+  mutable members : int;
+  mutable depth : int;
+  mutable r_moves : int;
+  mutable rb_moves : int;
+  mutable rf_moves : int;
+  mutable c_moves : int;
+  mutable active : int;
+  mutable first_step : int;
+  mutable last_step : int;
+}
+
+type t = {
+  membership : int array;  (* process -> wave id, -1 when not mid-reset *)
+  mutable waves_rev : wave list;
+  mutable next_id : int;
+  mutable synthetic : int;
+  mutable seeded : bool;
+  edge_seen : (int * int, unit) Hashtbl.t;
+  mutable edges_rev : (int * int) list;
+  mutable errors_rev : string list;
+}
+
+let create ~n =
+  {
+    membership = Array.make n (-1);
+    waves_rev = [];
+    next_id = 0;
+    synthetic = 0;
+    seeded = false;
+    edge_seen = Hashtbl.create 16;
+    edges_rev = [];
+    errors_rev = [];
+  }
+
+let new_wave t ~root ~preexisting ~step =
+  let w =
+    {
+      id = t.next_id;
+      root;
+      preexisting;
+      init_step = None;
+      members = 0;
+      depth = 0;
+      r_moves = 0;
+      rb_moves = 0;
+      rf_moves = 0;
+      c_moves = 0;
+      active = 0;
+      first_step = step;
+      last_step = step;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.waves_rev <- w :: t.waves_rev;
+  w
+
+let wave_by_id t id = List.find (fun w -> w.id = id) t.waves_rev
+
+let touch w ~step =
+  if step < w.first_step then w.first_step <- step;
+  if step > w.last_step then w.last_step <- step
+
+(* Detach [p] from its current wave (it is switching waves); records a
+   succession edge from the old wave to [dst]. *)
+let detach t p ~dst =
+  let old = t.membership.(p) in
+  if old >= 0 && old <> dst then begin
+    let w = wave_by_id t old in
+    w.active <- w.active - 1;
+    if w.active < 0 then begin
+      w.active <- 0;
+      t.errors_rev <-
+        Printf.sprintf "wave %d: membership went negative at process %d" old p
+        :: t.errors_rev
+    end;
+    if not (Hashtbl.mem t.edge_seen (old, dst)) then begin
+      Hashtbl.add t.edge_seen (old, dst) ();
+      t.edges_rev <- (old, dst) :: t.edges_rev
+    end
+  end
+
+let enroll t p w =
+  t.membership.(p) <- w.id;
+  w.members <- w.members + 1;
+  w.active <- w.active + 1
+
+(* A wave invented for an event whose provenance we cannot see (an orphan
+   Feedback/Complete, or a Join whose parent is not mid-reset).  Happens
+   only when the initial mid-reset processes were not declared via
+   [seed_active]. *)
+let synthesize t ~root ~step =
+  t.synthetic <- t.synthetic + 1;
+  let w = new_wave t ~root ~preexisting:true ~step in
+  enroll t root w;
+  w
+
+let member_wave t p ~step =
+  let id = t.membership.(p) in
+  if id >= 0 then wave_by_id t id else synthesize t ~root:p ~step
+
+let seed_active ~graph t actives =
+  if t.seeded then invalid_arg "Span.seed_active: already seeded";
+  t.seeded <- true;
+  let d_of = Hashtbl.create 16 in
+  List.iter (fun (p, d) -> Hashtbl.replace d_of p d) actives;
+  let visited = Hashtbl.create 16 in
+  (* One preexisting wave per connected component of the active set, rooted
+     at the minimum-d member (ties to the smaller index). *)
+  List.iter
+    (fun (p0, _) ->
+      if not (Hashtbl.mem visited p0) then begin
+        let comp = ref [] in
+        let queue = Queue.create () in
+        Queue.add p0 queue;
+        Hashtbl.replace visited p0 ();
+        while not (Queue.is_empty queue) do
+          let u = Queue.pop queue in
+          comp := u :: !comp;
+          Array.iter
+            (fun v ->
+              if Hashtbl.mem d_of v && not (Hashtbl.mem visited v) then begin
+                Hashtbl.replace visited v ();
+                Queue.add v queue
+              end)
+            (Ssreset_graph.Graph.neighbors graph u)
+        done;
+        let root =
+          List.fold_left
+            (fun best u ->
+              let du = Hashtbl.find d_of u
+              and db = Hashtbl.find d_of best in
+              if du < db || (du = db && u < best) then u else best)
+            p0 !comp
+        in
+        let w = new_wave t ~root ~preexisting:true ~step:0 in
+        List.iter
+          (fun u ->
+            enroll t u w;
+            let du = Hashtbl.find d_of u in
+            if du > w.depth then w.depth <- du)
+          (List.sort compare !comp)
+      end)
+    (List.sort compare actives)
+
+let feed t ~step p ev =
+  match ev with
+  | Init ->
+      let w = new_wave t ~root:p ~preexisting:false ~step in
+      w.init_step <- Some step;
+      w.r_moves <- w.r_moves + 1;
+      detach t p ~dst:w.id;
+      enroll t p w;
+      touch w ~step
+  | Join { parent; d } ->
+      let w = member_wave t parent ~step in
+      if p <> parent then begin
+        detach t p ~dst:w.id;
+        enroll t p w
+      end;
+      w.rb_moves <- w.rb_moves + 1;
+      if d > w.depth then w.depth <- d;
+      touch w ~step
+  | Feedback ->
+      let w = member_wave t p ~step in
+      w.rf_moves <- w.rf_moves + 1;
+      touch w ~step
+  | Complete ->
+      let w = member_wave t p ~step in
+      w.c_moves <- w.c_moves + 1;
+      touch w ~step;
+      w.active <- w.active - 1;
+      if w.active < 0 then begin
+        w.active <- 0;
+        t.errors_rev <-
+          Printf.sprintf "wave %d: completion without membership at process %d"
+            w.id p
+          :: t.errors_rev
+      end;
+      t.membership.(p) <- -1
+
+let feed_step t ~step movers =
+  (* Joins first: they read the pre-step membership of their parent, which a
+     same-step Init at the parent must not overwrite beforehand. *)
+  List.iter
+    (fun (p, ev) -> match ev with Join _ -> feed t ~step p ev | _ -> ())
+    movers;
+  List.iter
+    (fun (p, ev) -> match ev with Join _ -> () | _ -> feed t ~step p ev)
+    movers
+
+let waves t = List.rev t.waves_rev
+let wave_of t p = t.membership.(p)
+let dag t = List.rev t.edges_rev
+
+type stats = {
+  wave_count : int;
+  completed : int;
+  preexisting_count : int;
+  synthetic : int;
+  max_depth : int;
+  max_members : int;
+  max_duration : int;
+  total_moves : int;
+}
+
+let stats (t : t) =
+  List.fold_left
+    (fun s w ->
+      {
+        s with
+        wave_count = s.wave_count + 1;
+        completed = (s.completed + if w.active = 0 then 1 else 0);
+        preexisting_count =
+          (s.preexisting_count + if w.preexisting then 1 else 0);
+        max_depth = max s.max_depth w.depth;
+        max_members = max s.max_members w.members;
+        max_duration = max s.max_duration (w.last_step - w.first_step);
+        total_moves =
+          s.total_moves + w.r_moves + w.rb_moves + w.rf_moves + w.c_moves;
+      })
+    {
+      wave_count = 0;
+      completed = 0;
+      preexisting_count = 0;
+      synthetic = t.synthetic;
+      max_depth = 0;
+      max_members = 0;
+      max_duration = 0;
+      total_moves = 0;
+    }
+    t.waves_rev
+
+let check ?(require_complete = false) t =
+  let errs = List.rev t.errors_rev in
+  if require_complete then
+    errs
+    @ List.filter_map
+        (fun w ->
+          if w.active > 0 then
+            Some
+              (Printf.sprintf
+                 "wave %d (root %d): still active with %d member(s) after a \
+                  stabilized run"
+                 w.id w.root w.active)
+          else None)
+        (waves t)
+  else errs
+
+let to_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph waves {\n  rankdir=LR;\n";
+  List.iter
+    (fun w ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  w%d [shape=box,label=\"wave %d\\nroot %d%s\\nmembers %d depth \
+            %d\\nr/rb/rf/c %d/%d/%d/%d\\nsteps %d..%d%s\"];\n"
+           w.id w.id w.root
+           (if w.preexisting then " (preexisting)" else "")
+           w.members w.depth w.r_moves w.rb_moves w.rf_moves w.c_moves
+           w.first_step w.last_step
+           (if w.active > 0 then Printf.sprintf "\\nactive %d" w.active else "")))
+    (waves t);
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  w%d -> w%d;\n" a b))
+    (dag t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -134,7 +134,47 @@ let () =
           | _ -> info "experiment %s: no comparable wall_s, skipped" id))
     (list_field "experiments" baseline);
 
-  (* 3. Engine scheduler throughput — informational. *)
+  (* 3. trace-v1 observability overhead: with monitors disabled (no sink)
+     the engine must run at full speed — a regression here means telemetry
+     cost leaked into the hot path.  Throughput is noisier than wall-clock,
+     so the gate never tightens below 5% even when the wall-clock tolerance
+     is stricter. *)
+  let trace_tolerance = Float.max 0.05 tolerance in
+  let fresh_trace = list_field "trace_v1" fresh in
+  List.iter
+    (fun base_record ->
+      match Option.bind (Json.member "n" base_record) Json.to_int_opt with
+      | None -> ()
+      | Some n -> (
+          let same r =
+            Option.bind (Json.member "n" r) Json.to_int_opt = Some n
+          in
+          match List.find_opt same fresh_trace with
+          | None ->
+              fail "trace_v1 n=%d present in baseline but not in fresh run" n
+          | Some fresh_record -> (
+              match
+                ( float_field "monitors_off_steps_per_s" base_record,
+                  float_field "monitors_off_steps_per_s" fresh_record )
+              with
+              | Some base_r, Some fresh_r when base_r > 0. ->
+                  if fresh_r < base_r *. (1. -. trace_tolerance) then
+                    fail
+                      "trace_v1 n=%d: monitors-off throughput %.0f steps/s \
+                       vs baseline %.0f (-%.0f%% > -%.0f%% tolerance)"
+                      n fresh_r base_r
+                      ((1. -. (fresh_r /. base_r)) *. 100.)
+                      (trace_tolerance *. 100.)
+                  else
+                    info
+                      "trace_v1 n=%d: monitors-off %.0f steps/s vs baseline \
+                       %.0f (%+.0f%%)"
+                      n fresh_r base_r
+                      (((fresh_r /. base_r) -. 1.) *. 100.)
+              | _ -> info "trace_v1 n=%d: no comparable throughput, skipped" n)))
+    (list_field "trace_v1" baseline);
+
+  (* 4. Engine scheduler throughput — informational. *)
   List.iter
     (fun r ->
       match

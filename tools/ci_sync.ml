@@ -13,6 +13,11 @@ let required =
       "check tail-unison --symmetry --family complete --max-n 6" );
     ("quick bench", "--quick");
     ("bench regression gate", "bench_gate");
+    ("trace schema validation", "--check-trace");
+    ("trace summary smoke", "trace summary");
+    ("wave reconstruction check", "trace waves --check");
+    ("happens-before check", "trace critical-path --check");
+    ("trace artifacts on failure", "if: failure()");
     ("OCaml 5.1 in the matrix", "5.1");
     ("OCaml 5.2 in the matrix", "5.2") ]
 

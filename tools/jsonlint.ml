@@ -11,8 +11,11 @@
    summary).  [--check-report] validates the ssreset-check-v2 findings
    report schema: schema_version >= 2, per-entry lint/footprint/model
    sections, and per-graph model records carrying the v2 automorphisms and
-   certificate fields.  Exit status 0 iff the file is valid; used by the
-   `dune runtest` smoke rules in bench/ and bin/. *)
+   certificate fields.  [--check-trace] validates the ssreset-trace-v1
+   schema (manifest first, strictly increasing step/round records,
+   wave-tagged movers, one summary whose counters cross-check the step
+   records) via Ssreset_obs.Tracefile.  Exit status 0 iff the file is
+   valid; used by the `dune runtest` smoke rules in bench/ and bin/. *)
 
 module Json = Ssreset_obs.Json
 
@@ -125,6 +128,7 @@ let check_report ~path json =
 let () =
   let jsonl = ref false in
   let report = ref false in
+  let trace = ref false in
   let require_keys = ref [] in
   let require_types = ref [] in
   let files = ref [] in
@@ -134,6 +138,7 @@ let () =
     (match Sys.argv.(!i) with
     | "--jsonl" -> jsonl := true
     | "--check-report" -> report := true
+    | "--check-trace" -> trace := true
     | "--require-keys" when !i + 1 < argc ->
         incr i;
         require_keys := split_commas Sys.argv.(!i)
@@ -143,7 +148,7 @@ let () =
     | "--help" | "-h" ->
         print_endline
           "usage: jsonlint [--jsonl] [--require-keys k,...] \
-           [--require-types t,...] [--check-report] FILE...";
+           [--require-types t,...] [--check-report] [--check-trace] FILE...";
         exit 0
     | arg when String.length arg > 0 && arg.[0] = '-' ->
         fail "unknown option %S" arg
@@ -154,7 +159,12 @@ let () =
   List.iter
     (fun path ->
       let contents = read_file path in
-      if !jsonl then begin
+      if !trace then begin
+        match Ssreset_obs.Tracefile.check_file path with
+        | Ok () -> ()
+        | Error msg -> fail "%s" msg
+      end
+      else if !jsonl then begin
         let seen = Hashtbl.create 8 in
         let lines = String.split_on_char '\n' contents in
         List.iteri
