@@ -542,6 +542,69 @@ let run_trace_bench ~quick =
         ("trace_events", Json.Int events);
         ("trace_events_per_s", Json.Float events_per_s) ] ]
 
+(* ------------------------------------------------------------------ *)
+(* prof: engine profiling overhead.  The same U∘SDR stabilization with *)
+(* and without an attached Prof (no sink): prof-on pays the lap clock  *)
+(* reads and instrument bumps per step, prof-off must pay nothing.     *)
+(* The gate holds the prof-off rate to the committed baseline and caps *)
+(* the measured overhead.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_prof_bench ~quick =
+  Printf.printf "== prof: engine profiling overhead, U∘SDR ring ==\n%!";
+  let n = if quick then 128 else 512 in
+  let graph = Ssreset_graph.Gen.ring n in
+  (* Central-random, as in the trace bench: one mover per step gives
+     enough steps for a stable steps/s estimate. *)
+  let run ?prof () =
+    Expt.Runner.unison_composed ?prof ~graph
+      ~daemon:Ssreset_sim.Daemon.central_random ~seed:11 ()
+  in
+  let rate (o : Expt.Runner.obs) =
+    if o.Expt.Runner.wall_s > 0. then
+      float_of_int o.Expt.Runner.steps /. o.Expt.Runner.wall_s
+    else 0.
+  in
+  let best_of f =
+    let best = ref 0. in
+    for _ = 1 to 3 do
+      best := Float.max !best (rate (f ()))
+    done;
+    !best
+  in
+  let steps = (run ()).Expt.Runner.steps in
+  let off = best_of (fun () -> run ()) in
+  let on = best_of (fun () -> run ~prof:(Ssreset_obs.Prof.create ()) ()) in
+  (* One instrumented run to report where the time goes. *)
+  let p = Ssreset_obs.Prof.create () in
+  ignore (run ~prof:p ());
+  let phase_ns name =
+    Ssreset_obs.Prof.timer_total_ns (Ssreset_obs.Prof.timer p ("phase." ^ name))
+  in
+  let phases =
+    [ "scan"; "select"; "apply"; "refresh"; "neutralize"; "callbacks";
+      "stop" ]
+  in
+  let overhead = if off > 0. then 100. *. (1. -. (on /. off)) else 0. in
+  Printf.printf
+    "  n=%-5d %7d steps   prof-off %10.0f steps/s   prof-on %10.0f steps/s \
+     (%.1f%% overhead)\n"
+    n steps off on overhead;
+  Printf.printf "  attribution:";
+  List.iter
+    (fun name -> Printf.printf "  %s %.2fms" name (float_of_int (phase_ns name) /. 1e6))
+    phases;
+  Printf.printf "\n\n%!";
+  [ Json.Obj
+      ([ ("n", Json.Int n);
+         ("steps", Json.Int steps);
+         ("prof_off_steps_per_s", Json.Float off);
+         ("prof_on_steps_per_s", Json.Float on);
+         ("prof_overhead_pct", Json.Float overhead) ]
+      @ List.map
+          (fun name -> ("phase_" ^ name ^ "_ns", Json.Int (phase_ns name)))
+          phases) ]
+
 let () =
   let quick, timing, out, jobs, ids = parse_args () in
   let profile =
@@ -570,6 +633,7 @@ let () =
   in
   let engine = if ids = [] then run_engine_bench ~quick else [] in
   let trace_v1 = if ids = [] then run_trace_bench ~quick else [] in
+  let prof_bench = if ids = [] then run_prof_bench ~quick else [] in
   let timings =
     if timing && ids = [] then run_bechamel ~quick else []
   in
@@ -584,6 +648,7 @@ let () =
         ("experiments", Json.List experiments);
         ("engine", Json.List engine);
         ("trace_v1", Json.List trace_v1);
+        ("prof", Json.List prof_bench);
         ("check", Json.List check_records);
         ("check_v2", check_v2);
         ("timing", Json.List timings) ]

@@ -16,6 +16,8 @@ module Runner = Ssreset_expt.Runner
 module Workload = Ssreset_expt.Workload
 module Json = Ssreset_obs.Json
 module Sink = Ssreset_obs.Sink
+module Prof = Ssreset_obs.Prof
+module Proffile = Ssreset_obs.Proffile
 module Span = Ssreset_obs.Span
 module Tracefile = Ssreset_obs.Tracefile
 module Causality = Ssreset_obs.Causality
@@ -127,7 +129,13 @@ let scheduler =
 
 (* ------------------------- telemetry output opts ------------------------ *)
 
-type output = { json : bool; trace_out : string option; trace_steps : bool }
+type output = {
+  json : bool;
+  trace_out : string option;
+  trace_steps : bool;
+  prof_out : string option;
+  prof_window : int;
+}
 
 let output_term =
   let json =
@@ -157,9 +165,32 @@ let output_term =
              systems) — the full ssreset-trace-v1 stream that $(b,ssreset \
              trace) analyzes.")
   in
+  let prof_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prof-out" ] ~docv:"FILE"
+          ~doc:
+            "Profile the run and write an ssreset-prof-v1 JSONL stream to \
+             $(docv): one manifest record, streaming window records (see \
+             $(b,--prof-window)) and one final summary with per-phase and \
+             per-rule timing attribution, scheduler and GC counters.  \
+             Results are bit-identical with and without profiling.")
+  in
+  let prof_window =
+    Arg.(
+      value & opt int 0
+      & info [ "prof-window" ] ~docv:"STEPS"
+          ~doc:
+            "With $(b,--prof-out): emit one window record every $(docv) \
+             engine steps (throughput, per-rule move deltas, GC word \
+             deltas) — the streaming view for long runs.  0 (default) \
+             disables windows; the summary is always written.")
+  in
   Term.(
-    const (fun json trace_out trace_steps -> { json; trace_out; trace_steps })
-    $ json $ trace_out $ trace_steps)
+    const (fun json trace_out trace_steps prof_out prof_window ->
+        { json; trace_out; trace_steps; prof_out; prof_window })
+    $ json $ trace_out $ trace_steps $ prof_out $ prof_window)
 
 let report ~json name (obs : Runner.obs) =
   if json then print_endline (Json.to_string (Runner.obs_json obs))
@@ -174,6 +205,8 @@ let report ~json name (obs : Runner.obs) =
       (if obs.Runner.wall_s > 0. then
          float_of_int obs.Runner.steps /. obs.Runner.wall_s
        else 0.);
+    Fmt.pr "  workload p50/p90:  %.1f / %.1f moves/proc@."
+      obs.Runner.workload_p50 obs.Runner.workload_p90;
     (match obs.Runner.segments with
     | Some segments ->
         Fmt.pr "  SDR moves:         %d@." obs.Runner.sdr_moves;
@@ -191,17 +224,43 @@ let build ~quiet family n seed =
     Fmt.pr "network: %s (%s)@." (Metrics.summary g) family.Workload.family_name;
   g
 
-(* Run one measured system: builds the graph, opens the trace sink if
-   requested, writes the manifest, delegates to the runner (which streams
-   rounds + summary), and reports. *)
+(* Run one measured system: builds the graph, opens the trace and profile
+   sinks if requested, writes the manifests, delegates to the runner (which
+   streams rounds + summary; the profiler streams windows), writes the
+   profile summary, and reports. *)
 let measured ~output ~system ~title ~family ~n ~seed ~daemon_name
-    (run : sink:Sink.t option -> graph:Graph.t -> daemon:Daemon.t -> Runner.obs) =
+    (run :
+      sink:Sink.t option ->
+      prof:Prof.t option ->
+      graph:Graph.t ->
+      daemon:Daemon.t ->
+      Runner.obs) =
   try
     let graph = build ~quiet:output.json family n seed in
     let daemon = Runner.daemon_by_name daemon_name in
-    let obs =
+    let with_prof k =
+      match output.prof_out with
+      | None -> k ~prof:None
+      | Some path ->
+          let psink = Sink.create path in
+          Fun.protect
+            ~finally:(fun () -> Sink.close psink)
+            (fun () ->
+              Sink.write psink
+                (Prof.manifest ~system ~family:family.Workload.family_name
+                   ~n:(Graph.n graph) ~m:(Graph.m graph) ~seed
+                   ~daemon:daemon.Daemon.daemon_name
+                   ~window_steps:output.prof_window ());
+              let p =
+                Prof.create ~window_steps:output.prof_window ~sink:psink ()
+              in
+              let obs = k ~prof:(Some p) in
+              Prof.write_summary p;
+              obs)
+    in
+    let with_trace ~prof k =
       match output.trace_out with
-      | None -> run ~sink:None ~graph ~daemon
+      | None -> k ~sink:None ~prof
       | Some path ->
           let sink = Sink.create path in
           (* The manifest carries the graph itself (trace_schema + edges),
@@ -221,7 +280,11 @@ let measured ~output ~system ~title ~family ~n ~seed ~daemon_name
                ());
           Fun.protect
             ~finally:(fun () -> Sink.close sink)
-            (fun () -> run ~sink:(Some sink) ~graph ~daemon)
+            (fun () -> k ~sink:(Some sink) ~prof)
+    in
+    let obs =
+      with_prof (fun ~prof ->
+          with_trace ~prof (fun ~sink ~prof -> run ~sink ~prof ~graph ~daemon))
     in
     report ~json:output.json title obs
   with
@@ -235,8 +298,10 @@ let measured ~output ~system ~title ~family ~n ~seed ~daemon_name
 (* Each system: CLI name, doc, and a runner closure.  The `run` subcommand
    dispatches on the name; the per-system subcommands reuse the same
    closures. *)
-let unison_run ~seed ~scheduler ~trace_steps = fun ~sink ~graph ~daemon ->
-  Runner.unison_composed ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ()
+let unison_run ~seed ~scheduler ~trace_steps =
+ fun ~sink ~prof ~graph ~daemon ->
+  Runner.unison_composed ?sink ?prof ~scheduler ~trace_steps ~graph ~daemon
+    ~seed ()
 
 let systems ~spec ~seed ~scheduler ~trace_steps =
   [ ("unison",
@@ -244,38 +309,38 @@ let systems ~spec ~seed ~scheduler ~trace_steps =
      unison_run ~seed ~scheduler ~trace_steps);
     ("tail-unison",
      "tail-unison baseline from an arbitrary configuration",
-     fun ~sink ~graph ~daemon ->
-       Runner.tail_unison ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ());
+     fun ~sink ~prof ~graph ~daemon ->
+       Runner.tail_unison ?sink ?prof ~scheduler ~trace_steps ~graph ~daemon ~seed ());
     ("min-unison",
      "min-unison baseline (K = n²+1) from an arbitrary configuration",
-     fun ~sink ~graph ~daemon ->
-       Runner.min_unison ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ());
+     fun ~sink ~prof ~graph ~daemon ->
+       Runner.min_unison ?sink ?prof ~scheduler ~trace_steps ~graph ~daemon ~seed ());
     ("agr-unison",
      "U∘AGR (mono-initiator reset baseline; needs a weakly fair daemon)",
-     fun ~sink ~graph ~daemon ->
-       Runner.unison_agr ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ());
+     fun ~sink ~prof ~graph ~daemon ->
+       Runner.unison_agr ?sink ?prof ~scheduler ~trace_steps ~graph ~daemon ~seed ());
     ("alliance",
      Printf.sprintf "FGA(%s)∘SDR from an arbitrary configuration"
        spec.Spec.spec_name,
-     fun ~sink ~graph ~daemon ->
-       Runner.fga_composed ?sink ~scheduler ~trace_steps ~spec ~graph ~daemon ~seed ());
+     fun ~sink ~prof ~graph ~daemon ->
+       Runner.fga_composed ?sink ?prof ~scheduler ~trace_steps ~spec ~graph ~daemon ~seed ());
     ("alliance-bare",
      Printf.sprintf "FGA(%s) from γ_init (non self-stabilizing run)"
        spec.Spec.spec_name,
-     fun ~sink ~graph ~daemon ->
-       Runner.fga_bare ?sink ~scheduler ~trace_steps ~spec ~graph ~daemon ~seed ());
+     fun ~sink ~prof ~graph ~daemon ->
+       Runner.fga_bare ?sink ?prof ~scheduler ~trace_steps ~spec ~graph ~daemon ~seed ());
     ("coloring",
      "coloring∘SDR from an arbitrary configuration",
-     fun ~sink ~graph ~daemon ->
-       Runner.coloring_composed ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ());
+     fun ~sink ~prof ~graph ~daemon ->
+       Runner.coloring_composed ?sink ?prof ~scheduler ~trace_steps ~graph ~daemon ~seed ());
     ("mis",
      "MIS∘SDR from an arbitrary configuration",
-     fun ~sink ~graph ~daemon ->
-       Runner.mis_composed ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ());
+     fun ~sink ~prof ~graph ~daemon ->
+       Runner.mis_composed ?sink ?prof ~scheduler ~trace_steps ~graph ~daemon ~seed ());
     ("matching",
      "matching∘SDR from an arbitrary configuration",
-     fun ~sink ~graph ~daemon ->
-       Runner.matching_composed ?sink ~scheduler ~trace_steps ~graph ~daemon ~seed ()) ]
+     fun ~sink ~prof ~graph ~daemon ->
+       Runner.matching_composed ?sink ?prof ~scheduler ~trace_steps ~graph ~daemon ~seed ()) ]
 
 let run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec ~scheduler =
   match
@@ -928,6 +993,263 @@ let trace_cmd =
     Term.(
       const run $ action $ file $ file2 $ json $ check $ what $ max_moves)
 
+(* ---------------------------- profile explorer --------------------------- *)
+
+let ns_str ns =
+  let f = float_of_int ns in
+  if f >= 1e9 then Printf.sprintf "%.3fs" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2fms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.1fus" (f /. 1e3)
+  else Printf.sprintf "%dns" ns
+
+let fns_str f = ns_str (int_of_float f)
+
+let prof_counter (s : Proffile.summary) name =
+  Option.value ~default:0 (List.assoc_opt name s.Proffile.counters)
+
+let section_json ~total (name, (sec : Proffile.section)) =
+  ( name,
+    Json.Obj
+      [ ("ns", Json.Int sec.Proffile.ns);
+        ( "share",
+          Json.Float
+            (if total > 0 then float_of_int sec.Proffile.ns /. float_of_int total
+             else 0.) );
+        ("count", Json.Int sec.Proffile.count);
+        ("mean_ns", Json.Float sec.Proffile.mean_ns);
+        ("p50_ns", Json.Float sec.Proffile.p50_ns);
+        ("p90_ns", Json.Float sec.Proffile.p90_ns);
+        ("max_ns", Json.Int sec.Proffile.max_ns) ] )
+
+let print_sections ~total sections =
+  Fmt.pr "  %-12s %10s %6s %10s %10s %10s %10s@." "" "total" "share" "count"
+    "mean" "p50" "p90";
+  List.iter
+    (fun (name, (sec : Proffile.section)) ->
+      Fmt.pr "  %-12s %10s %5.1f%% %10d %10s %10s %10s@." name
+        (ns_str sec.Proffile.ns)
+        (if total > 0 then
+           100. *. float_of_int sec.Proffile.ns /. float_of_int total
+         else 0.)
+        sec.Proffile.count
+        (fns_str sec.Proffile.mean_ns)
+        (fns_str sec.Proffile.p50_ns)
+        (fns_str sec.Proffile.p90_ns))
+    sections
+
+(* The acceptance criterion of the profiling layer: the lap-based phase
+   timers tile the engine loop, so their sum must account for (nearly all
+   of) the run's wall clock. *)
+let coverage_band = (0.90, 1.10)
+
+let prof_report ~json ~check (p : Proffile.t) =
+  let s = p.Proffile.summary in
+  let attributed = Proffile.phase_total_ns p in
+  let wall_ns = int_of_float (s.Proffile.wall_s *. 1e9) in
+  let coverage =
+    if wall_ns > 0 then float_of_int attributed /. float_of_int wall_ns else 0.
+  in
+  let touched = prof_counter s "sched.touched" in
+  let dedup = prof_counter s "sched.dedup_hits" in
+  let dedup_rate =
+    if touched > 0 then 100. *. float_of_int dedup /. float_of_int touched
+    else 0.
+  in
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [ ("system", Json.String p.Proffile.system);
+              ("family", Json.String p.Proffile.family);
+              ("n", Json.Int p.Proffile.n);
+              ("seed", Json.Int p.Proffile.seed);
+              ("daemon", Json.String p.Proffile.daemon);
+              ("steps", Json.Int s.Proffile.steps);
+              ("moves", Json.Int s.Proffile.moves);
+              ("wall_s", Json.Float s.Proffile.wall_s);
+              ("windows", Json.Int s.Proffile.window_count);
+              ("attributed_ns", Json.Int attributed);
+              ("coverage", Json.Float coverage);
+              ( "phases",
+                Json.Obj
+                  (List.map (section_json ~total:attributed) s.Proffile.phases)
+              );
+              ( "rules",
+                Json.Obj
+                  (List.map (section_json ~total:attributed) s.Proffile.rules)
+              );
+              ( "counters",
+                Json.Obj
+                  (List.map
+                     (fun (n, v) -> (n, Json.Int v))
+                     s.Proffile.counters) );
+              ( "gauges",
+                Json.Obj
+                  (List.map
+                     (fun (n, v) -> (n, Json.Float v))
+                     s.Proffile.gauges) ) ]))
+  else begin
+    Fmt.pr "%s on %s n=%d (seed %d, %s daemon)@." p.Proffile.system
+      p.Proffile.family p.Proffile.n p.Proffile.seed p.Proffile.daemon;
+    Fmt.pr "  steps: %d  moves: %d  wall: %.3fs  windows: %d@."
+      s.Proffile.steps s.Proffile.moves s.Proffile.wall_s
+      s.Proffile.window_count;
+    Fmt.pr "phases (engine loop attribution):@.";
+    print_sections ~total:attributed s.Proffile.phases;
+    Fmt.pr "  attributed %s = %.1f%% of wall clock@." (ns_str attributed)
+      (100. *. coverage);
+    if touched > 0 || prof_counter s "sched.evals" > 0 then
+      Fmt.pr
+        "scheduler: touched %d  evals %d  dedup hits %d (%.1f%%)  table \
+         flips %d@."
+        touched
+        (prof_counter s "sched.evals")
+        dedup dedup_rate
+        (prof_counter s "sched.table_flips");
+    Fmt.pr "gc: minor %d w  promoted %d w  major %d w  collections %d+%d@."
+      (prof_counter s "gc.minor_words")
+      (prof_counter s "gc.promoted_words")
+      (prof_counter s "gc.major_words")
+      (prof_counter s "gc.minor_collections")
+      (prof_counter s "gc.major_collections")
+  end;
+  if not check then 0
+  else begin
+    let lo, hi = coverage_band in
+    if wall_ns <= 0 then begin
+      Fmt.epr "prof check FAIL: summary wall_s is zero@.";
+      1
+    end
+    else if coverage < lo || coverage > hi then begin
+      Fmt.epr
+        "prof check FAIL: phase attribution covers %.1f%% of wall clock \
+         (expected %.0f%%..%.0f%%)@."
+        (100. *. coverage) (100. *. lo) (100. *. hi);
+      1
+    end
+    else begin
+      Fmt.pr "prof check: OK (%.1f%% of wall clock attributed to phases)@."
+        (100. *. coverage);
+      0
+    end
+  end
+
+let prof_top ~json (p : Proffile.t) =
+  let s = p.Proffile.summary in
+  let rules =
+    List.sort
+      (fun (_, (a : Proffile.section)) (_, (b : Proffile.section)) ->
+        compare b.Proffile.ns a.Proffile.ns)
+      s.Proffile.rules
+  in
+  let total =
+    List.fold_left
+      (fun a (_, (sec : Proffile.section)) -> a + sec.Proffile.ns)
+      0 rules
+  in
+  if json then
+    print_endline
+      (Json.to_string (Json.Obj (List.map (section_json ~total) rules)))
+  else if rules = [] then
+    Fmt.pr "no rule timers (profile recorded without an attached engine?)@."
+  else begin
+    Fmt.pr "rules by total apply time:@.";
+    print_sections ~total rules
+  end;
+  0
+
+let prof_windows ~json (p : Proffile.t) =
+  let windows = p.Proffile.windows in
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.List
+            (List.map
+               (fun (w : Proffile.window) ->
+                 Json.Obj
+                   [ ("index", Json.Int w.Proffile.index);
+                     ("at_step", Json.Int w.Proffile.at_step);
+                     ("steps", Json.Int w.Proffile.steps);
+                     ("moves", Json.Int w.Proffile.moves);
+                     ("wall_s", Json.Float w.Proffile.wall_s);
+                     ("steps_per_s", Json.Float w.Proffile.steps_per_s);
+                     ("moves_per_s", Json.Float w.Proffile.moves_per_s);
+                     ( "moves_per_rule",
+                       Json.Obj
+                         (List.map
+                            (fun (r, c) -> (r, Json.Int c))
+                            w.Proffile.moves_per_rule) );
+                     ("gc_minor_words", Json.Int w.Proffile.gc_minor_words);
+                     ("gc_major_words", Json.Int w.Proffile.gc_major_words) ])
+               windows)))
+  else if windows = [] then
+    Fmt.pr
+      "no window records — profile the run with --prof-window STEPS > 0@."
+  else begin
+    Fmt.pr "  %5s %9s %7s %7s %11s %11s %11s@." "idx" "at_step" "steps"
+      "moves" "steps/s" "moves/s" "gc minor w";
+    List.iter
+      (fun (w : Proffile.window) ->
+        Fmt.pr "  %5d %9d %7d %7d %11.0f %11.0f %11d@." w.Proffile.index
+          w.Proffile.at_step w.Proffile.steps w.Proffile.moves
+          w.Proffile.steps_per_s w.Proffile.moves_per_s
+          w.Proffile.gc_minor_words)
+      windows
+  end;
+  0
+
+let prof_cmd =
+  let run action file json check =
+    match Proffile.load_file file with
+    | Error msg ->
+        Fmt.epr "ssreset prof: %s@." msg;
+        2
+    | Ok p -> (
+        match action with
+        | "report" -> prof_report ~json ~check p
+        | "top" -> prof_top ~json p
+        | "windows" -> prof_windows ~json p
+        | other ->
+            Fmt.epr "unknown prof action %S (report, top, windows)@." other;
+            2)
+  in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "$(b,report) (per-phase attribution, scheduler and GC counters), \
+             $(b,top) (rules ranked by apply time), $(b,windows) (streaming \
+             throughput windows).")
+  in
+  let file =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"PROFILE"
+          ~doc:"JSONL profile recorded with --prof-out.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the analysis as JSON.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "For $(b,report): verify the phase timers account for \
+             90%..110% of the run's wall clock and exit 1 otherwise.")
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:
+         "Explore a recorded ssreset-prof-v1 JSONL profile: phase/rule \
+          timing attribution, scheduler and GC counters, streaming \
+          windows.  Record profiles with --prof-out FILE [--prof-window \
+          STEPS].")
+    Term.(const run $ action $ file $ json $ check)
+
 let experiments_cmd =
   let run quick jobs ids csv json =
     let profile =
@@ -993,6 +1315,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; trace_cmd; unison_cmd; tail_cmd; min_cmd; agr_unison_cmd;
+          [ run_cmd; trace_cmd; prof_cmd; unison_cmd; tail_cmd; min_cmd;
+            agr_unison_cmd;
             alliance_cmd; coloring_cmd; mis_cmd; matching_cmd; graph_cmd;
             check_cmd; experiments_cmd ]))

@@ -50,11 +50,14 @@ type agg = {
   mutable max_proc_sdr : int;
   mutable max_segments : int;
   mutable ar_ok : bool;
+  mutable max_wl_p50 : float;  (* worst median per-process workload *)
+  mutable max_wl_p90 : float;  (* worst 90th-percentile workload *)
 }
 
 let new_agg () =
   { runs = 0; all_ok = true; max_rounds = 0; max_moves = 0; sum_moves = 0;
-    max_proc_sdr = 0; max_segments = 0; ar_ok = true }
+    max_proc_sdr = 0; max_segments = 0; ar_ok = true; max_wl_p50 = 0.;
+    max_wl_p90 = 0. }
 
 let add agg (o : Runner.obs) =
   agg.runs <- agg.runs + 1;
@@ -65,7 +68,9 @@ let add agg (o : Runner.obs) =
   agg.max_proc_sdr <- max agg.max_proc_sdr o.Runner.max_proc_sdr_moves;
   agg.max_segments <-
     max agg.max_segments (Option.value ~default:0 o.Runner.segments);
-  agg.ar_ok <- agg.ar_ok && Option.value ~default:true o.Runner.ar_monotone
+  agg.ar_ok <- agg.ar_ok && Option.value ~default:true o.Runner.ar_monotone;
+  agg.max_wl_p50 <- Float.max agg.max_wl_p50 o.Runner.workload_p50;
+  agg.max_wl_p90 <- Float.max agg.max_wl_p90 o.Runner.workload_p90
 
 (* Run [run] for every daemon of the pool and [seeds] seeds; the seed also
    perturbs the graph for randomized families. *)
@@ -170,17 +175,22 @@ let e4_e5 profile =
     Table.make
       ~title:"E4  U∘SDR stabilizes within O(D·n²) moves (Thm 6)"
       ~headers:
-        [ "family"; "n"; "D"; "max moves"; "mean moves"; "D·n²";
-          "max/(D·n²)"; "ok" ]
+        [ "family"; "n"; "D"; "max moves"; "mean moves"; "workload p50";
+          "workload p90"; "D·n²"; "max/(D·n²)"; "ok" ]
       ~notes:
         [ "the ratio staying bounded (≲ 1) across sizes is the O(D·n²) shape;";
-          "actual runs sit far below the worst case" ]
+          "actual runs sit far below the worst case;";
+          "workload p50/p90: worst-case percentiles of the per-process move \
+           counts — close percentiles mean the moves spread evenly instead \
+           of piling onto few processes" ]
       (List.map
          (fun (family, n, diam, agg) ->
            let bound = diam * n * n in
            [ family; Table.cell_int n; Table.cell_int diam;
              Table.cell_int agg.max_moves;
              Table.cell_float (mean_moves agg);
+             Table.cell_float agg.max_wl_p50;
+             Table.cell_float agg.max_wl_p90;
              Table.cell_int bound;
              Table.cell_float (float_of_int agg.max_moves /. float_of_int bound);
              Table.cell_bool (agg.all_ok && agg.max_moves <= bound) ])

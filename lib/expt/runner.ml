@@ -18,12 +18,23 @@ type obs = {
   sdr_moves : int;
   max_proc_moves : int;
   max_proc_sdr_moves : int;
+  workload_p50 : float;
+  workload_p90 : float;
   segments : int option;
   ar_monotone : bool option;
   wall_s : float;
 }
 
 let max_int_array = Array.fold_left max 0
+
+(* Per-process workload distribution (the Devismes-Ilcinkas-Johnen-Mazoit
+   trade-off metric): percentiles of the per-process move counts. *)
+let workload_percentiles (result : _ Engine.result) =
+  let samples =
+    Array.to_list (Array.map float_of_int result.Engine.moves_per_process)
+  in
+  ( Ssreset_sim.Stats.percentile samples ~p:50.,
+    Ssreset_sim.Stats.percentile samples ~p:90. )
 
 let is_sdr_rule name =
   String.length name >= 4 && String.equal (String.sub name 0 4) "SDR-"
@@ -43,6 +54,8 @@ let obs_json o =
       ("sdr_moves", Json.Int o.sdr_moves);
       ("max_proc_moves", Json.Int o.max_proc_moves);
       ("max_proc_sdr_moves", Json.Int o.max_proc_sdr_moves);
+      ("workload_p50", Json.Float o.workload_p50);
+      ("workload_p90", Json.Float o.workload_p90);
       ("segments",
        match o.segments with Some s -> Json.Int s | None -> Json.Null);
       ("ar_monotone",
@@ -182,6 +195,7 @@ let composed_observers (type s) (module C : Sdr.S with type inner = s) ?sink
       @ monitor_probes @ tracer)
   in
   let finish (result : _ Engine.result) ~outcome_ok ~result_ok =
+    let workload_p50, workload_p90 = workload_percentiles result in
     { outcome_ok;
       result_ok;
       rounds = result.Engine.rounds;
@@ -191,6 +205,8 @@ let composed_observers (type s) (module C : Sdr.S with type inner = s) ?sink
         Engine.moves_of_rules result.Engine.moves_per_rule ~prefixes:[ "SDR-" ];
       max_proc_moves = max_int_array result.Engine.moves_per_process;
       max_proc_sdr_moves = max_int_array per_proc_sdr;
+      workload_p50;
+      workload_p90;
       segments = Some (C.Segments.count segments);
       ar_monotone = Some !monotone;
       wall_s = result.Engine.wall_s }
@@ -226,6 +242,7 @@ let bare_tracer ?sink ~trace_steps () =
 (* Bare (non-composed) runs measure neither segments nor alive-root
    monotonicity — those fields are [None], not fabricated values. *)
 let bare_obs (result : _ Engine.result) ~outcome_ok ~result_ok =
+  let workload_p50, workload_p90 = workload_percentiles result in
   { outcome_ok;
     result_ok;
     rounds = result.Engine.rounds;
@@ -234,13 +251,15 @@ let bare_obs (result : _ Engine.result) ~outcome_ok ~result_ok =
     sdr_moves = 0;
     max_proc_moves = max_int_array result.Engine.moves_per_process;
     max_proc_sdr_moves = 0;
+    workload_p50;
+    workload_p90;
     segments = None;
     ar_monotone = None;
     wall_s = result.Engine.wall_s }
 
 let rngs seed = (Random.State.make [| seed; 17 |], Random.State.make [| seed; 91 |])
 
-let unison_composed ?(max_steps = 20_000_000) ?scheduler ?sink
+let unison_composed ?(max_steps = 20_000_000) ?scheduler ?prof ?sink
     ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module U = Ssreset_unison.Unison.Make (struct
@@ -262,7 +281,7 @@ let unison_composed ?(max_steps = 20_000_000) ?scheduler ?sink
   in
   let tele = telemetry ?sink ~monitor_round ~summary_extra ~round_extra () in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+    Engine.run ?scheduler ?prof ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round
       ~stop:(U.Composed.is_normal graph)
       ~algorithm:U.Composed.algorithm ~graph ~daemon cfg
@@ -275,7 +294,7 @@ let unison_composed ?(max_steps = 20_000_000) ?scheduler ?sink
   tele.emit_summary o result;
   o
 
-let unison_bare ?scheduler ?sink ?(trace_steps = false) ~steps ~graph ~daemon
+let unison_bare ?scheduler ?prof ?sink ?(trace_steps = false) ~steps ~graph ~daemon
     ~seed () =
   let n = Graph.n graph in
   let module U = Ssreset_unison.Unison.Make (struct
@@ -293,7 +312,7 @@ let unison_bare ?scheduler ?sink ?(trace_steps = false) ~steps ~graph ~daemon
   in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps:steps ~observer ?on_step:tele.on_step
+    Engine.run ?scheduler ?prof ~rng:run_rng ~max_steps:steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round ~algorithm:U.bare ~graph ~daemon
       (U.gamma_init graph)
   in
@@ -308,7 +327,7 @@ let unison_bare ?scheduler ?sink ?(trace_steps = false) ~steps ~graph ~daemon
   tele.emit_summary o result;
   o
 
-let tail_unison ?(max_steps = 50_000_000) ?scheduler ?sink
+let tail_unison ?(max_steps = 50_000_000) ?scheduler ?prof ?sink
     ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module T = Ssreset_unison.Tail_unison.Make (struct
@@ -319,7 +338,7 @@ let tail_unison ?(max_steps = 50_000_000) ?scheduler ?sink
   let cfg = Fault.arbitrary cfg_rng T.clock_gen graph in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps
+    Engine.run ?scheduler ?prof ~rng:run_rng ~max_steps
       ?observer:(bare_tracer ?sink ~trace_steps ())
       ?on_step:tele.on_step ?on_round:tele.on_round
       ~stop:(T.is_legitimate graph)
@@ -333,7 +352,7 @@ let tail_unison ?(max_steps = 50_000_000) ?scheduler ?sink
   tele.emit_summary o result;
   o
 
-let unison_agr ?(max_steps = 2_000_000) ?scheduler ?sink
+let unison_agr ?(max_steps = 2_000_000) ?scheduler ?prof ?sink
     ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module U = Ssreset_unison.Unison.Make (struct
@@ -352,7 +371,7 @@ let unison_agr ?(max_steps = 2_000_000) ?scheduler ?sink
   let cfg = Fault.arbitrary cfg_rng gen graph in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps
+    Engine.run ?scheduler ?prof ~rng:run_rng ~max_steps
       ?observer:(bare_tracer ?sink ~trace_steps ())
       ?on_step:tele.on_step ?on_round:tele.on_round
       ~stop:(A.is_normal graph)
@@ -366,7 +385,7 @@ let unison_agr ?(max_steps = 2_000_000) ?scheduler ?sink
   tele.emit_summary o result;
   o
 
-let min_unison ?(max_steps = 50_000_000) ?scheduler ?sink
+let min_unison ?(max_steps = 50_000_000) ?scheduler ?prof ?sink
     ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module M = Ssreset_unison.Min_unison.Make (struct
@@ -377,7 +396,7 @@ let min_unison ?(max_steps = 50_000_000) ?scheduler ?sink
   let cfg = Fault.arbitrary cfg_rng M.clock_gen graph in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps
+    Engine.run ?scheduler ?prof ~rng:run_rng ~max_steps
       ?observer:(bare_tracer ?sink ~trace_steps ())
       ?on_step:tele.on_step ?on_round:tele.on_round
       ~stop:(M.is_legitimate graph)
@@ -396,7 +415,7 @@ let lemma25_bound graph u =
   let delta = Graph.max_degree graph in
   (8 * deg * delta) + (18 * deg) + 24
 
-let fga_bare ?(max_steps = 20_000_000) ?scheduler ?sink
+let fga_bare ?(max_steps = 20_000_000) ?scheduler ?prof ?sink
     ?(trace_steps = false) ~spec ~graph ~daemon ~seed () =
   let module F = Ssreset_alliance.Fga.Make (struct
     let graph = graph
@@ -406,7 +425,7 @@ let fga_bare ?(max_steps = 20_000_000) ?scheduler ?sink
   let _, run_rng = rngs seed in
   let tele = telemetry ?sink ~round_extra:no_round_extra () in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps
+    Engine.run ?scheduler ?prof ~rng:run_rng ~max_steps
       ?observer:(bare_tracer ?sink ~trace_steps ())
       ?on_step:tele.on_step ?on_round:tele.on_round ~algorithm:F.bare ~graph
       ~daemon (F.gamma_init ())
@@ -428,7 +447,7 @@ let fga_bare ?(max_steps = 20_000_000) ?scheduler ?sink
   o
 
 let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false)
-    ?scheduler ?sink ?(trace_steps = false)
+    ?scheduler ?prof ?sink ?(trace_steps = false)
     ~spec ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module F = Ssreset_alliance.Fga.Make (struct
@@ -448,7 +467,7 @@ let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false)
     if stop_at_normal then F.Composed.is_normal graph else fun _ -> false
   in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+    Engine.run ?scheduler ?prof ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round ~stop ~algorithm:F.Composed.algorithm ~graph
       ~daemon cfg
   in
@@ -468,7 +487,7 @@ let fga_composed ?(max_steps = 50_000_000) ?(stop_at_normal = false)
   tele.emit_summary o result;
   o
 
-let coloring_composed ?(max_steps = 20_000_000) ?scheduler ?sink
+let coloring_composed ?(max_steps = 20_000_000) ?scheduler ?prof ?sink
     ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module C = Ssreset_coloring.Coloring.Make (struct
@@ -483,7 +502,7 @@ let coloring_composed ?(max_steps = 20_000_000) ?scheduler ?sink
   in
   let tele = telemetry ?sink ~monitor_round ~summary_extra ~round_extra () in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+    Engine.run ?scheduler ?prof ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round ~algorithm:C.Composed.algorithm ~graph ~daemon
       cfg
   in
@@ -496,7 +515,7 @@ let coloring_composed ?(max_steps = 20_000_000) ?scheduler ?sink
   tele.emit_summary o result;
   o
 
-let mis_composed ?(max_steps = 20_000_000) ?scheduler ?sink
+let mis_composed ?(max_steps = 20_000_000) ?scheduler ?prof ?sink
     ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module M = Ssreset_mis.Mis.Make (struct
@@ -511,7 +530,7 @@ let mis_composed ?(max_steps = 20_000_000) ?scheduler ?sink
   in
   let tele = telemetry ?sink ~monitor_round ~summary_extra ~round_extra () in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+    Engine.run ?scheduler ?prof ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round ~algorithm:M.Composed.algorithm ~graph ~daemon
       cfg
   in
@@ -525,7 +544,7 @@ let mis_composed ?(max_steps = 20_000_000) ?scheduler ?sink
   tele.emit_summary o result;
   o
 
-let matching_composed ?(max_steps = 20_000_000) ?scheduler ?sink
+let matching_composed ?(max_steps = 20_000_000) ?scheduler ?prof ?sink
     ?(trace_steps = false) ~graph ~daemon ~seed () =
   let n = Graph.n graph in
   let module M = Ssreset_matching.Matching.Make (struct
@@ -540,7 +559,7 @@ let matching_composed ?(max_steps = 20_000_000) ?scheduler ?sink
   in
   let tele = telemetry ?sink ~monitor_round ~summary_extra ~round_extra () in
   let result =
-    Engine.run ?scheduler ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
+    Engine.run ?scheduler ?prof ~rng:run_rng ~max_steps ~observer ?on_step:tele.on_step
       ?on_round:tele.on_round ~algorithm:M.Composed.algorithm ~graph ~daemon
       cfg
   in

@@ -12,7 +12,9 @@
     Every runner also accepts [?scheduler], forwarded to
     {!Ssreset_sim.Engine.run}: [`Full] rescan vs the default [`Incremental]
     dirty-set scheduler.  The choice affects wall-clock only — results are
-    bit-identical.
+    bit-identical.  Likewise [?prof], forwarded to the engine: an attached
+    {!Ssreset_obs.Prof} profiler collects phase/rule timings, scheduler and
+    GC counters, and streaming windows, without changing any result.
 
     With a sink attached, composed runs additionally install online
     {!Ssreset_obs.Monitor}s: the 3n round bound and D·n² move bound for
@@ -38,6 +40,10 @@ type obs = {
   sdr_moves : int;  (** moves of SDR rules only (0 for bare runs) *)
   max_proc_moves : int;
   max_proc_sdr_moves : int;  (** per-process maximum of SDR moves *)
+  workload_p50 : float;
+      (** median of the per-process move counts (numpy-style linear
+          interpolation, {!Ssreset_sim.Stats.percentile}) *)
+  workload_p90 : float;  (** 90th percentile of per-process move counts *)
   segments : int option;  (** [None] for bare runs, where it is not measured *)
   ar_monotone : bool option;
       (** alive-root sets only ever shrink (Remark 4); [None] for bare runs,
@@ -52,6 +58,7 @@ val obs_json : obs -> Ssreset_obs.Json.t
 val unison_composed :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
+  ?prof:Ssreset_obs.Prof.t ->
   ?sink:Ssreset_obs.Sink.t ->
   ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->
@@ -64,6 +71,7 @@ val unison_composed :
 
 val unison_bare :
   ?scheduler:Ssreset_sim.Engine.scheduler ->
+  ?prof:Ssreset_obs.Prof.t ->
   ?sink:Ssreset_obs.Sink.t ->
   ?trace_steps:bool ->
   steps:int ->
@@ -79,6 +87,7 @@ val unison_bare :
 val tail_unison :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
+  ?prof:Ssreset_obs.Prof.t ->
   ?sink:Ssreset_obs.Sink.t ->
   ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->
@@ -92,6 +101,7 @@ val tail_unison :
 val unison_agr :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
+  ?prof:Ssreset_obs.Prof.t ->
   ?sink:Ssreset_obs.Sink.t ->
   ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->
@@ -108,6 +118,7 @@ val unison_agr :
 val min_unison :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
+  ?prof:Ssreset_obs.Prof.t ->
   ?sink:Ssreset_obs.Sink.t ->
   ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->
@@ -121,6 +132,7 @@ val min_unison :
 val fga_bare :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
+  ?prof:Ssreset_obs.Prof.t ->
   ?sink:Ssreset_obs.Sink.t ->
   ?trace_steps:bool ->
   spec:Ssreset_alliance.Spec.t ->
@@ -136,6 +148,7 @@ val fga_composed :
   ?max_steps:int ->
   ?stop_at_normal:bool ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
+  ?prof:Ssreset_obs.Prof.t ->
   ?sink:Ssreset_obs.Sink.t ->
   ?trace_steps:bool ->
   spec:Ssreset_alliance.Spec.t ->
@@ -150,6 +163,7 @@ val fga_composed :
 val coloring_composed :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
+  ?prof:Ssreset_obs.Prof.t ->
   ?sink:Ssreset_obs.Sink.t ->
   ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->
@@ -161,6 +175,7 @@ val coloring_composed :
 val mis_composed :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
+  ?prof:Ssreset_obs.Prof.t ->
   ?sink:Ssreset_obs.Sink.t ->
   ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->
@@ -172,6 +187,7 @@ val mis_composed :
 val matching_composed :
   ?max_steps:int ->
   ?scheduler:Ssreset_sim.Engine.scheduler ->
+  ?prof:Ssreset_obs.Prof.t ->
   ?sink:Ssreset_obs.Sink.t ->
   ?trace_steps:bool ->
   graph:Ssreset_graph.Graph.t ->

@@ -1,0 +1,178 @@
+(* Bucket layout, for sub = 2^sub_bits:
+     values 0 .. sub-1         -> buckets 0 .. sub-1 (exact, width 1)
+     values with msb = k >= sub_bits:
+       shift  = k - sub_bits
+       bucket = (shift + 1) * sub + (v lsr shift) - sub
+       width  = 2^shift
+   i.e. every octave [2^k, 2^(k+1)) above the linear region contributes
+   [sub] buckets of width 2^(k - sub_bits).  With 62-bit ints the highest
+   usable shift is 62 - sub_bits, so the table has
+   (62 - sub_bits + 1 + 1) * sub slots — a few KiB, allocated once. *)
+
+type t = {
+  sub_bits : int;
+  sub : int;  (* 2^sub_bits *)
+  counts : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create ?(sub_bits = 5) () =
+  if sub_bits < 1 || sub_bits > 8 then
+    invalid_arg "Histogram.create: need 1 <= sub_bits <= 8";
+  let sub = 1 lsl sub_bits in
+  {
+    sub_bits;
+    sub;
+    counts = Array.make ((62 - sub_bits + 2) * sub) 0;
+    count = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = 0;
+  }
+
+(* Index of the highest set bit of [v > 0] — branchy binary descent, no
+   allocation, at most 6 compares. *)
+let msb v =
+  let v = ref v and r = ref 0 in
+  if !v lsr 32 <> 0 then begin v := !v lsr 32; r := !r + 32 end;
+  if !v lsr 16 <> 0 then begin v := !v lsr 16; r := !r + 16 end;
+  if !v lsr 8 <> 0 then begin v := !v lsr 8; r := !r + 8 end;
+  if !v lsr 4 <> 0 then begin v := !v lsr 4; r := !r + 4 end;
+  if !v lsr 2 <> 0 then begin v := !v lsr 2; r := !r + 2 end;
+  if !v lsr 1 <> 0 then r := !r + 1;
+  !r
+
+let index_of t v =
+  if v < t.sub then v
+  else
+    let shift = msb v - t.sub_bits in
+    (((shift + 1) * t.sub) + (v lsr shift)) - t.sub
+
+(* Lower bound and width of bucket [i] — the exact inverse of [index_of]. *)
+let bucket_low t i =
+  if i < t.sub then i
+  else
+    let shift = (i / t.sub) - 1 in
+    (i - (shift * t.sub)) lsl shift
+
+let bucket_width t i = if i < t.sub then 1 else 1 lsl ((i / t.sub) - 1)
+
+let record_n t v ~n =
+  if n > 0 then begin
+    let v = if v < 0 then 0 else v in
+    let i = index_of t v in
+    t.counts.(i) <- t.counts.(i) + n;
+    t.count <- t.count + n;
+    t.sum <- t.sum + (v * n);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end
+
+let record t v = record_n t v ~n:1
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+
+let percentile t ~p =
+  if p < 0. || p > 100. then
+    invalid_arg "Histogram.percentile: need 0 <= p <= 100";
+  if t.count = 0 then 0.
+  else if p = 0. then float_of_int (min_value t)
+  else begin
+    let target = p /. 100. *. float_of_int t.count in
+    let cum = ref 0 and result = ref (-1) in
+    (try
+       Array.iteri
+         (fun i c ->
+           cum := !cum + c;
+           if float_of_int !cum >= target then begin
+             result := i;
+             raise Exit
+           end)
+         t.counts
+     with Exit -> ());
+    if !result < 0 then float_of_int t.max_v
+    else
+      let low = bucket_low t !result and w = bucket_width t !result in
+      (* Midpoint representative, clamped to the recorded extremes so the
+         estimate never leaves the observed range. *)
+      let mid = float_of_int low +. (float_of_int (w - 1) /. 2.) in
+      Float.min (float_of_int t.max_v) (Float.max (float_of_int t.min_v) mid)
+  end
+
+let merge_into ~dst src =
+  if dst.sub_bits <> src.sub_bits then
+    invalid_arg "Histogram.merge: sub_bits mismatch";
+  Array.iteri
+    (fun i c -> if c > 0 then dst.counts.(i) <- dst.counts.(i) + c)
+    src.counts;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum + src.sum;
+  if src.count > 0 then begin
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  end
+
+let merge a b =
+  let t = create ~sub_bits:a.sub_bits () in
+  merge_into ~dst:t a;
+  merge_into ~dst:t b;
+  t
+
+let to_json t =
+  let buckets = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then
+      buckets := Json.List [ Json.Int i; Json.Int t.counts.(i) ] :: !buckets
+  done;
+  Json.Obj
+    [ ("sub_bits", Json.Int t.sub_bits);
+      ("count", Json.Int t.count);
+      ("sum", Json.Int t.sum);
+      ("min", Json.Int (min_value t));
+      ("max", Json.Int t.max_v);
+      ("buckets", Json.List !buckets) ]
+
+let of_json json =
+  let int_field name =
+    match Option.bind (Json.member name json) Json.to_int_opt with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "histogram: missing int field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* sub_bits = int_field "sub_bits" in
+  if sub_bits < 1 || sub_bits > 8 then Error "histogram: bad sub_bits"
+  else
+    let* count = int_field "count" in
+    let* sum = int_field "sum" in
+    let* min_v = int_field "min" in
+    let* max_v = int_field "max" in
+    let t = create ~sub_bits () in
+    t.count <- count;
+    t.sum <- sum;
+    t.min_v <- (if count = 0 then max_int else min_v);
+    t.max_v <- max_v;
+    let* () =
+      match Json.member "buckets" json with
+      | Some (Json.List l) ->
+          List.fold_left
+            (fun acc entry ->
+              let* () = acc in
+              match entry with
+              | Json.List [ Json.Int i; Json.Int c ]
+                when i >= 0 && i < Array.length t.counts && c >= 0 ->
+                  t.counts.(i) <- t.counts.(i) + c;
+                  Ok ()
+              | _ -> Error "histogram: malformed bucket entry")
+            (Ok ()) l
+      | _ -> Error "histogram: missing buckets list"
+    in
+    if Array.fold_left ( + ) 0 t.counts <> count then
+      Error "histogram: bucket counts do not sum to count"
+    else Ok t

@@ -106,6 +106,31 @@ let histogram_quantile h ~p =
     | None -> (* target falls in the overflow bucket *) h.le.(Array.length h.le - 1)
   end
 
+(* Snapshots freeze the counter values by name; [diff] then yields exactly
+   the increments since the snapshot was taken.  Windowed emitters rest on
+   this: each window reports [diff snap t] and re-snapshots, so a monotone
+   counter is never double-counted across windows — each increment lands in
+   exactly one window. *)
+type snapshot = (string * int) list
+
+let snapshot t =
+  List.rev
+    (List.filter_map
+       (function name, Counter c -> Some (name, c.c) | _ -> None)
+       t.instruments)
+
+let diff snap t =
+  List.rev
+    (List.filter_map
+       (function
+         | name, Counter c ->
+             let before =
+               match List.assoc_opt name snap with Some v -> v | None -> 0
+             in
+             if c.c <> before then Some (name, c.c - before) else None
+         | _ -> None)
+       t.instruments)
+
 let pow2_buckets ~limit =
   if limit < 1. then invalid_arg "Metrics.pow2_buckets: need limit >= 1";
   let rec build acc b = if b >= limit then List.rev (b :: acc) else build (b :: acc) (b *. 2.) in

@@ -48,6 +48,20 @@ val histogram_quantile : histogram -> p:float -> float
     first bucket at which the cumulative count reaches [p] (in [0, 100]) per
     cent of the observations.  0 for an empty histogram. *)
 
+(** {2 Snapshots} — delta extraction for windowed emission. *)
+
+type snapshot
+(** Frozen counter values of a whole registry at one instant.  Counters
+    registered after the snapshot count from zero in the next {!diff}. *)
+
+val snapshot : t -> snapshot
+
+val diff : snapshot -> t -> (string * int) list
+(** Per-counter increments since the snapshot, in registration order,
+    omitting counters that did not change.  Re-snapshotting after each
+    window guarantees every increment of a monotone counter is reported in
+    exactly one window — no double counting. *)
+
 val pow2_buckets : limit:float -> float array
 (** [1; 2; 4; …] up to and including the first power of two [>= limit]. *)
 

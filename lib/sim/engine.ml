@@ -1,4 +1,7 @@
 module Graph = Ssreset_graph.Graph
+module Histogram = Ssreset_obs.Histogram
+module Metrics = Ssreset_obs.Metrics
+module Prof = Ssreset_obs.Prof
 
 type outcome = Stabilized | Terminal | Step_limit
 
@@ -57,6 +60,132 @@ let enabled_of_table table n =
   done;
   !acc
 
+(* ----------------------------- profiling ------------------------------- *)
+
+(* Pre-resolved instruments so the hot loop never looks anything up by
+   name.  Phase attribution is lap-based: [mark] is the last phase
+   boundary; closing a phase is one clock read, one histogram record and
+   one mutation — the whole per-step overhead with profiling on is 5 + k
+   clock reads for k movers, and exactly zero extra work with it off. *)
+type prof_ctx = {
+  p : Prof.t;
+  scan : Prof.timer;  (* enabled-table scan + overlap check *)
+  select : Prof.timer;  (* daemon selection *)
+  apply : Prof.timer;  (* configuration copy + rule actions *)
+  refresh : Prof.timer;  (* full rescan or dirty-set refresh *)
+  neutralize : Prof.timer;  (* round-accounting neutralization *)
+  callbacks : Prof.timer;  (* observer / on_step / on_round / windows *)
+  stop_check : Prof.timer;  (* the [stop] predicate *)
+  rule_timers : (string, Prof.timer) Hashtbl.t;
+  rule_moves : (string, Metrics.counter) Hashtbl.t;
+  c_touched : Metrics.counter;  (* dirty-set touch attempts *)
+  c_evals : Metrics.counter;  (* guard re-evaluations actually done *)
+  c_dedup : Metrics.counter;  (* touches skipped by the stamp (hit rate) *)
+  c_flips : Metrics.counter;  (* enabled-table churn: entries that changed *)
+  h_refresh : Histogram.t;  (* per-step refresh size (evals) *)
+  mutable mark : int;
+}
+
+let make_prof_ctx p =
+  let m = Prof.metrics p in
+  (* Bind every instrument before the record literal: record fields
+     evaluate right-to-left, and registration order is what the profile
+     summary (and `ssreset prof report`) displays — it must follow the
+     pipeline. *)
+  let scan = Prof.timer p "phase.scan" in
+  let select = Prof.timer p "phase.select" in
+  let apply = Prof.timer p "phase.apply" in
+  let refresh = Prof.timer p "phase.refresh" in
+  let neutralize = Prof.timer p "phase.neutralize" in
+  let callbacks = Prof.timer p "phase.callbacks" in
+  let stop_check = Prof.timer p "phase.stop" in
+  let c_touched = Metrics.counter m "sched.touched" in
+  let c_evals = Metrics.counter m "sched.evals" in
+  let c_dedup = Metrics.counter m "sched.dedup_hits" in
+  let c_flips = Metrics.counter m "sched.table_flips" in
+  let h_refresh = Prof.histogram p "sched.refresh_size" in
+  {
+    p;
+    scan;
+    select;
+    apply;
+    refresh;
+    neutralize;
+    callbacks;
+    stop_check;
+    rule_timers = Hashtbl.create 8;
+    rule_moves = Hashtbl.create 8;
+    c_touched;
+    c_evals;
+    c_dedup;
+    c_flips;
+    h_refresh;
+    mark = Prof.now_ns ();
+  }
+
+let lap pc tm =
+  let now = Prof.now_ns () in
+  Prof.record_span tm (now - pc.mark);
+  pc.mark <- now
+
+let rule_timer pc name =
+  try Hashtbl.find pc.rule_timers name
+  with Not_found ->
+    let tm = Prof.timer pc.p ("rule." ^ name) in
+    Hashtbl.replace pc.rule_timers name tm;
+    tm
+
+let rule_counter pc name =
+  try Hashtbl.find pc.rule_moves name
+  with Not_found ->
+    let c = Metrics.counter (Prof.metrics pc.p) ("moves." ^ name) in
+    Hashtbl.replace pc.rule_moves name c;
+    c
+
+let same_entry before after =
+  match (before, after) with
+  | None, None -> true
+  | Some a, Some b -> String.equal a.Algorithm.rule_name b.Algorithm.rule_name
+  | _ -> false
+
+(* Instrumented twins of [refresh_full] / [refresh_moved]: same table
+   writes in the same order (results stay bit-identical), plus the
+   scheduler counters the profile reports. *)
+let refresh_full_prof pc algo g cfg table =
+  let n = Graph.n g in
+  for u = 0 to n - 1 do
+    let before = table.(u) in
+    let after = Algorithm.enabled_rule algo (Algorithm.view g cfg u) in
+    table.(u) <- after;
+    if not (same_entry before after) then Metrics.incr pc.c_flips
+  done;
+  Metrics.add pc.c_evals n;
+  Histogram.record pc.h_refresh n
+
+let refresh_moved_prof pc algo g cfg table stamp gen moved =
+  incr gen;
+  let gen = !gen in
+  let evals = ref 0 in
+  let touch u =
+    Metrics.incr pc.c_touched;
+    if stamp.(u) <> gen then begin
+      stamp.(u) <- gen;
+      incr evals;
+      let before = table.(u) in
+      let after = Algorithm.enabled_rule algo (Algorithm.view g cfg u) in
+      table.(u) <- after;
+      if not (same_entry before after) then Metrics.incr pc.c_flips
+    end
+    else Metrics.incr pc.c_dedup
+  in
+  List.iter
+    (fun (u, _rule) ->
+      touch u;
+      Array.iter touch (Graph.neighbors g u))
+    moved;
+  Metrics.add pc.c_evals !evals;
+  Histogram.record pc.h_refresh !evals
+
 let assert_exclusive algorithm graph cfg enabled =
   List.iter
     (fun u ->
@@ -71,13 +200,14 @@ let assert_exclusive algorithm graph cfg enabled =
 (* Core of one atomic step, given the current enabled-rule [table] (which
    must describe [cfg]).  Returns the next configuration and the activated
    (process, rule-name) pairs, or [None] when terminal. *)
-let step_with_table ~rng ~check_overlap ~on_enabled ~algorithm ~graph ~daemon
-    ~step_index ~table cfg =
+let step_with_table ~prof ~rng ~check_overlap ~on_enabled ~algorithm ~graph
+    ~daemon ~step_index ~table cfg =
   match enabled_of_table table (Graph.n graph) with
   | [] -> None
   | enabled ->
       if check_overlap then assert_exclusive algorithm graph cfg enabled;
       (match on_enabled with Some f -> f enabled | None -> ());
+      (match prof with Some pc -> lap pc pc.scan | None -> ());
       let ctx =
         {
           Daemon.step = step_index;
@@ -92,16 +222,41 @@ let step_with_table ~rng ~check_overlap ~on_enabled ~algorithm ~graph ~daemon
       in
       let chosen = daemon.Daemon.select rng ctx in
       Daemon.check_selection ctx chosen;
+      (match prof with Some pc -> lap pc pc.select | None -> ());
       let next = Array.copy cfg in
       let moved =
-        List.map
-          (fun u ->
-            match table.(u) with
-            | Some r ->
-                next.(u) <- r.Algorithm.action (Algorithm.view graph cfg u);
-                (u, r.Algorithm.rule_name)
-            | None -> assert false)
-          chosen
+        match prof with
+        | None ->
+            List.map
+              (fun u ->
+                match table.(u) with
+                | Some r ->
+                    next.(u) <- r.Algorithm.action (Algorithm.view graph cfg u);
+                    (u, r.Algorithm.rule_name)
+                | None -> assert false)
+              chosen
+        | Some pc ->
+            (* Per-rule attribution without extra clock reads: movers chain
+               laps, so their spans tile the apply phase exactly (the first
+               mover's span absorbs the configuration copy).  The phase
+               total is derived from the chain, not measured again. *)
+            let apply_start = pc.mark in
+            let moved =
+              List.map
+                (fun u ->
+                  match table.(u) with
+                  | Some r ->
+                      let name = r.Algorithm.rule_name in
+                      next.(u) <-
+                        r.Algorithm.action (Algorithm.view graph cfg u);
+                      lap pc (rule_timer pc name);
+                      Metrics.incr (rule_counter pc name);
+                      (u, name)
+                  | None -> assert false)
+                chosen
+            in
+            Prof.record_span pc.apply (pc.mark - apply_start);
+            moved
       in
       Some (next, moved)
 
@@ -114,16 +269,23 @@ let step ?rng ?(seed = 0) ?(check_overlap = false) ?on_enabled ~algorithm
     match rng with Some r -> r | None -> Random.State.make [| seed |]
   in
   let table = enabled_table algorithm graph cfg in
-  step_with_table ~rng ~check_overlap ~on_enabled ~algorithm ~graph ~daemon
-    ~step_index ~table cfg
+  step_with_table ~prof:None ~rng ~check_overlap ~on_enabled ~algorithm ~graph
+    ~daemon ~step_index ~table cfg
 
 let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(check_overlap = false)
-    ?(scheduler = `Incremental) ?observer ?on_step ?on_round
+    ?(scheduler = `Incremental) ?prof ?observer ?on_step ?on_round
     ?(stop = fun _ -> false) ~algorithm ~graph ~daemon cfg0 =
   let rng =
     match rng with Some r -> r | None -> Random.State.make [| seed |]
   in
   let t0 = Unix.gettimeofday () in
+  let prof_ctx =
+    Option.map
+      (fun p ->
+        Prof.gc_mark p;
+        make_prof_ctx p)
+      prof
+  in
   let n = Graph.n graph in
   let moves_per_process = Array.make n 0 in
   let moves_per_rule = Hashtbl.create 8 in
@@ -153,12 +315,17 @@ let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(check_overlap = false)
     done
   in
   refill_pending ();
+  (* The initial full table build (and everything since [run] began) is
+     guard-scan work: close the first lap into the scan phase. *)
+  (match prof_ctx with Some pc -> lap pc pc.scan | None -> ());
   let total_moves = ref 0 in
   let steps = ref 0 in
   let cfg = ref cfg0 in
   let outcome = ref Step_limit in
   (try
-     if stop !cfg then begin
+     let stopped = stop !cfg in
+     (match prof_ctx with Some pc -> lap pc pc.stop_check | None -> ());
+     if stopped then begin
        outcome := Stabilized;
        raise Exit
      end;
@@ -170,8 +337,8 @@ let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(check_overlap = false)
          | Some _ -> Some (fun l -> enabled_count := List.length l)
        in
        match
-         step_with_table ~rng ~check_overlap ~on_enabled ~algorithm ~graph
-           ~daemon ~step_index:!steps ~table !cfg
+         step_with_table ~prof:prof_ctx ~rng ~check_overlap ~on_enabled
+           ~algorithm ~graph ~daemon ~step_index:!steps ~table !cfg
        with
        | None ->
            outcome := Terminal;
@@ -186,10 +353,14 @@ let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(check_overlap = false)
                bump_rule name;
                Hashtbl.remove pending u)
              moved;
-           (match scheduler with
-           | `Full -> refresh_full algorithm graph next table
-           | `Incremental ->
-               refresh_moved algorithm graph next table stamp gen moved);
+           (match (scheduler, prof_ctx) with
+           | `Full, None -> refresh_full algorithm graph next table
+           | `Full, Some pc -> refresh_full_prof pc algorithm graph next table
+           | `Incremental, None ->
+               refresh_moved algorithm graph next table stamp gen moved
+           | `Incremental, Some pc ->
+               refresh_moved_prof pc algorithm graph next table stamp gen moved);
+           (match prof_ctx with Some pc -> lap pc pc.refresh | None -> ());
            (* Neutralization: pending processes that were enabled before the
               step (by definition of pending) and are disabled after it.
               Only the movers' closed neighborhoods can change enabled
@@ -204,6 +375,7 @@ let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(check_overlap = false)
                neutralize u;
                Array.iter neutralize (Graph.neighbors graph u))
              moved;
+           (match prof_ctx with Some pc -> lap pc pc.neutralize | None -> ());
            cfg := next;
            (match observer with
            | Some f -> f ~step:(!steps - 1) ~moved next
@@ -226,7 +398,14 @@ let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(check_overlap = false)
              | None -> ());
              refill_pending ()
            end;
-           if stop next then begin
+           (match prof_ctx with
+           | Some pc ->
+               Prof.tick pc.p ~moves:(List.length moved);
+               lap pc pc.callbacks
+           | None -> ());
+           let stopped = stop next in
+           (match prof_ctx with Some pc -> lap pc pc.stop_check | None -> ());
+           if stopped then begin
              outcome := Stabilized;
              raise Exit
            end
@@ -237,6 +416,16 @@ let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(check_overlap = false)
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) moves_per_rule []
     |> List.sort compare
   in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (match prof_ctx with
+  | Some pc ->
+      Prof.gc_collect pc.p;
+      let m = Prof.metrics pc.p in
+      (* Accumulates across runs sharing one profiler, like every other
+         instrument — the summary's wall_s is the total profiled time. *)
+      let g = Metrics.gauge m "engine.wall_s" in
+      Metrics.set g (Metrics.gauge_value g +. wall_s)
+  | None -> ());
   {
     outcome = !outcome;
     final = !cfg;
@@ -245,7 +434,7 @@ let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(check_overlap = false)
     moves_per_process;
     moves_per_rule;
     rounds;
-    wall_s = Unix.gettimeofday () -. t0;
+    wall_s;
   }
 
 let moves_of_rules per_rule ~prefixes =

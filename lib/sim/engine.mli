@@ -44,6 +44,7 @@ val run :
   ?max_steps:int ->
   ?check_overlap:bool ->
   ?scheduler:scheduler ->
+  ?prof:Ssreset_obs.Prof.t ->
   ?observer:(step:int -> moved:(int * string) list -> 'state array -> unit) ->
   ?on_step:(step:int -> enabled:int -> selected:int -> unit) ->
   ?on_round:(round:int -> steps:int -> moves:int -> 'state array -> unit) ->
@@ -67,6 +68,22 @@ val run :
 
     [scheduler] selects how enabled rules are recomputed between steps (see
     {!type:scheduler}); it affects wall-clock only, never results.
+
+    [prof] attaches a {!Ssreset_obs.Prof} profiler — pay-as-you-go like the
+    telemetry hooks: with it absent the step loop does zero extra work, and
+    results are bit-identical either way (asserted over the whole zoo by the
+    test suite).  With it present the run attributes wall time to the
+    [phase.scan] / [phase.select] / [phase.apply] / [phase.refresh] /
+    [phase.neutralize] / [phase.callbacks] / [phase.stop] timers (lap-based:
+    consecutive laps tile the loop, so the phase totals sum to the loop's
+    wall time), attributes the apply phase to per-rule [rule.R] timers and
+    [moves.R] counters, counts scheduler internals ([sched.touched] /
+    [sched.evals] / [sched.dedup_hits] / [sched.table_flips], plus the
+    per-step [sched.refresh_size] histogram), adds [Gc.quick_stat] deltas
+    to the [gc.*] counters, accumulates the run's wall clock into the
+    [engine.wall_s] gauge, and calls {!Ssreset_obs.Prof.tick} per step so
+    windowed streaming works.  Instruments accumulate when several runs
+    share one profiler.
 
     Telemetry hooks (both default to off, with zero per-step cost then):
     [on_step] receives, after each step, the sizes of the enabled and the

@@ -1,3 +1,7 @@
+module Histogram = Ssreset_obs.Histogram
+module Metrics = Ssreset_obs.Metrics
+module Prof = Ssreset_obs.Prof
+
 type job_error = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
 
 exception Job_failed of job_error
@@ -8,10 +12,42 @@ let default_jobs () = max 1 (Domain.recommended_domain_count ())
    result lands in its input slot — so the output (values *and* the choice
    of surfaced error) depends only on the inputs, never on how the OS
    scheduled the domains.  Workers never share mutable state beyond the
-   counter and their own result slots. *)
-let map_array ?jobs f xs =
+   counter and their own result slots — profiling respects this: each
+   worker accumulates busy time into its own slot and its own histogram,
+   merged into the profiler only after the joins, on the calling domain. *)
+let map_array ?jobs ?prof f xs =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let n = Array.length xs in
+  let sequential = jobs <= 1 || n <= 1 in
+  let workers = if sequential then 1 else min jobs n in
+  let t_start = match prof with Some _ -> Prof.now_ns () | None -> 0 in
+  let busy_ns = Array.make workers 0 in
+  let jobs_done = Array.make workers 0 in
+  let job_hists =
+    match prof with
+    | Some _ -> Array.init workers (fun _ -> Histogram.create ())
+    | None -> [||]
+  in
+  let run_job w x =
+    match prof with
+    | None -> f x
+    | Some _ -> (
+        let t0 = Prof.now_ns () in
+        let finish () =
+          let dt = Prof.now_ns () - t0 in
+          busy_ns.(w) <- busy_ns.(w) + dt;
+          jobs_done.(w) <- jobs_done.(w) + 1;
+          Histogram.record job_hists.(w) dt
+        in
+        match f x with
+        | v ->
+            finish ();
+            v
+        | exception exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            finish ();
+            Printexc.raise_with_backtrace exn bt)
+  in
   let collect results =
     (* Deterministic error surfacing: the failure at the smallest index
        wins, whichever domain hit it first. *)
@@ -27,26 +63,60 @@ let map_array ?jobs f xs =
         | Some (Error _) | None -> assert false)
       results
   in
-  if jobs <= 1 || n <= 1 then
-    collect
-      (Array.mapi
-         (fun index x ->
-           match f x with
-           | v -> Some (Ok v)
-           | exception exn ->
-               Some
-                 (Error
-                    { index; exn; backtrace = Printexc.get_raw_backtrace () }))
-         xs)
+  let emit_prof () =
+    match prof with
+    | None -> ()
+    | Some p ->
+        let wall_ns = Prof.now_ns () - t_start in
+        let m = Prof.metrics p in
+        Metrics.add (Metrics.counter m "pool.jobs") n;
+        Metrics.set (Metrics.gauge m "pool.workers") (float_of_int workers);
+        let total_busy = Array.fold_left ( + ) 0 busy_ns in
+        Array.iteri
+          (fun w b ->
+            let g =
+              Metrics.gauge m (Printf.sprintf "pool.worker%d.busy_s" w)
+            in
+            Metrics.set g (Metrics.gauge_value g +. (float_of_int b /. 1e9));
+            Metrics.add
+              (Metrics.counter m (Printf.sprintf "pool.worker%d.jobs" w))
+              jobs_done.(w))
+          busy_ns;
+        (* Fraction of the workers' combined wall clock actually spent in
+           jobs — the work-stealing loop's idle tail shows up here. *)
+        Metrics.set
+          (Metrics.gauge m "pool.utilization")
+          (if wall_ns > 0 then
+             float_of_int total_busy
+             /. (float_of_int wall_ns *. float_of_int workers)
+           else 0.);
+        let dst = Prof.histogram p "pool.job_ns" in
+        Array.iter (fun h -> Histogram.merge_into ~dst h) job_hists
+  in
+  if sequential then begin
+    let results =
+      Array.mapi
+        (fun index x ->
+          match run_job 0 x with
+          | v -> Some (Ok v)
+          | exception exn ->
+              Some
+                (Error
+                   { index; exn; backtrace = Printexc.get_raw_backtrace () }))
+        xs
+    in
+    emit_prof ();
+    collect results
+  end
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
+    let worker w () =
       let rec loop () =
         let index = Atomic.fetch_and_add next 1 in
         if index < n then begin
           (results.(index) <-
-             (match f xs.(index) with
+             (match run_job w xs.(index) with
              | v -> Some (Ok v)
              | exception exn ->
                  Some
@@ -57,15 +127,15 @@ let map_array ?jobs f xs =
       in
       loop ()
     in
-    let spawned =
-      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
+    let spawned = List.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+    worker 0 ();
     List.iter Domain.join spawned;
+    emit_prof ();
     collect results
   end
 
-let map_list ?jobs f xs = Array.to_list (map_array ?jobs f (Array.of_list xs))
+let map_list ?jobs ?prof f xs =
+  Array.to_list (map_array ?jobs ?prof f (Array.of_list xs))
 
 let () =
   Printexc.register_printer (function

@@ -22,11 +22,23 @@ exception Job_failed of job_error
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], floored at 1. *)
 
-val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?jobs:int -> ?prof:Ssreset_obs.Prof.t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array ~jobs f xs] is [Array.map f xs] computed by up to [jobs]
     domains (the calling domain included; default {!default_jobs}).  With
     [jobs <= 1] or fewer than two elements no domain is spawned and [f]
-    runs inline, in order. *)
+    runs inline, in order.
 
-val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+    [prof] reports per-worker utilization without touching determinism:
+    each worker accumulates its busy nanoseconds and job count privately
+    (one slot and one {!Ssreset_obs.Histogram} per worker) and everything
+    is merged into the profiler after the joins — [pool.jobs] and
+    per-worker [pool.workerN.jobs] counters, [pool.workerN.busy_s]
+    gauges, the [pool.utilization] gauge (combined busy time over
+    [workers × wall]) and the [pool.job_ns] duration histogram.  Repeated
+    calls accumulate (the [pool.workers] and [pool.utilization] gauges
+    describe the latest call). *)
+
+val map_list :
+  ?jobs:int -> ?prof:Ssreset_obs.Prof.t -> ('a -> 'b) -> 'a list -> 'b list
 (** List version of {!map_array}. *)

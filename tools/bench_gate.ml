@@ -174,7 +174,52 @@ let () =
               | _ -> info "trace_v1 n=%d: no comparable throughput, skipped" n)))
     (list_field "trace_v1" baseline);
 
-  (* 4. Engine scheduler throughput — informational. *)
+  (* 4. Engine profiling overhead: prof-off must run at full speed (the
+     engine's pay-as-you-go contract — an attached profiler is opt-in),
+     and the prof-on overhead itself stays capped.  Same noise floor as
+     the trace gate: never tighter than 5%. *)
+  let prof_tolerance = Float.max 0.05 tolerance in
+  let fresh_prof = list_field "prof" fresh in
+  List.iter
+    (fun base_record ->
+      match Option.bind (Json.member "n" base_record) Json.to_int_opt with
+      | None -> ()
+      | Some n -> (
+          let same r =
+            Option.bind (Json.member "n" r) Json.to_int_opt = Some n
+          in
+          match List.find_opt same fresh_prof with
+          | None -> fail "prof n=%d present in baseline but not in fresh run" n
+          | Some fresh_record ->
+              (match
+                 ( float_field "prof_off_steps_per_s" base_record,
+                   float_field "prof_off_steps_per_s" fresh_record )
+               with
+              | Some base_r, Some fresh_r when base_r > 0. ->
+                  if fresh_r < base_r *. (1. -. prof_tolerance) then
+                    fail
+                      "prof n=%d: prof-off throughput %.0f steps/s vs \
+                       baseline %.0f (-%.0f%% > -%.0f%% tolerance)"
+                      n fresh_r base_r
+                      ((1. -. (fresh_r /. base_r)) *. 100.)
+                      (prof_tolerance *. 100.)
+                  else
+                    info
+                      "prof n=%d: prof-off %.0f steps/s vs baseline %.0f \
+                       (%+.0f%%)"
+                      n fresh_r base_r
+                      (((fresh_r /. base_r) -. 1.) *. 100.)
+              | _ -> info "prof n=%d: no comparable throughput, skipped" n);
+              (match float_field "prof_overhead_pct" fresh_record with
+              | Some pct when pct > prof_tolerance *. 100. ->
+                  fail
+                    "prof n=%d: prof-on overhead %.1f%% exceeds %.0f%% cap"
+                    n pct (prof_tolerance *. 100.)
+              | Some pct -> info "prof n=%d: prof-on overhead %.1f%%" n pct
+              | None -> ())))
+    (list_field "prof" baseline);
+
+  (* 5. Engine scheduler throughput — informational. *)
   List.iter
     (fun r ->
       match

@@ -15,6 +15,10 @@ let required =
     ("bench regression gate", "bench_gate");
     ("trace schema validation", "--check-trace");
     ("trace summary smoke", "trace summary");
+    ("profiled run", "--prof-out");
+    ("profile schema validation", "--check-prof");
+    ("profile attribution check", "prof report --check");
+    ("profile window smoke", "prof windows");
     ("wave reconstruction check", "trace waves --check");
     ("happens-before check", "trace critical-path --check");
     ("trace artifacts on failure", "if: failure()");

@@ -14,8 +14,12 @@
    certificate fields.  [--check-trace] validates the ssreset-trace-v1
    schema (manifest first, strictly increasing step/round records,
    wave-tagged movers, one summary whose counters cross-check the step
-   records) via Ssreset_obs.Tracefile.  Exit status 0 iff the file is
-   valid; used by the `dune runtest` smoke rules in bench/ and bin/. *)
+   records) via Ssreset_obs.Tracefile.  [--check-prof] validates the
+   ssreset-prof-v1 profile schema (manifest first, window records with
+   strictly increasing indices and at_step, one summary whose window
+   count and per-rule move counters cross-check the window records) via
+   Ssreset_obs.Proffile.  Exit status 0 iff the file is valid; used by
+   the `dune runtest` smoke rules in bench/ and bin/. *)
 
 module Json = Ssreset_obs.Json
 
@@ -129,6 +133,7 @@ let () =
   let jsonl = ref false in
   let report = ref false in
   let trace = ref false in
+  let prof = ref false in
   let require_keys = ref [] in
   let require_types = ref [] in
   let files = ref [] in
@@ -139,6 +144,7 @@ let () =
     | "--jsonl" -> jsonl := true
     | "--check-report" -> report := true
     | "--check-trace" -> trace := true
+    | "--check-prof" -> prof := true
     | "--require-keys" when !i + 1 < argc ->
         incr i;
         require_keys := split_commas Sys.argv.(!i)
@@ -148,7 +154,8 @@ let () =
     | "--help" | "-h" ->
         print_endline
           "usage: jsonlint [--jsonl] [--require-keys k,...] \
-           [--require-types t,...] [--check-report] [--check-trace] FILE...";
+           [--require-types t,...] [--check-report] [--check-trace] \
+           [--check-prof] FILE...";
         exit 0
     | arg when String.length arg > 0 && arg.[0] = '-' ->
         fail "unknown option %S" arg
@@ -161,6 +168,11 @@ let () =
       let contents = read_file path in
       if !trace then begin
         match Ssreset_obs.Tracefile.check_file path with
+        | Ok () -> ()
+        | Error msg -> fail "%s" msg
+      end
+      else if !prof then begin
+        match Ssreset_obs.Proffile.check_file path with
         | Ok () -> ()
         | Error msg -> fail "%s" msg
       end
