@@ -6,9 +6,10 @@
    Without ids, regenerates every experiment table of the paper reproduction
    (E1..E16, see DESIGN.md and EXPERIMENTS.md) followed by the checker
    throughput sections (configs/s over the registry; check-v2 footprint
-   views/s and symmetry-reduced orbits/s), the engine scheduler throughput
-   section and the Bechamel wall-clock suite (B1).  Exit status is non-zero
-   if any table reports a violated bound.
+   views/s and symmetry-reduced orbits/s; check-v3 SMT obligation
+   compilation and symbolic-differential rates), the engine scheduler
+   throughput section and the Bechamel wall-clock suite (B1).  Exit status
+   is non-zero if any table reports a violated bound.
 
    [--jobs N] fans the grid cells of each experiment across N OCaml domains
    (default: the profile's setting, 1).  Tables and the results file are
@@ -605,6 +606,100 @@ let run_prof_bench ~quick =
           (fun name -> ("phase_" ^ name ^ "_ns", Json.Int (phase_ns name)))
           phases) ]
 
+(* ------------------------------------------------------------------ *)
+(* smt: check-v3 throughput.  Two rates the gate holds to baseline:    *)
+(* obligation compilation (symbolic spec → SMT-LIB scripts, all four   *)
+(* topology families, re-parsed and linted — the full emission         *)
+(* pipeline minus the disk) in obligations/s, and the symbolic-IR      *)
+(* differential (views + daemon steps cross-checked against the OCaml  *)
+(* rules) in views/s.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module CSym = Ssreset_check.Sym
+module CObligation = Ssreset_check.Obligation
+module CSmt = Ssreset_check.Smt
+
+let run_smt_bench ~quick =
+  Printf.printf "== smt: check-v3 obligation compilation + symbolic \
+                 differential ==\n%!";
+  let specs =
+    List.filter_map
+      (fun (e : CRegistry.entry) ->
+        Option.map (fun s -> (e.CRegistry.name, s)) e.CRegistry.smt_spec)
+      CRegistry.entries
+  in
+  let reps = if quick then 20 else 100 in
+  let t0 = Unix.gettimeofday () in
+  let per_rep = ref 0 in
+  for _ = 1 to reps do
+    per_rep := 0;
+    List.iter
+      (fun (name, spec) ->
+        let obs = CObligation.compile_all ~algo:name spec in
+        List.iter
+          (fun (ob : CObligation.t) ->
+            match
+              CSmt.parse_string (CSmt.to_string ob.CObligation.ob_script)
+            with
+            | Error msg ->
+                Printf.printf "  COMPILE FAILURE %s: %s\n%!"
+                  (CObligation.filename ob) msg;
+                exit 1
+            | Ok cmds ->
+                if CSmt.lint_script cmds <> [] then begin
+                  Printf.printf "  LINT FAILURE %s\n%!"
+                    (CObligation.filename ob);
+                  exit 1
+                end)
+          obs;
+        per_rep := !per_rep + List.length obs)
+      specs
+  done;
+  let compile_wall = Unix.gettimeofday () -. t0 in
+  let total_obs = reps * !per_rep in
+  let obs_per_s =
+    if compile_wall > 0. then float_of_int total_obs /. compile_wall else 0.
+  in
+  Printf.printf
+    "  compile   %3d specs ×%4d reps %8d obligations %6.2fs %10.0f \
+     obligations/s\n%!"
+    (List.length specs) reps total_obs compile_wall obs_per_s;
+  let diff_n = if quick then 4 else 5 in
+  let e =
+    List.find (fun e -> e.CRegistry.name = "tail-unison") CRegistry.entries
+  in
+  let inst = Option.get e.CRegistry.sym (Ssreset_graph.Gen.ring diff_n) in
+  let t0 = Unix.gettimeofday () in
+  let d = CSym.check inst in
+  let diff_wall = Unix.gettimeofday () -. t0 in
+  let probes = d.CSym.views + d.CSym.steps in
+  let views_per_s =
+    if diff_wall > 0. then float_of_int probes /. diff_wall else 0.
+  in
+  Printf.printf
+    "  diff      tail-unison ring%-2d %8d views %6d steps %6.2fs %10.0f \
+     views/s  %s\n\n\
+     %!"
+    diff_n d.CSym.views d.CSym.steps diff_wall views_per_s
+    (if CSym.diff_ok d then "agrees" else "MISMATCH");
+  Json.Obj
+    [ ( "compile",
+        Json.Obj
+          [ ("specs", Json.Int (List.length specs));
+            ("reps", Json.Int reps);
+            ("obligations", Json.Int total_obs);
+            ("wall_s", Json.Float compile_wall);
+            ("obligations_per_s", Json.Float obs_per_s) ] );
+      ( "differential",
+        Json.Obj
+          [ ("instance", Json.String (Printf.sprintf "tail-unison ring%d" diff_n));
+            ("views", Json.Int d.CSym.views);
+            ("steps", Json.Int d.CSym.steps);
+            ("daemons", Json.Int d.CSym.daemons);
+            ("ok", Json.Bool (CSym.diff_ok d));
+            ("wall_s", Json.Float diff_wall);
+            ("views_per_s", Json.Float views_per_s) ] ) ]
+
 let () =
   let quick, timing, out, jobs, ids = parse_args () in
   let profile =
@@ -634,6 +729,10 @@ let () =
   let engine = if ids = [] then run_engine_bench ~quick else [] in
   let trace_v1 = if ids = [] then run_trace_bench ~quick else [] in
   let prof_bench = if ids = [] then run_prof_bench ~quick else [] in
+  let smt_bench =
+    if ids = [] then run_smt_bench ~quick
+    else Json.Obj [ ("compile", Json.Null); ("differential", Json.Null) ]
+  in
   let timings =
     if timing && ids = [] then run_bechamel ~quick else []
   in
@@ -651,6 +750,7 @@ let () =
         ("prof", Json.List prof_bench);
         ("check", Json.List check_records);
         ("check_v2", check_v2);
+        ("smt", smt_bench);
         ("timing", Json.List timings) ]
   in
   let oc = open_out out in

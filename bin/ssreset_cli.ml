@@ -486,11 +486,27 @@ let check_cmd =
     | "star" -> Some (fun n -> if n < 2 then [] else [ Ssreset_graph.Gen.star n ])
     | _ -> None
   in
-  let run algo json quick max_n list_only symmetry footprint certs family =
+  let entry_caps (e : Registry.entry) =
+    let cert =
+      let g = Ssreset_graph.Gen.complete (max 2 e.Registry.min_n) in
+      let module F = (val e.Registry.instance g) in
+      Option.is_some F.certificate
+    in
+    let mark b = if b then "yes" else "-" in
+    Printf.sprintf "%-5s %-10s %-7s %-4s" (mark cert)
+      (mark (Option.is_some e.Registry.footprint))
+      (mark (Option.is_some e.Registry.sym))
+      (mark (Option.is_some e.Registry.smt_spec))
+  in
+  let run algo json quick max_n list_only symmetry footprint sym certs
+      family smt_out =
     if list_only then begin
+      Fmt.pr "%-16s %-5s %-10s %-7s %-4s %s@." "NAME" "cert" "footprint"
+        "sym-IR" "smt" "DESCRIPTION";
       List.iter
         (fun (e : Registry.entry) ->
-          Fmt.pr "%-16s %s@." e.Registry.name e.Registry.description)
+          Fmt.pr "%-16s %s %s@." e.Registry.name (entry_caps e)
+            e.Registry.description)
         (Registry.entries @ Registry.fixtures);
       0
     end
@@ -514,9 +530,24 @@ let check_cmd =
           let reports =
             List.map
               (fun e ->
-                Registry.run ~mode ?max_n ~footprint ?graphs ~options e)
+                Registry.run ~mode ?max_n ~footprint ~sym ?graphs ~options e)
               selected
           in
+          (match smt_out with
+          | None -> ()
+          | Some dir ->
+              let obs =
+                List.concat_map
+                  (fun (r : Report.entry_report) -> r.Report.obligations)
+                  reports
+              in
+              if obs = [] then
+                Fmt.epr "no selected entry carries a symbolic spec; nothing \
+                         to emit@."
+              else
+                let manifest = Ssreset_check.Obligation.write ~dir obs in
+                Fmt.epr "wrote %d obligations + %s@." (List.length obs)
+                  manifest);
           if json then print_endline (Json.to_string (Report.to_json reports))
           else Fmt.pr "%a@." Report.pp reports;
           if Report.ok reports then 0 else 1
@@ -560,7 +591,12 @@ let check_cmd =
   let list_only =
     Arg.(
       value & flag
-      & info [ "list" ] ~doc:"List registered algorithms and fixtures.")
+      & info [ "list" ]
+          ~doc:
+            "List registered algorithms and fixtures with their capability \
+             columns: potential-function certificate, composed footprint \
+             target, symbolic rule IR (differential pass), SMT obligation \
+             spec.")
   in
   let symmetry =
     Arg.(
@@ -582,6 +618,28 @@ let check_cmd =
             "Run the footprint / non-interference pass (per-rule read and \
              write sets; the paper's Requirements 2b, 2e and 3 on composed \
              instances).  Default: $(b,true).")
+  in
+  let sym =
+    Arg.(
+      value
+      & opt bool true
+      & info [ "sym" ] ~docv:"BOOL"
+          ~doc:
+            "Run the symbolic-IR differential pass (the attached \
+             first-order spec must agree with the OCaml rules on the \
+             enabled set and post-state, over strided view sweeps and \
+             under every registered daemon).  Default: $(b,true).")
+  in
+  let smt_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "smt-out" ] ~docv:"DIR"
+          ~doc:
+            "Also compile each selected entry's symbolic spec to SMT-LIB \
+             proof obligations (all four topology families) and write one \
+             $(b,.smt2) per obligation plus $(b,manifest.json) into \
+             $(docv).  See also the $(b,smt) subcommand.")
   in
   let certs =
     Arg.(
@@ -610,14 +668,218 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Lint rule sets, analyze rule footprints and non-interference, \
-          and exhaustively model-check self-stabilization properties \
+          differentially validate attached symbolic rule IRs, and \
+          exhaustively model-check self-stabilization properties \
           (closure, convergence/livelock-freedom, silence, certificate \
           descent, exact worst-case moves and rounds vs the paper bounds) \
           on all small connected graphs.  Exits 1 when findings or \
           violations exist.")
     Term.(
       const run $ algo $ json $ quick $ max_n $ list_only $ symmetry
-      $ footprint $ certs $ family)
+      $ footprint $ sym $ certs $ family $ smt_out)
+
+(* ------------------------------ smt export ------------------------------ *)
+
+let smt_cmd =
+  let module Obligation = Ssreset_check.Obligation in
+  let module Smt = Ssreset_check.Smt in
+  (* Selected (entry, spec) pairs: every registry entry / fixture carrying
+     a symbolic spec, optionally filtered by a name pattern. *)
+  let specs_of pattern =
+    let pool =
+      match pattern with
+      | None -> Registry.entries @ Registry.fixtures
+      | Some p -> Registry.find p
+    in
+    List.filter_map
+      (fun (e : Registry.entry) ->
+        Option.map (fun s -> (e.Registry.name, s)) e.Registry.smt_spec)
+      pool
+  in
+  let compile pattern family =
+    List.concat_map
+      (fun (name, spec) ->
+        match family with
+        | None -> Obligation.compile_all ~algo:name spec
+        | Some fam -> Obligation.compile ~algo:name spec fam)
+      (specs_of pattern)
+  in
+  let pattern_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"ALGO"
+          ~doc:
+            "Algorithm name or substring; default: every entry carrying a \
+             symbolic spec.")
+  in
+  let family_arg =
+    let fam_conv =
+      Arg.conv
+        ( (fun s ->
+            if s = "all" then Ok None
+            else
+              match Obligation.family_of_string s with
+              | Some f -> Ok (Some f)
+              | None ->
+                  Error (`Msg (Printf.sprintf "unknown family %S" s))),
+          fun ppf -> function
+            | None -> Fmt.string ppf "all"
+            | Some f -> Fmt.string ppf (Obligation.family_to_string f) )
+    in
+    Arg.(
+      value
+      & opt fam_conv None
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Topology family to axiomatize: $(b,ring), $(b,path), \
+             $(b,star), $(b,complete) or $(b,all) (default).")
+  in
+  let emit_cmd =
+    let run pattern family dir json =
+      match compile pattern family with
+      | [] ->
+          Fmt.epr "no symbolic spec matches %S (try `check --list`)@."
+            (Option.value ~default:"" pattern);
+          2
+      | obs ->
+          let manifest = Obligation.write ~dir obs in
+          if json then
+            print_endline (Json.to_string (Obligation.to_json obs))
+          else begin
+            List.iter
+              (fun ob -> Fmt.pr "%s@." (Obligation.filename ob))
+              obs;
+            Fmt.pr "wrote %d obligations + %s@." (List.length obs) manifest
+          end;
+          0
+    in
+    let dir =
+      Arg.(
+        value
+        & opt string "_smt"
+        & info [ "o"; "out" ] ~docv:"DIR"
+            ~doc:"Output directory (created if missing).  Default: $(b,_smt).")
+    in
+    let json =
+      Arg.(
+        value & flag
+        & info [ "json" ]
+            ~doc:"Print the manifest object on stdout instead of file names.")
+    in
+    Cmd.v
+      (Cmd.info "emit"
+         ~doc:
+           "Compile symbolic specs to SMT-LIB proof obligations and write \
+            one $(b,.smt2) per obligation plus $(b,manifest.json).")
+      Term.(const run $ pattern_arg $ family_arg $ dir $ json)
+  in
+  let lint_cmd =
+    let run pattern family =
+      match compile pattern family with
+      | [] ->
+          Fmt.epr "no symbolic spec matches %S@."
+            (Option.value ~default:"" pattern);
+          2
+      | obs ->
+          let dirty = ref 0 in
+          List.iter
+            (fun (ob : Obligation.t) ->
+              let name = Obligation.filename ob in
+              match Smt.parse_string (Smt.to_string ob.Obligation.ob_script) with
+              | Error msg ->
+                  incr dirty;
+                  Fmt.pr "FAIL %-40s re-parse: %s@." name msg
+              | Ok cmds -> (
+                  match Smt.lint_script cmds with
+                  | [] -> Fmt.pr "ok   %s@." name
+                  | findings ->
+                      incr dirty;
+                      List.iter
+                        (fun f -> Fmt.pr "FAIL %-40s %s@." name f)
+                        findings))
+            obs;
+          if !dirty = 0 then begin
+            Fmt.pr "%d obligations, all print/parse/lint clean@."
+              (List.length obs);
+            0
+          end
+          else begin
+            Fmt.pr "%d of %d obligations dirty@." !dirty (List.length obs);
+            1
+          end
+    in
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:
+           "Compile obligations in memory, print them, re-parse the text \
+            and lint the result (no free symbols, no dead declarations, a \
+            check-sat) — the no-solver well-formedness gate.")
+      Term.(const run $ pattern_arg $ family_arg)
+  in
+  let solve_cmd =
+    let run pattern family solver =
+      if not (Smt.solver_available solver) then begin
+        Fmt.pr "solver %S not on PATH; skipping (obligations still \
+                lint-checkable via `smt lint`)@."
+          solver;
+        0
+      end
+      else
+        match compile pattern family with
+        | [] ->
+            Fmt.epr "no symbolic spec matches %S@."
+              (Option.value ~default:"" pattern);
+            2
+        | obs ->
+            let tmp =
+              Filename.temp_file "ssreset-smt" ""
+            in
+            Sys.remove tmp;
+            let failures = ref 0 in
+            List.iter
+              (fun (ob : Obligation.t) ->
+                let path = tmp ^ "." ^ Obligation.filename ob in
+                Smt.write_file path ob.Obligation.ob_script;
+                let verdict = Smt.solve ~solver path in
+                Sys.remove path;
+                let name = Obligation.filename ob in
+                match verdict with
+                | Smt.Unsat -> Fmt.pr "ok   %-40s unsat (proved)@." name
+                | Smt.Unknown -> Fmt.pr "?    %-40s unknown@." name
+                | Smt.Sat ->
+                    incr failures;
+                    Fmt.pr "FAIL %-40s sat — obligation violated@." name
+                | Smt.Solver_error msg ->
+                    incr failures;
+                    Fmt.pr "FAIL %-40s solver error: %s@." name msg)
+              obs;
+            if !failures = 0 then 0 else 1
+    in
+    let solver =
+      Arg.(
+        value
+        & opt string "z3"
+        & info [ "solver" ] ~docv:"BIN"
+            ~doc:"SMT solver binary to execute.  Default: $(b,z3).")
+    in
+    Cmd.v
+      (Cmd.info "solve"
+         ~doc:
+           "Discharge obligations with an external SMT solver when one is \
+            on PATH (skips cleanly otherwise — nothing is linked).  Exits \
+            1 on a $(b,sat) (violated obligation) or a solver error; \
+            $(b,unknown) is reported but does not fail.")
+      Term.(const run $ pattern_arg $ family_arg $ solver)
+  in
+  Cmd.group
+    (Cmd.info "smt"
+       ~doc:
+         "Unbounded-n proof obligations: compile registered symbolic rule \
+          IRs to SMT-LIB2 over a symbolic node sort with parametric \
+          topology axioms, so a discharged obligation holds for every \
+          graph of the family and every size.")
+    [ emit_cmd; lint_cmd; solve_cmd ]
 
 (* ----------------------------- trace explorer --------------------------- *)
 
@@ -1318,4 +1580,4 @@ let () =
           [ run_cmd; trace_cmd; prof_cmd; unison_cmd; tail_cmd; min_cmd;
             agr_unison_cmd;
             alliance_cmd; coloring_cmd; mis_cmd; matching_cmd; graph_cmd;
-            check_cmd; experiments_cmd ]))
+            check_cmd; smt_cmd; experiments_cmd ]))

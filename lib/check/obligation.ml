@@ -1,0 +1,674 @@
+module Json = Ssreset_obs.Json
+module SS = Set.Make (String)
+
+type family = Ring | Path | Star | Complete
+
+let families = [ Ring; Path; Star; Complete ]
+
+let family_to_string = function
+  | Ring -> "ring"
+  | Path -> "path"
+  | Star -> "star"
+  | Complete -> "complete"
+
+let family_of_string = function
+  | "ring" -> Some Ring
+  | "path" -> Some Path
+  | "star" -> Some Star
+  | "complete" -> Some Complete
+  | _ -> None
+
+type kind =
+  | Closure
+  | Cert_decrease of string
+  | Range of string * string
+  | Requirement of string
+
+let kind_to_string = function
+  | Closure -> "closure"
+  | Cert_decrease _ -> "cert-decrease"
+  | Range _ -> "range"
+  | Requirement _ -> "requirement"
+
+type t = {
+  ob_algo : string;
+  ob_family : family;
+  ob_kind : kind;
+  ob_name : string;
+  ob_descr : string;
+  ob_script : Smt.script;
+}
+
+(* --- compilation context ----------------------------------------------
+
+   Needs are collected while compiling the goal assertions; the prelude
+   (sorts, parameter constants, field functions, topology) then declares
+   exactly what was mentioned, which is what {!Smt.lint_script}'s
+   unused-declaration check demands. *)
+
+type ctx = {
+  ir : Sym.ir;
+  mutable c_params : SS.t;
+  mutable c_fields : SS.t;  (* pre-state functions *)
+  mutable c_posts : SS.t;  (* post-state functions *)
+  mutable c_edge : bool;
+  mutable c_enums : SS.t;
+  mutable c_moved : bool;
+  mutable c_fresh : int;
+}
+
+let new_ctx ir =
+  { ir;
+    c_params = SS.empty;
+    c_fields = SS.empty;
+    c_posts = SS.empty;
+    c_edge = false;
+    c_enums = SS.empty;
+    c_moved = false;
+    c_fresh = 0 }
+
+let fresh ctx =
+  let v = Printf.sprintf "v%d" ctx.c_fresh in
+  ctx.c_fresh <- ctx.c_fresh + 1;
+  v
+
+let assert_ body = Smt.List [ Smt.Atom "assert"; body ]
+let iatom i = Smt.Atom (string_of_int i)
+
+let int_lit i =
+  if i < 0 then Smt.app "-" [ iatom (-i) ] else iatom i
+
+let forall1 v sort body =
+  Smt.List
+    [ Smt.Atom "forall";
+      Smt.List [ Smt.List [ Smt.Atom v; Smt.Atom sort ] ];
+      body ]
+
+let exists1 v sort body =
+  Smt.List
+    [ Smt.Atom "exists";
+      Smt.List [ Smt.List [ Smt.Atom v; Smt.Atom sort ] ];
+      body ]
+
+let forall2 u v sort body =
+  Smt.List
+    [ Smt.Atom "forall";
+      Smt.List
+        [ Smt.List [ Smt.Atom u; Smt.Atom sort ];
+          Smt.List [ Smt.Atom v; Smt.Atom sort ] ];
+      body ]
+
+let field_ty ctx f = List.assoc f ctx.ir.Sym.fields
+
+let sort_of_ty = function
+  | Sym.TInt -> "Int"
+  | Sym.TBool -> "Bool"
+  | Sym.TEnum (s, _) -> s
+
+let mark_field ctx ~post f =
+  (match field_ty ctx f with
+  | Sym.TEnum (s, _) -> ctx.c_enums <- SS.add s ctx.c_enums
+  | _ -> ());
+  if post then ctx.c_posts <- SS.add f ctx.c_posts
+  else ctx.c_fields <- SS.add f ctx.c_fields
+
+let field_app ctx ~post f node =
+  mark_field ctx ~post f;
+  Smt.app (if post then f ^ "_post" else f) [ Smt.Atom node ]
+
+(* [st] selects which state the field functions read: post-state reads
+   apply to Self and Nbr alike (a global configuration predicate after a
+   step). *)
+let rec c_term ctx ~node ~cur ~post = function
+  | Sym.Num i -> int_lit i
+  | Sym.Param p ->
+      ctx.c_params <- SS.add p ctx.c_params;
+      Smt.Atom p
+  | Sym.Var (Sym.Self, f) -> field_app ctx ~post f node
+  | Sym.Var (Sym.Nbr, f) -> (
+      match cur with
+      | Some v -> field_app ctx ~post f v
+      | None -> invalid_arg "Obligation: Nbr outside a quantifier")
+  | Sym.Add (a, b) ->
+      Smt.app "+" [ c_term ctx ~node ~cur ~post a; c_term ctx ~node ~cur ~post b ]
+  | Sym.Sub (a, b) ->
+      Smt.app "-" [ c_term ctx ~node ~cur ~post a; c_term ctx ~node ~cur ~post b ]
+  | Sym.Neg a -> Smt.app "-" [ c_term ctx ~node ~cur ~post a ]
+  | Sym.Ite (c, a, b) ->
+      Smt.app "ite"
+        [ c_form ctx ~node ~cur ~post c;
+          c_term ctx ~node ~cur ~post a;
+          c_term ctx ~node ~cur ~post b ]
+  | Sym.Ctor c -> Smt.Atom c
+
+and c_form ctx ~node ~cur ~post = function
+  | Sym.Const true -> Smt.Atom "true"
+  | Sym.Const false -> Smt.Atom "false"
+  | Sym.Not f -> Smt.app "not" [ c_form ctx ~node ~cur ~post f ]
+  | Sym.And [] -> Smt.Atom "true"
+  | Sym.And [ f ] -> c_form ctx ~node ~cur ~post f
+  | Sym.And fs -> Smt.app "and" (List.map (c_form ctx ~node ~cur ~post) fs)
+  | Sym.Or [] -> Smt.Atom "false"
+  | Sym.Or [ f ] -> c_form ctx ~node ~cur ~post f
+  | Sym.Or fs -> Smt.app "or" (List.map (c_form ctx ~node ~cur ~post) fs)
+  | Sym.Imp (a, b) ->
+      Smt.app "=>"
+        [ c_form ctx ~node ~cur ~post a; c_form ctx ~node ~cur ~post b ]
+  | Sym.Eq (a, b) ->
+      Smt.app "="
+        [ c_term ctx ~node ~cur ~post a; c_term ctx ~node ~cur ~post b ]
+  | Sym.Le (a, b) ->
+      Smt.app "<="
+        [ c_term ctx ~node ~cur ~post a; c_term ctx ~node ~cur ~post b ]
+  | Sym.Lt (a, b) ->
+      Smt.app "<"
+        [ c_term ctx ~node ~cur ~post a; c_term ctx ~node ~cur ~post b ]
+  | Sym.Forall_nbr f ->
+      ctx.c_edge <- true;
+      let v = fresh ctx in
+      forall1 v "Node"
+        (Smt.app "=>"
+           [ Smt.app "E" [ Smt.Atom node; Smt.Atom v ];
+             c_form ctx ~node ~cur:(Some v) ~post f ])
+  | Sym.Exists_nbr f ->
+      ctx.c_edge <- true;
+      let v = fresh ctx in
+      exists1 v "Node"
+        (Smt.app "and"
+           [ Smt.app "E" [ Smt.Atom node; Smt.Atom v ];
+             c_form ctx ~node ~cur:(Some v) ~post f ])
+
+let guard_at ctx node (r : Sym.rule) =
+  c_form ctx ~node ~cur:None ~post:false r.Sym.guard
+
+(* --- prelude assembly -------------------------------------------------- *)
+
+let topology_axioms family =
+  let e u v = Smt.app "E" [ Smt.Atom u; Smt.Atom v ] in
+  match family with
+  | Complete ->
+      ( [],
+        [ assert_
+            (forall2 "t0" "t1" "Node"
+               (Smt.app "="
+                  [ e "t0" "t1";
+                    Smt.app "distinct" [ Smt.Atom "t0"; Smt.Atom "t1" ] ])) ] )
+  | Ring ->
+      let nxt x = Smt.app "nxt" [ x ] in
+      ( [ Smt.List
+            [ Smt.Atom "declare-fun";
+              Smt.Atom "nxt";
+              Smt.List [ Smt.Atom "Node" ];
+              Smt.Atom "Node" ] ],
+        [ assert_
+            (forall2 "t0" "t1" "Node"
+               (Smt.app "="
+                  [ e "t0" "t1";
+                    Smt.app "or"
+                      [ Smt.app "=" [ Smt.Atom "t1"; nxt (Smt.Atom "t0") ];
+                        Smt.app "=" [ Smt.Atom "t0"; nxt (Smt.Atom "t1") ] ] ]));
+          assert_
+            (forall2 "t0" "t1" "Node"
+               (Smt.app "=>"
+                  [ Smt.app "=" [ nxt (Smt.Atom "t0"); nxt (Smt.Atom "t1") ];
+                    Smt.app "=" [ Smt.Atom "t0"; Smt.Atom "t1" ] ]));
+          assert_
+            (forall1 "t0" "Node"
+               (Smt.app "distinct" [ nxt (Smt.Atom "t0"); Smt.Atom "t0" ]));
+          assert_
+            (forall1 "t0" "Node"
+               (Smt.app "distinct"
+                  [ nxt (nxt (Smt.Atom "t0")); Smt.Atom "t0" ])) ] )
+  | Path ->
+      let idx x = Smt.app "idx" [ x ] in
+      ( [ Smt.List
+            [ Smt.Atom "declare-fun";
+              Smt.Atom "idx";
+              Smt.List [ Smt.Atom "Node" ];
+              Smt.Atom "Int" ] ],
+        [ assert_
+            (forall2 "t0" "t1" "Node"
+               (Smt.app "=>"
+                  [ Smt.app "=" [ idx (Smt.Atom "t0"); idx (Smt.Atom "t1") ];
+                    Smt.app "=" [ Smt.Atom "t0"; Smt.Atom "t1" ] ]));
+          assert_
+            (forall2 "t0" "t1" "Node"
+               (Smt.app "="
+                  [ e "t0" "t1";
+                    Smt.app "or"
+                      [ Smt.app "="
+                          [ Smt.app "-"
+                              [ idx (Smt.Atom "t0"); idx (Smt.Atom "t1") ];
+                            Smt.Atom "1" ];
+                        Smt.app "="
+                          [ Smt.app "-"
+                              [ idx (Smt.Atom "t1"); idx (Smt.Atom "t0") ];
+                            Smt.Atom "1" ] ] ])) ] )
+  | Star ->
+      ( [ Smt.List
+            [ Smt.Atom "declare-const"; Smt.Atom "hub"; Smt.Atom "Node" ] ],
+        [ assert_
+            (forall2 "t0" "t1" "Node"
+               (Smt.app "="
+                  [ e "t0" "t1";
+                    Smt.app "or"
+                      [ Smt.app "and"
+                          [ Smt.app "=" [ Smt.Atom "t0"; Smt.Atom "hub" ];
+                            Smt.app "distinct"
+                              [ Smt.Atom "t1"; Smt.Atom "hub" ] ];
+                        Smt.app "and"
+                          [ Smt.app "=" [ Smt.Atom "t1"; Smt.Atom "hub" ];
+                            Smt.app "distinct"
+                              [ Smt.Atom "t0"; Smt.Atom "hub" ] ] ] ])) ] )
+
+(* Pre-state range axioms for every used ranged field; compiled after the
+   goal so the parameter usage they introduce is still reflected in the
+   prelude (compile order: goal, then ranges, then prelude assembly). *)
+let range_axioms ctx =
+  List.filter_map
+    (fun (f, lo, hi) ->
+      if not (SS.mem f ctx.c_fields) then None
+      else
+        let u = fresh ctx in
+        let fu = field_app ctx ~post:false f u in
+        Some
+          (assert_
+             (forall1 u "Node"
+                (Smt.app "and"
+                   [ Smt.app "<="
+                       [ c_term ctx ~node:u ~cur:None ~post:false lo; fu ];
+                     Smt.app "<"
+                       [ fu; c_term ctx ~node:u ~cur:None ~post:false hi ] ]))))
+    ctx.ir.Sym.ranges
+
+let prelude ctx family =
+  let cmds = ref [] in
+  let add c = cmds := c :: !cmds in
+  add (Smt.List [ Smt.Atom "set-logic"; Smt.Atom "ALL" ]);
+  add (Smt.List [ Smt.Atom "declare-sort"; Smt.Atom "Node"; Smt.Atom "0" ]);
+  List.iter
+    (fun (p : Sym.param) ->
+      if SS.mem p.Sym.pname ctx.c_params then begin
+        add
+          (Smt.List
+             [ Smt.Atom "declare-const"; Smt.Atom p.Sym.pname; Smt.Atom "Int" ]);
+        match p.Sym.lower with
+        | None -> ()
+        | Some lo ->
+            add (assert_ (Smt.app ">=" [ Smt.Atom p.Sym.pname; int_lit lo ]))
+      end)
+    ctx.ir.Sym.params;
+  (* Enum sorts: constructors plus distinctness; per-field exhaustiveness
+     is emitted with the field below. *)
+  List.iter
+    (fun (_, ty) ->
+      match ty with
+      | Sym.TEnum (s, ctors) when SS.mem s ctx.c_enums ->
+          ctx.c_enums <- SS.remove s ctx.c_enums;
+          add (Smt.List [ Smt.Atom "declare-sort"; Smt.Atom s; Smt.Atom "0" ]);
+          List.iter
+            (fun c ->
+              add
+                (Smt.List
+                   [ Smt.Atom "declare-const"; Smt.Atom c; Smt.Atom s ]))
+            ctors;
+          if List.length ctors > 1 then
+            add
+              (assert_ (Smt.app "distinct" (List.map Smt.atom ctors)))
+      | _ -> ())
+    ctx.ir.Sym.fields;
+  List.iter
+    (fun (f, ty) ->
+      let declare name =
+        add
+          (Smt.List
+             [ Smt.Atom "declare-fun";
+               Smt.Atom name;
+               Smt.List [ Smt.Atom "Node" ];
+               Smt.Atom (sort_of_ty ty) ])
+      in
+      if SS.mem f ctx.c_fields then begin
+        declare f;
+        match ty with
+        | Sym.TEnum (_, ctors) ->
+            let u = fresh ctx in
+            add
+              (assert_
+                 (forall1 u "Node"
+                    (Smt.app "or"
+                       (List.map
+                          (fun c ->
+                            Smt.app "="
+                              [ Smt.app f [ Smt.Atom u ]; Smt.Atom c ])
+                          ctors))))
+        | _ -> ()
+      end;
+      if SS.mem f ctx.c_posts then declare (f ^ "_post"))
+    ctx.ir.Sym.fields;
+  if ctx.c_moved then
+    add
+      (Smt.List
+         [ Smt.Atom "declare-fun";
+           Smt.Atom "moved";
+           Smt.List [ Smt.Atom "Node" ];
+           Smt.Atom "Bool" ]);
+  if ctx.c_edge then begin
+    add
+      (Smt.List
+         [ Smt.Atom "declare-fun";
+           Smt.Atom "E";
+           Smt.List [ Smt.Atom "Node"; Smt.Atom "Node" ];
+           Smt.Atom "Bool" ]);
+    let decls, axioms = topology_axioms family in
+    List.iter add decls;
+    List.iter add axioms
+  end;
+  List.rev !cmds
+
+let finish ~algo ~family ~kind ~name ~descr ctx core =
+  let ranges = range_axioms ctx in
+  let header =
+    [ Printf.sprintf "obligation: %s" name;
+      Printf.sprintf "algorithm: %s" algo;
+      Printf.sprintf "family: %s (axiomatized superset, any n)"
+        (family_to_string family);
+      descr;
+      "expected: unsat" ]
+  in
+  { ob_algo = algo;
+    ob_family = family;
+    ob_kind = kind;
+    ob_name = name;
+    ob_descr = descr;
+    ob_script =
+      { Smt.header;
+        body =
+          prelude ctx family @ ranges @ core
+          @ [ Smt.List [ Smt.Atom "check-sat" ] ] } }
+
+(* --- obligation builders ----------------------------------------------- *)
+
+let closure ~algo (spec : Sym.spec) family legit =
+  let ir = spec.Sym.sp_ir in
+  let ctx = new_ctx ir in
+  let moved u = Smt.app "moved" [ Smt.Atom u ] in
+  ctx.c_moved <- true;
+  (* Compile the post-state goal first so [c_posts] records exactly the
+     fields whose post functions need defining. *)
+  let legit_post = c_form ctx ~node:"u" ~cur:None ~post:true legit in
+  let legit_pre = c_form ctx ~node:"u" ~cur:None ~post:false legit in
+  let guards = List.map (guard_at ctx "u") ir.Sym.rules in
+  let enabled =
+    match guards with [ g ] -> g | gs -> Smt.app "or" gs
+  in
+  let post_defs =
+    List.filter_map
+      (fun (f, _) ->
+        if not (SS.mem f ctx.c_posts) then None
+        else
+          let keep = field_app ctx ~post:false f "u" in
+          (* First-enabled-rule semantics: the ite chain mirrors the
+             evaluation order of [Algorithm.enabled_rule]. *)
+          let chain =
+            List.fold_right
+              (fun (r : Sym.rule) acc ->
+                let value =
+                  match List.assoc_opt f r.Sym.assigns with
+                  | Some t -> c_term ctx ~node:"u" ~cur:None ~post:false t
+                  | None -> keep
+                in
+                Smt.app "ite" [ guard_at ctx "u" r; value; acc ])
+              ir.Sym.rules keep
+          in
+          Some
+            (assert_
+               (forall1 "u" "Node"
+                  (Smt.app "="
+                     [ field_app ctx ~post:true f "u";
+                       Smt.app "ite" [ moved "u"; chain; keep ] ]))))
+      ir.Sym.fields
+  in
+  finish ~algo ~family ~kind:Closure ~name:"closure"
+    ~descr:
+      "legitimate configuration + one covered step (moved subset of \
+       enabled, nonempty) must stay legitimate"
+    ctx
+    ([ assert_ (forall1 "u" "Node" legit_pre);
+       assert_ (forall1 "u" "Node" (Smt.app "=>" [ moved "u"; enabled ]));
+       assert_ (exists1 "u" "Node" (moved "u")) ]
+    @ post_defs
+    @ [ assert_ (Smt.app "not" [ forall1 "u" "Node" legit_post ]) ])
+
+let cert_decrease ~algo (spec : Sym.spec) family (cert : Sym.cert_spec)
+    (r : Sym.rule) =
+  let ctx = new_ctx spec.Sym.sp_ir in
+  let guard = guard_at ctx "u" r in
+  let local = c_term ctx ~node:"u" ~cur:None ~post:false cert.Sym.cs_local in
+  let local' =
+    c_term ctx ~node:"u" ~cur:None ~post:false
+      (Sym.subst_self_term r.Sym.assigns cert.Sym.cs_local)
+  in
+  finish ~algo ~family
+    ~kind:(Cert_decrease r.Sym.rule)
+    ~name:(Printf.sprintf "cert-decrease.%s" r.Sym.rule)
+    ~descr:
+      (Printf.sprintf
+         "certificate %s: a %s mover's local potential strictly decreases \
+          and stays nonnegative (pointwise decrease of the global sum)"
+         cert.Sym.cs_name r.Sym.rule)
+    ctx
+    [ assert_
+        (exists1 "u" "Node"
+           (Smt.app "and"
+              [ guard;
+                Smt.app "not"
+                  [ Smt.app "and"
+                      [ Smt.app "<=" [ Smt.Atom "0"; local' ];
+                        Smt.app "<" [ local'; local ] ] ] ])) ]
+
+let range_preserved ~algo (spec : Sym.spec) family (r : Sym.rule) (f, lo, hi)
+    assign =
+  let ctx = new_ctx spec.Sym.sp_ir in
+  let guard = guard_at ctx "u" r in
+  let t' = c_term ctx ~node:"u" ~cur:None ~post:false assign in
+  let lo' = c_term ctx ~node:"u" ~cur:None ~post:false lo in
+  let hi' = c_term ctx ~node:"u" ~cur:None ~post:false hi in
+  finish ~algo ~family
+    ~kind:(Range (r.Sym.rule, f))
+    ~name:(Printf.sprintf "range.%s.%s" r.Sym.rule f)
+    ~descr:
+      (Printf.sprintf "rule %s keeps field %s inside its declared range"
+         r.Sym.rule f)
+    ctx
+    [ assert_
+        (exists1 "u" "Node"
+           (Smt.app "and"
+              [ guard;
+                Smt.app "not"
+                  [ Smt.app "and"
+                      [ Smt.app "<=" [ lo'; t' ]; Smt.app "<" [ t'; hi' ] ] ] ])) ]
+
+(* Requirement obligations never need post-state functions: a single
+   mover's post-state predicate is the pre-state predicate with the
+   assignment terms substituted for its own fields ({!Sym.subst_self}). *)
+
+let requirement ~algo (spec : Sym.spec) family ~id ~descr body =
+  let ctx = new_ctx spec.Sym.sp_ir in
+  let goal = body ctx in
+  finish ~algo ~family ~kind:(Requirement id)
+    ~name:(Printf.sprintf "req.%s" id)
+    ~descr ctx
+    [ assert_ (exists1 "u" "Node" (Smt.app "not" [ goal ])) ]
+
+(* Re-site a Self-only quantifier-free form at the bound neighbor. *)
+let rec nbrize_term = function
+  | (Sym.Num _ | Sym.Param _ | Sym.Ctor _) as t -> t
+  | Sym.Var (Sym.Self, f) -> Sym.Var (Sym.Nbr, f)
+  | Sym.Var (Sym.Nbr, _) ->
+      invalid_arg "Obligation: p_reset must read Self fields only"
+  | Sym.Add (a, b) -> Sym.Add (nbrize_term a, nbrize_term b)
+  | Sym.Sub (a, b) -> Sym.Sub (nbrize_term a, nbrize_term b)
+  | Sym.Neg a -> Sym.Neg (nbrize_term a)
+  | Sym.Ite (c, a, b) -> Sym.Ite (nbrize_form c, nbrize_term a, nbrize_term b)
+
+and nbrize_form = function
+  | Sym.Const _ as f -> f
+  | Sym.Not f -> Sym.Not (nbrize_form f)
+  | Sym.And fs -> Sym.And (List.map nbrize_form fs)
+  | Sym.Or fs -> Sym.Or (List.map nbrize_form fs)
+  | Sym.Imp (a, b) -> Sym.Imp (nbrize_form a, nbrize_form b)
+  | Sym.Eq (a, b) -> Sym.Eq (nbrize_term a, nbrize_term b)
+  | Sym.Le (a, b) -> Sym.Le (nbrize_term a, nbrize_term b)
+  | Sym.Lt (a, b) -> Sym.Lt (nbrize_term a, nbrize_term b)
+  | Sym.Forall_nbr _ | Sym.Exists_nbr _ ->
+      invalid_arg "Obligation: p_reset must be quantifier-free"
+
+let requirements ~algo (spec : Sym.spec) family =
+  let ir = spec.Sym.sp_ir in
+  let form f ctx = c_form ctx ~node:"u" ~cur:None ~post:false f in
+  let lands =
+    match (spec.Sym.sp_reset, spec.Sym.sp_p_reset) with
+    | Some reset, Some p_reset ->
+        [ requirement ~algo spec family ~id:"reset-lands"
+            ~descr:"executing the reset macro establishes p_reset"
+            (form (Sym.subst_self reset p_reset)) ]
+    | _ -> []
+  in
+  let idempotent =
+    match spec.Sym.sp_reset with
+    | Some reset when reset <> [] ->
+        [ requirement ~algo spec family ~id:"reset-idempotent"
+            ~descr:"resetting a reset state changes nothing"
+            (form
+               (Sym.And
+                  (List.map
+                     (fun (_, t) -> Sym.Eq (Sym.subst_self_term reset t, t))
+                     reset))) ]
+    | _ -> []
+  in
+  let guard_icorrect =
+    match spec.Sym.sp_p_icorrect with
+    | Some p_ic ->
+        List.map
+          (fun (r : Sym.rule) ->
+            requirement ~algo spec family
+              ~id:(Printf.sprintf "guard-icorrect.%s" r.Sym.rule)
+              ~descr:
+                (Printf.sprintf
+                   "an enabled process is locally correct (guard of %s \
+                    implies p_icorrect)"
+                   r.Sym.rule)
+              (form (Sym.Imp (r.Sym.guard, p_ic))))
+          ir.Sym.rules
+    | None -> []
+  in
+  let reset_icorrect =
+    match (spec.Sym.sp_p_reset, spec.Sym.sp_p_icorrect) with
+    | Some p_reset, Some p_ic ->
+        [ requirement ~algo spec family ~id:"reset-icorrect"
+            ~descr:
+              "a reset process whose neighbors are all reset is locally \
+               correct"
+            (form
+               (Sym.Imp
+                  ( Sym.And
+                      [ p_reset; Sym.Forall_nbr (nbrize_form p_reset) ],
+                    p_ic ))) ]
+    | _ -> []
+  in
+  let icorrect_step =
+    match spec.Sym.sp_p_icorrect with
+    | Some p_ic ->
+        List.map
+          (fun (r : Sym.rule) ->
+            requirement ~algo spec family
+              ~id:(Printf.sprintf "icorrect-step.%s" r.Sym.rule)
+              ~descr:
+                (Printf.sprintf
+                   "a process's own %s move preserves its local \
+                    correctness (neighbors unchanged)"
+                   r.Sym.rule)
+              (form
+                 (Sym.Imp
+                    ( Sym.And [ p_ic; r.Sym.guard ],
+                      Sym.subst_self r.Sym.assigns p_ic ))))
+          ir.Sym.rules
+    | None -> []
+  in
+  lands @ idempotent @ guard_icorrect @ reset_icorrect @ icorrect_step
+
+let compile ~algo (spec : Sym.spec) family =
+  let ir = spec.Sym.sp_ir in
+  let closure_obs =
+    match spec.Sym.sp_legitimate with
+    | Some legit -> [ closure ~algo spec family legit ]
+    | None -> []
+  in
+  let cert_obs =
+    match spec.Sym.sp_cert with
+    | Some cert ->
+        List.filter_map
+          (fun (r : Sym.rule) ->
+            if List.mem r.Sym.rule cert.Sym.cs_rules then
+              Some (cert_decrease ~algo spec family cert r)
+            else None)
+          ir.Sym.rules
+    | None -> []
+  in
+  let range_obs =
+    List.concat_map
+      (fun (r : Sym.rule) ->
+        List.filter_map
+          (fun ((f, _, _) as range) ->
+            Option.map
+              (range_preserved ~algo spec family r range)
+              (List.assoc_opt f r.Sym.assigns))
+          ir.Sym.ranges)
+      ir.Sym.rules
+  in
+  closure_obs @ cert_obs @ range_obs @ requirements ~algo spec family
+
+let compile_all ~algo spec =
+  List.concat_map (compile ~algo spec) families
+
+let filename ob =
+  Printf.sprintf "%s.%s.%s.smt2" ob.ob_algo
+    (family_to_string ob.ob_family)
+    ob.ob_name
+
+let to_json obs =
+  Json.Obj
+    [ ("schema", Json.String "ssreset-smt-v1");
+      ("schema_version", Json.Int 1);
+      ("count", Json.Int (List.length obs));
+      ( "obligations",
+        Json.List
+          (List.map
+             (fun ob ->
+               Json.Obj
+                 [ ("file", Json.String (filename ob));
+                   ("algo", Json.String ob.ob_algo);
+                   ("family", Json.String (family_to_string ob.ob_family));
+                   ("kind", Json.String (kind_to_string ob.ob_kind));
+                   ("name", Json.String ob.ob_name);
+                   ("expect", Json.String "unsat");
+                   ("descr", Json.String ob.ob_descr) ])
+             obs) ) ]
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write ~dir obs =
+  mkdir_p dir;
+  List.iter
+    (fun ob -> Smt.write_file (Filename.concat dir (filename ob)) ob.ob_script)
+    obs;
+  let manifest = Filename.concat dir "manifest.json" in
+  Out_channel.with_open_text manifest (fun oc ->
+      Out_channel.output_string oc (Json.to_string_hum (to_json obs));
+      Out_channel.output_char oc '\n');
+  manifest

@@ -22,6 +22,8 @@ type entry = {
   max_n_full : int;
   instance : Graph.t -> Finite.t;
   footprint : (Graph.t -> Footprint.target) option;
+  sym : (Graph.t -> Sym.instance) option;
+  smt_spec : Sym.spec option;
 }
 
 (* --- instances ------------------------------------------------------- *)
@@ -85,6 +87,143 @@ let undecided_cert ~rules undecided =
           (fun acc s -> acc + if undecided s.Sdr.inner then 1 else 0)
           0 cfg ])
 
+(* --- symbolic rule IRs -------------------------------------------------
+
+   First-order executable specs of the unison rule cores, attached
+   alongside the OCaml rules.  {!run}'s differential pass checks them
+   against the concrete algorithms view-by-view and under every daemon;
+   {!Obligation.compile} turns the same IRs into unbounded-n SMT
+   obligations.  The mod-K arithmetic is expressed with if-then-else
+   ([({c}+1) mod K] is [ite (c = K-1) 0 (c+1)]), exact on the declared
+   clock ranges. *)
+
+let s_c = Sym.Var (Sym.Self, "c")
+let s_b = Sym.Var (Sym.Nbr, "c")
+
+let s_incmod t =
+  Sym.Ite
+    ( Sym.Eq (t, Sym.Sub (Sym.Param "K", Sym.Num 1)),
+      Sym.Num 0,
+      Sym.Add (t, Sym.Num 1) )
+
+let s_decmod t =
+  Sym.Ite
+    ( Sym.Eq (t, Sym.Num 0),
+      Sym.Sub (Sym.Param "K", Sym.Num 1),
+      Sym.Sub (t, Sym.Num 1) )
+
+(* P_Ok(u,v): v's clock is within one increment of u's (mod K). *)
+let s_ring_ok =
+  Sym.Or
+    [ Sym.Eq (s_b, s_c); Sym.Eq (s_b, s_incmod s_c); Sym.Eq (s_b, s_decmod s_c) ]
+
+(* P_Up(u): every neighbor is at u's value or one ahead. *)
+let s_up = Sym.Or [ Sym.Eq (s_b, s_c); Sym.Eq (s_b, s_incmod s_c) ]
+
+let tail_core_spec ~ir_name ~reset ~climb ~tick =
+  let compatible =
+    Sym.Or
+      [ Sym.And [ Sym.Le (Sym.Num 0, s_b); s_ring_ok ];
+        Sym.And [ Sym.Lt (s_b, Sym.Num 0); Sym.Le (s_c, Sym.Num 1) ] ]
+  in
+  let ir =
+    { Sym.ir_name;
+      fields = [ ("c", Sym.TInt) ];
+      params =
+        [ { Sym.pname = "K"; lower = Some 4 };
+          { Sym.pname = "alpha"; lower = Some 1 } ];
+      ranges = [ ("c", Sym.Neg (Sym.Param "alpha"), Sym.Param "K") ];
+      rules =
+        [ { Sym.rule = reset;
+            guard =
+              Sym.And
+                [ Sym.Le (Sym.Num 0, s_c);
+                  Sym.Exists_nbr (Sym.Not compatible) ];
+            assigns = [ ("c", Sym.Neg (Sym.Param "alpha")) ] };
+          { Sym.rule = climb;
+            guard =
+              Sym.And
+                [ Sym.Lt (s_c, Sym.Num 0);
+                  Sym.Forall_nbr (Sym.Le (s_c, s_b));
+                  Sym.Or
+                    [ Sym.Lt (s_c, Sym.Num (-1));
+                      Sym.Forall_nbr (Sym.Le (s_b, Sym.Num 1)) ] ];
+            assigns = [ ("c", Sym.Add (s_c, Sym.Num 1)) ] };
+          { Sym.rule = tick;
+            guard =
+              Sym.And [ Sym.Le (Sym.Num 0, s_c); Sym.Forall_nbr s_up ];
+            assigns = [ ("c", s_incmod s_c) ] } ] }
+  in
+  { (Sym.spec_of_ir ir) with
+    Sym.sp_legitimate =
+      Some (Sym.And [ Sym.Le (Sym.Num 0, s_c); Sym.Forall_nbr s_ring_ok ]);
+    sp_cert =
+      Some
+        { Sym.cs_name = "climb-debt";
+          cs_rules = [ climb ];
+          cs_local = Sym.Ite (Sym.Lt (s_c, Sym.Num 0), Sym.Neg s_c, Sym.Num 0)
+        } }
+
+let tail_unison_spec =
+  tail_core_spec ~ir_name:"tail-unison" ~reset:Tail_unison.rule_reset
+    ~climb:Tail_unison.rule_climb ~tick:Tail_unison.rule_tick
+
+let min_unison_spec =
+  tail_core_spec ~ir_name:"min-unison" ~reset:Min_unison.rule_zero
+    ~climb:Min_unison.rule_climb ~tick:Min_unison.rule_tick
+
+let encode_clock c = [ ("c", Sym.VInt c) ]
+
+let tail_unison_sym g =
+  let n = Graph.n g in
+  let k = max 4 ((2 * n) + 2) and alpha = max 1 n in
+  let module T = Tail_unison.Make (struct
+    let k = k
+    let alpha = alpha
+  end) in
+  Sym.make_instance ~spec:tail_unison_spec
+    ~params:[ ("K", k); ("alpha", alpha) ]
+    ~algorithm:T.algorithm ~graph:g
+    ~domain:(fun _ -> List.init (k + alpha) (fun i -> i - alpha))
+    ~encode:encode_clock
+    ~is_legitimate:(T.is_legitimate g) ()
+
+let min_unison_sym g =
+  let n = Graph.n g in
+  let k = max 4 ((n * n) + 1) and alpha = max 1 (n - 2) in
+  let module M = Min_unison.Make (struct
+    let k = k
+    let alpha = alpha
+  end) in
+  Sym.make_instance ~spec:min_unison_spec
+    ~params:[ ("K", k); ("alpha", alpha) ]
+    ~algorithm:M.algorithm ~graph:g
+    ~domain:(fun _ -> List.init (k + alpha) (fun i -> i - alpha))
+    ~encode:encode_clock
+    ~is_legitimate:(M.is_legitimate g) ()
+
+(* The unison SDR input layer (Algorithm 2), with the full §3.5 reset
+   interface: p_icorrect / p_reset / reset back the requirement
+   obligations of {!Obligation}.  The differential validates the IR
+   against the {e bare} input algorithm — the composed transformer's
+   correctness on top of it is the model checker's job. *)
+let unison_input_spec =
+  let ir =
+    { Sym.ir_name = "unison";
+      fields = [ ("c", Sym.TInt) ];
+      params = [ { Sym.pname = "K"; lower = Some 2 } ];
+      ranges = [ ("c", Sym.Num 0, Sym.Param "K") ];
+      rules =
+        [ { Sym.rule = Unison.rule_inc;
+            guard = Sym.Forall_nbr s_up;
+            assigns = [ ("c", s_incmod s_c) ] } ] }
+  in
+  { (Sym.spec_of_ir ir) with
+    Sym.sp_legitimate = Some (Sym.Forall_nbr s_ring_ok);
+    sp_p_icorrect = Some (Sym.Forall_nbr s_ring_ok);
+    sp_p_reset = Some (Sym.Eq (s_c, Sym.Num 0));
+    sp_reset = Some [ ("c", Sym.Num 0) ] }
+
 let unison_params g =
   let n = Graph.n g in
   let k = n + 2 in
@@ -101,6 +240,20 @@ let unison_sdr g =
     ~algorithm:U.Composed.algorithm ~graph:g ~domain
     ~legitimate:U.Composed.is_normal ~terminal_ok:never_terminal
     ~certificate:wave_completion ()
+
+let unison_sym g =
+  let k, _ = unison_params g in
+  let module U = Unison.Make (struct
+    let k = k
+  end) in
+  Sym.make_instance ~spec:unison_input_spec
+    ~params:[ ("K", k) ]
+    ~algorithm:U.bare ~graph:g
+    ~domain:(fun _ -> List.init k Fun.id)
+    ~encode:encode_clock
+    ~is_legitimate:(fun cfg ->
+      Algorithm.for_all_views g cfg ~f:(fun _ v -> U.Input.p_icorrect v))
+    ()
 
 let unison_sdr_footprint g =
   let k, domain = unison_params g in
@@ -263,7 +416,9 @@ let entries =
       max_n_quick = 3;
       max_n_full = 4;
       instance = min_unison;
-      footprint = None };
+      footprint = None;
+      sym = Some min_unison_sym;
+      smt_spec = Some min_unison_spec };
     { name = "tail-unison";
       description = "tail-reset unison, K = 2n + 2, alpha = n";
       expect_silent = false;
@@ -272,7 +427,9 @@ let entries =
       max_n_quick = 3;
       max_n_full = 4;
       instance = tail_unison;
-      footprint = None };
+      footprint = None;
+      sym = Some tail_unison_sym;
+      smt_spec = Some tail_unison_spec };
     { name = "unison-sdr";
       description = "unison composed with SDR, K = n + 2 (3n-round recovery)";
       expect_silent = false;
@@ -281,7 +438,9 @@ let entries =
       max_n_quick = 2;
       max_n_full = 3;
       instance = unison_sdr;
-      footprint = Some unison_sdr_footprint };
+      footprint = Some unison_sdr_footprint;
+      sym = Some unison_sym;
+      smt_spec = Some unison_input_spec };
     { name = "coloring-sdr";
       description = "greedy (Δ+1)-coloring composed with SDR (silent)";
       expect_silent = true;
@@ -290,7 +449,9 @@ let entries =
       max_n_quick = 2;
       max_n_full = 3;
       instance = coloring_sdr;
-      footprint = Some coloring_sdr_footprint };
+      footprint = Some coloring_sdr_footprint;
+      sym = None;
+      smt_spec = None };
     { name = "mis-sdr";
       description = "maximal independent set composed with SDR (silent)";
       expect_silent = true;
@@ -299,7 +460,9 @@ let entries =
       max_n_quick = 2;
       max_n_full = 3;
       instance = mis_sdr;
-      footprint = Some mis_sdr_footprint };
+      footprint = Some mis_sdr_footprint;
+      sym = None;
+      smt_spec = None };
     { name = "matching-sdr";
       description = "maximal matching composed with SDR (silent)";
       expect_silent = true;
@@ -308,7 +471,9 @@ let entries =
       max_n_quick = 2;
       max_n_full = 3;
       instance = matching_sdr;
-      footprint = Some matching_sdr_footprint };
+      footprint = Some matching_sdr_footprint;
+      sym = None;
+      smt_spec = None };
     { name = "fga-sdr";
       description =
         "1-minimal (1,0)-alliance (FGA) composed with SDR (silent, 8n+4 \
@@ -319,7 +484,9 @@ let entries =
       max_n_quick = 2;
       max_n_full = 2;
       instance = fga_sdr;
-      footprint = Some fga_sdr_footprint } ]
+      footprint = Some fga_sdr_footprint;
+      sym = None;
+      smt_spec = None } ]
 
 let fixtures =
   [ { name = "toy-livelock";
@@ -330,7 +497,9 @@ let fixtures =
       max_n_quick = 2;
       max_n_full = 3;
       instance = Toy.livelock;
-      footprint = None };
+      footprint = None;
+      sym = None;
+      smt_spec = None };
     { name = "toy-overlap";
       description = "fixture: overlapping guards and a silent move";
       expect_silent = false;
@@ -339,7 +508,9 @@ let fixtures =
       max_n_quick = 2;
       max_n_full = 3;
       instance = Toy.overlap;
-      footprint = None };
+      footprint = None;
+      sym = None;
+      smt_spec = None };
     { name = "toy-interference";
       description =
         "fixture: composed input rule writes the SDR distance — footprint \
@@ -350,7 +521,9 @@ let fixtures =
       max_n_quick = 2;
       max_n_full = 3;
       instance = Toy.interference;
-      footprint = Some Toy.interference_footprint };
+      footprint = Some Toy.interference_footprint;
+      sym = None;
+      smt_spec = None };
     { name = "toy-badcert";
       description =
         "fixture: increasing potential registered as certificate — cert \
@@ -361,7 +534,22 @@ let fixtures =
       max_n_quick = 2;
       max_n_full = 3;
       instance = Toy.badcert;
-      footprint = None } ]
+      footprint = None;
+      sym = None;
+      smt_spec = None };
+    { name = "toy-badsym";
+      description =
+        "fixture: symbolic IR guard disagrees with the OCaml rule — the \
+         differential pass must flag";
+      expect_silent = false;
+      round_bound = None;
+      min_n = 1;
+      max_n_quick = 2;
+      max_n_full = 3;
+      instance = Toy.badsym;
+      footprint = None;
+      sym = Some Toy.badsym_sym;
+      smt_spec = None } ]
 
 let contains ~needle haystack =
   let h = String.lowercase_ascii haystack
@@ -398,7 +586,7 @@ let footprint_target entry g =
   | None -> Footprint.of_finite (entry.instance g)
 
 let run ?(mode = `Full) ?max_n ?max_views_per_process ?(footprint = true)
-    ?(graphs = fun n -> Gen.all_connected n) ?options entry =
+    ?(sym = true) ?(graphs = fun n -> Gen.all_connected n) ?options entry =
   let max_n =
     match max_n with
     | Some n -> n
@@ -415,6 +603,7 @@ let run ?(mode = `Full) ?max_n ?max_views_per_process ?(footprint = true)
   let lint_views = ref 0 in
   let models = ref [] in
   let footprints = ref [] in
+  let sym_diffs = ref [] in
   for n = entry.min_n to max_n do
     List.iter
       (fun g ->
@@ -425,6 +614,12 @@ let run ?(mode = `Full) ?max_n ?max_views_per_process ?(footprint = true)
           !lint_views + Lint.views_checked ?max_views_per_process inst;
         if footprint then
           footprints := Footprint.analyze (footprint_target entry g) :: !footprints;
+        if sym then
+          Option.iter
+            (fun mk ->
+              sym_diffs :=
+                Sym.check ?max_views_per_process (mk g) :: !sym_diffs)
+            entry.sym;
         let result = Model.check ~options inst in
         let bound = Option.map (fun f -> f n) entry.round_bound in
         let result =
@@ -452,4 +647,12 @@ let run ?(mode = `Full) ?max_n ?max_views_per_process ?(footprint = true)
       (match List.rev !footprints with
       | [] -> None
       | fps -> Some (Footprint.merge fps));
+    sym =
+      (match List.rev !sym_diffs with
+      | [] -> None
+      | ds -> Some (Sym.merge_diffs ds));
+    obligations =
+      (match entry.smt_spec with
+      | None -> []
+      | Some spec -> Obligation.compile_all ~algo:entry.name spec);
     models = List.rev !models }

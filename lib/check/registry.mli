@@ -23,6 +23,13 @@ type entry = {
   footprint : (Ssreset_graph.Graph.t -> Footprint.target) option;
       (** composed targets carry the full layer decomposition; [None]
           falls back to the monolithic {!Footprint.of_finite} view *)
+  sym : (Ssreset_graph.Graph.t -> Sym.instance) option;
+      (** symbolic-IR instance for the differential pass ({!Sym.check});
+          [None] when no IR is attached *)
+  smt_spec : Sym.spec option;
+      (** the topology-parametric symbolic spec {!Obligation} compiles to
+          SMT-LIB; usually the spec underlying [sym], shared across graph
+          sizes *)
 }
 
 val entries : entry list
@@ -32,7 +39,9 @@ val entries : entry list
     mis-sdr an ["undecided"] one ({!Cert}). *)
 
 val fixtures : entry list
-(** toy-livelock, toy-overlap, toy-interference, toy-badcert ({!Toy}). *)
+(** toy-livelock, toy-overlap, toy-interference, toy-badsym, toy-badcert
+    ({!Toy}).  toy-badsym is clean under lint, footprint and the model
+    checker; only the symbolic differential flags it. *)
 
 val footprint_target : entry -> Ssreset_graph.Graph.t -> Footprint.target
 (** The target {!run} analyzes for this entry on one graph (declared or
@@ -47,11 +56,14 @@ val run :
   ?max_n:int ->
   ?max_views_per_process:int ->
   ?footprint:bool ->
+  ?sym:bool ->
   ?graphs:(int -> Ssreset_graph.Graph.t list) ->
   ?options:Model.options ->
   entry ->
   Report.entry_report
-(** Lint, footprint-analyze and model-check one entry on every graph
+(** Lint, footprint-analyze, differentially validate the symbolic IR
+    (when attached; [sym:false] skips the pass) and model-check one entry
+    on every graph
     yielded by [graphs n] (default [Gen.all_connected]: every connected
     graph, one per isomorphism class) for [entry.min_n ≤ n ≤ max_n]
     (default: the entry's quick/full ceiling for [mode], itself defaulting

@@ -11,6 +11,8 @@ type entry_report = {
   lint : Lint.finding list;
   lint_views : int;
   footprint : Footprint.t option;
+  sym : Sym.diff option;
+  obligations : Obligation.t list;
   models : model_item list;
 }
 
@@ -18,9 +20,12 @@ let footprint_ok = function
   | None -> true
   | Some (fp : Footprint.t) -> fp.Footprint.findings = []
 
+let sym_ok = function None -> true | Some d -> Sym.diff_ok d
+
 let entry_ok e =
   e.lint = []
   && footprint_ok e.footprint
+  && sym_ok e.sym
   && List.for_all (fun m -> m.result.Model.violations = []) e.models
 
 let ok reports = List.for_all entry_ok reports
@@ -62,6 +67,25 @@ let json_of_footprint (fp : Footprint.t) =
       ( "findings",
         Json.List (List.map json_of_footprint_finding fp.Footprint.findings)
       ) ]
+
+let json_of_mismatch (m : Sym.mismatch) =
+  Json.Obj
+    [ ("where", Json.String m.Sym.where);
+      ("rules", strings m.Sym.rules);
+      ("detail", Json.String m.Sym.detail);
+      ("count", Json.Int m.Sym.count) ]
+
+let json_of_sym (d : Sym.diff) =
+  Json.Obj
+    [ ("ok", Json.Bool (Sym.diff_ok d));
+      ("views", Json.Int d.Sym.views);
+      ("steps", Json.Int d.Sym.steps);
+      ("daemons", Json.Int d.Sym.daemons);
+      ("mismatches", Json.List (List.map json_of_mismatch d.Sym.mismatches)) ]
+
+let json_of_obligations = function
+  | [] -> Json.Null
+  | obs -> Obligation.to_json obs
 
 let json_of_model { bound; result = r } =
   let s = r.Model.stats in
@@ -105,6 +129,11 @@ let json_of_entry e =
         match e.footprint with
         | None -> Json.Null
         | Some fp -> json_of_footprint fp );
+      ( "sym",
+        match e.sym with
+        | None -> Json.Null
+        | Some d -> json_of_sym d );
+      ("obligations", json_of_obligations e.obligations);
       ( "model",
         Json.Obj
           [ ( "ok",
@@ -117,8 +146,8 @@ let json_of_entry e =
 
 let to_json reports =
   Json.Obj
-    [ ("schema", Json.String "ssreset-check-v2");
-      ("schema_version", Json.Int 2);
+    [ ("schema", Json.String "ssreset-check-v3");
+      ("schema_version", Json.Int 3);
       ("ok", Json.Bool (ok reports));
       ("entries", Json.List (List.map json_of_entry reports)) ]
 
@@ -165,6 +194,16 @@ let pp_entry ppf e =
   (match e.footprint with
   | None -> ()
   | Some fp -> Fmt.pf ppf "@,%a" Footprint.pp fp);
+  (match e.sym with
+  | None -> ()
+  | Some d ->
+      Fmt.pf ppf "@,sym: %s (%d views, %d steps, %d daemons)"
+        (if Sym.diff_ok d then "agrees" else "MISMATCH")
+        d.Sym.views d.Sym.steps d.Sym.daemons;
+      List.iter (fun m -> Fmt.pf ppf "@,  %a" Sym.pp_mismatch m) d.Sym.mismatches);
+  (match e.obligations with
+  | [] -> ()
+  | obs -> Fmt.pf ppf "@,obligations: %d SMT-LIB proof obligations" (List.length obs));
   List.iter (fun m -> Fmt.pf ppf "@,%a" pp_model m) e.models;
   Fmt.pf ppf "@]"
 

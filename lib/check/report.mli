@@ -1,7 +1,8 @@
-(** Findings report: aggregates lint findings, footprint analyses and
+(** Findings report: aggregates lint findings, footprint analyses,
+    symbolic-IR differential results, compiled SMT proof obligations and
     model-checker results per algorithm entry, renders them for humans, and
-    emits machine-readable JSON (schema ["ssreset-check-v2"],
-    [schema_version 2]) through {!Ssreset_obs.Json}. *)
+    emits machine-readable JSON (schema ["ssreset-check-v3"],
+    [schema_version 3]) through {!Ssreset_obs.Json}. *)
 
 type model_item = {
   bound : int option;
@@ -17,11 +18,20 @@ type entry_report = {
   lint_views : int;  (** views the lint pass evaluated *)
   footprint : Footprint.t option;
       (** merged over checked graphs; [None] when the pass was skipped *)
+  sym : Sym.diff option;
+      (** symbolic-IR differential, merged over checked graphs; [None]
+          when the entry attaches no IR or the pass was skipped *)
+  obligations : Obligation.t list;
+      (** SMT-LIB proof obligations compiled from the entry's symbolic
+          spec (all four topology families); [[]] when no spec is
+          attached.  Compilation is topology-parametric, so the list does
+          not depend on the checked graphs. *)
   models : model_item list;  (** one per checked graph *)
 }
 
 val entry_ok : entry_report -> bool
-(** No lint findings, no footprint findings and no model violations.
+(** No lint findings, no footprint findings, no symbolic-IR mismatches
+    and no model violations.
     Aborted model runs do not fail the entry — they are visible in the
     JSON and the human report as unverified — but violations found before
     the abort do. *)
@@ -31,9 +41,11 @@ val ok : entry_report list -> bool
 val to_json : entry_report list -> Ssreset_obs.Json.t
 (** Top level: [{schema; schema_version; ok; entries}]; each entry carries
     [lint] (findings + ok), [footprint] (per-rule read/write tables +
-    non-interference findings, or [null]) and [model] (per-graph stats,
-    violations, worst cases, bound, automorphism order and certificate
-    name when those passes ran). *)
+    non-interference findings, or [null]), [sym] (differential counters +
+    mismatches, or [null]), [obligations] (the {!Obligation.to_json}
+    manifest, or [null]) and [model] (per-graph stats, violations, worst
+    cases, bound, automorphism order and certificate name when those
+    passes ran). *)
 
 val pp : entry_report list Fmt.t
 (** Human-readable summary, one block per entry. *)

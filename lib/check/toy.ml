@@ -104,6 +104,49 @@ let interference_footprint graph =
     ~name:"toy-interference" ~algorithm:interference_algorithm ~graph
     ~domain:interference_domain
 
+(* A correct, trivially convergent counter whose attached symbolic IR
+   lies about the guard: the OCaml rule fires while state < 2, the IR
+   claims state < 1.  Lint, footprint and every enumerated verdict are
+   clean — only the Sym differential pass can catch the executable spec
+   disagreeing with the executable rules. *)
+
+let badsym_rule =
+  { Algorithm.rule_name = "T-up";
+    guard = (fun v -> v.Algorithm.state < 2);
+    action = (fun v -> v.Algorithm.state + 1) }
+
+let badsym_algorithm =
+  { Algorithm.name = "toy-badsym";
+    rules = [ badsym_rule ];
+    equal = Int.equal;
+    pp = Fmt.int }
+
+let badsym_legitimate _ cfg = Array.for_all (fun s -> s = 2) cfg
+
+let badsym graph =
+  Finite.make ~name:"toy-badsym" ~algorithm:badsym_algorithm ~graph
+    ~domain:(fun _ -> [ 0; 1; 2 ])
+    ~legitimate:badsym_legitimate ()
+
+let badsym_spec =
+  Sym.spec_of_ir
+    { Sym.ir_name = "toy-badsym";
+      fields = [ ("c", Sym.TInt) ];
+      params = [];
+      ranges = [ ("c", Sym.Num 0, Sym.Num 3) ];
+      rules =
+        [ { Sym.rule = "T-up";
+            guard = Sym.Lt (Sym.Var (Sym.Self, "c"), Sym.Num 1);
+            assigns = [ ("c", Sym.Add (Sym.Var (Sym.Self, "c"), Sym.Num 1)) ]
+          } ] }
+
+let badsym_sym graph =
+  Sym.make_instance ~spec:badsym_spec ~params:[]
+    ~algorithm:badsym_algorithm ~graph
+    ~domain:(fun _ -> [ 0; 1; 2 ])
+    ~encode:(fun c -> [ ("c", Sym.VInt c) ])
+    ~is_legitimate:(badsym_legitimate graph) ()
+
 (* A correct, trivially convergent counter registered with an increasing
    "potential": lint and the enumerated model verdicts are clean, so only
    the certificate pass can flag the bogus measure. *)

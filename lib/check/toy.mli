@@ -31,6 +31,16 @@ val interference_footprint : Ssreset_graph.Graph.t -> Footprint.target
 (** The composed footprint target for {!interference}, with the honest
     layer decomposition ([reset] to inner 0, [P_reset] = inner 0). *)
 
+val badsym : Ssreset_graph.Graph.t -> Finite.t
+(** A correct monotone counter ([T-up]: fires while state < 2) whose
+    attached symbolic IR ({!badsym_sym}) claims the guard is state < 1 —
+    clean under lint, footprint and every enumerated verdict, so only the
+    {!Sym} differential pass (a guard disagreement on state-1 views) can
+    flag it. *)
+
+val badsym_sym : Ssreset_graph.Graph.t -> Sym.instance
+(** The lying symbolic instance for {!badsym}. *)
+
 val badcert : Ssreset_graph.Graph.t -> Finite.t
 (** A correct monotone counter ([T-up]: 0 → 1 → 2; legitimate = all-2)
     registered with a bogus {e increasing} potential [Σ state] — clean

@@ -219,7 +219,44 @@ let () =
               | None -> ())))
     (list_field "prof" baseline);
 
-  (* 5. Engine scheduler throughput — informational. *)
+  (* 5. check-v3 SMT section: the fresh differential must agree (ok =
+     true — correctness, never negotiable), and both throughputs hold to
+     the baseline under the same noise floor as trace/prof. *)
+  let smt_tolerance = Float.max 0.05 tolerance in
+  (match Json.member "smt" fresh with
+  | None -> ()
+  | Some fresh_smt ->
+      (match Json.member "differential" fresh_smt with
+      | Some (Json.Obj _ as d) -> (
+          (match bool_field "ok" d with
+          | Some false -> fail "smt differential: IR/rules mismatch"
+          | _ -> ());
+          match Json.member "smt" baseline with
+          | None -> info "smt: no baseline section, learned at next refresh"
+          | Some base_smt ->
+              let rate section field ctx =
+                let get j =
+                  Option.bind (Json.member section j) (float_field field)
+                in
+                match (get base_smt, get fresh_smt) with
+                | Some base_r, Some fresh_r ->
+                    if fresh_r < base_r *. (1. -. smt_tolerance) then
+                      fail
+                        "smt %s: %.0f %s vs baseline %.0f (-%.0f%% > \
+                         -%.0f%% tolerance)"
+                        ctx fresh_r field base_r
+                        (100. *. (1. -. (fresh_r /. base_r)))
+                        (smt_tolerance *. 100.)
+                    else
+                      info "smt %s: %.0f %s vs baseline %.0f" ctx fresh_r
+                        field base_r
+                | _ -> info "smt %s: no comparable throughput, skipped" ctx
+              in
+              rate "compile" "obligations_per_s" "compile";
+              rate "differential" "views_per_s" "differential")
+      | _ -> ()));
+
+  (* 6. Engine scheduler throughput — informational. *)
   List.iter
     (fun r ->
       match

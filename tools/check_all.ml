@@ -48,18 +48,27 @@ let () =
         match r.Report.footprint with
         | None -> false
         | Some fp -> fp.Footprint.findings <> []
+      and sym_dirty =
+        match r.Report.sym with
+        | None -> false
+        | Some d -> not (Ssreset_check.Sym.diff_ok d)
       in
-      let dirty = r.Report.lint <> [] || model_dirty || footprint_dirty in
+      let dirty =
+        r.Report.lint <> [] || model_dirty || footprint_dirty || sym_dirty
+      in
+      if r.Report.name = "toy-badsym" && not sym_dirty then
+        fail "toy-badsym: symbolic differential did NOT flag the lying IR";
       if not dirty then
         fail "%s: fixture was NOT flagged (false negative)" r.Report.name
       else
         Printf.printf
           "ok   %-16s fixture flagged as expected (%d lint, model %s, \
-           footprint %s)\n"
+           footprint %s, sym %s)\n"
           r.Report.name
           (List.length r.Report.lint)
           (if model_dirty then "dirty" else "clean")
-          (if footprint_dirty then "dirty" else "clean"))
+          (if footprint_dirty then "dirty" else "clean")
+          (if sym_dirty then "dirty" else "clean"))
     Registry.fixtures;
   if !failures > 0 then begin
     Printf.printf "check_all: %d failure(s)\n" !failures;

@@ -21,6 +21,10 @@ let required =
     ("profile window smoke", "prof windows");
     ("wave reconstruction check", "trace waves --check");
     ("happens-before check", "trace critical-path --check");
+    ("smt obligation emission", "smt emit -o smoke-smt");
+    ("smt manifest validation", "--check-smt smoke-smt/manifest.json");
+    ("smt well-formedness lint", "smt lint");
+    ("conditional smt solving", "smt solve");
     ("trace artifacts on failure", "if: failure()");
     ("OCaml 5.1 in the matrix", "5.1");
     ("OCaml 5.2 in the matrix", "5.2") ]

@@ -1,0 +1,20 @@
+; obligation: closure
+; algorithm: toy
+; family: ring (axiomatized superset, any n)
+; a legitimate configuration stays legitimate under any covered step
+; expected: unsat
+(set-logic ALL)
+(declare-sort Node 0)
+(declare-const K Int)
+(assert (>= K 2))
+(declare-fun c (Node) Int)
+(declare-fun E (Node Node) Bool)
+(assert (forall ((u Node) (v Node)) (= (E u v) (E v u))))
+(assert (forall ((u Node)) (not (E u u))))
+(assert (forall ((u Node))
+  (and (<= 0 (c u)) (< (c u) K))))
+(assert (exists ((u Node) (v Node))
+  (and (E u v) (not (= (c u) (c v))) (not (= (c u) (ite (= (c v) (- K 1)) 0 (+ (c v) 1)))))))
+(assert (forall ((u Node) (v Node))
+  (=> (E u v) (= (c u) (c v)))))
+(check-sat)

@@ -1,0 +1,7 @@
+; a deliberately ill-formed obligation: the state function c and the
+; node u are never declared or bound (free symbols), and the declared
+; sort Dead is never used — the lint must reject all of it.
+(set-logic ALL)
+(declare-sort Dead 0)
+(assert (< (c u) 0))
+(check-sat)

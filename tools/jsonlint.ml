@@ -8,10 +8,13 @@
    line must parse on its own, and [--require-types] checks that the set of
    "type" field values seen across the lines covers every listed type (so a
    run trace can be required to contain a manifest, round records and a
-   summary).  [--check-report] validates the ssreset-check-v2 findings
-   report schema: schema_version >= 2, per-entry lint/footprint/model
-   sections, and per-graph model records carrying the v2 automorphisms and
-   certificate fields.  [--check-trace] validates the ssreset-trace-v1
+   summary).  [--check-report] validates the ssreset-check-v3 findings
+   report schema: schema_version >= 3, per-entry lint/footprint/sym/
+   obligations/model sections, and per-graph model records carrying the
+   automorphisms and certificate fields.  [--check-smt] validates an
+   ssreset-smt-v1 obligation manifest: every referenced .smt2 file (in
+   the manifest's directory) must re-parse through Ssreset_check.Smt's
+   reader and lint clean.  [--check-trace] validates the ssreset-trace-v1
    schema (manifest first, strictly increasing step/round records,
    wave-tagged movers, one summary whose counters cross-check the step
    records) via Ssreset_obs.Tracefile.  [--check-prof] validates the
@@ -43,7 +46,7 @@ let check_keys ~path keys = function
         keys
   | _ -> if keys <> [] then fail "%s: top-level value is not an object" path
 
-(* --- ssreset-check-v2 report schema ---------------------------------- *)
+(* --- ssreset-check-v3 report schema ---------------------------------- *)
 
 let obj_keys ~path ~ctx keys json =
   match json with
@@ -60,6 +63,65 @@ let as_list ~path ~ctx = function
   | Json.List l -> l
   | _ -> fail "%s: %s: not a list" path ctx
 
+(* --- ssreset-smt-v1 obligation manifest ------------------------------- *)
+
+(* Shape-checks the manifest object (also embedded per-entry in check-v3
+   reports, where the referenced files need not exist on disk).  Returns
+   the referenced file names for the on-disk mode. *)
+let check_smt_manifest ~path ~ctx json =
+  let top =
+    obj_keys ~path ~ctx
+      [ "schema"; "schema_version"; "count"; "obligations" ]
+      json
+  in
+  (match Option.bind (Json.member "schema" json) Json.to_string_opt with
+  | Some "ssreset-smt-v1" -> ()
+  | Some other -> fail "%s: %s: unexpected schema %S" path ctx other
+  | None -> fail "%s: %s: schema is not a string" path ctx);
+  let obs = as_list ~path ~ctx:(ctx ^ " obligations")
+      (List.assoc "obligations" top)
+  in
+  (match Option.bind (Json.member "count" json) Json.to_int_opt with
+  | Some c when c = List.length obs -> ()
+  | Some c ->
+      fail "%s: %s: count %d but %d obligations" path ctx c (List.length obs)
+  | None -> fail "%s: %s: count is not an int" path ctx);
+  List.map
+    (fun ob ->
+      ignore
+        (obj_keys ~path ~ctx:(ctx ^ " obligation")
+           [ "file"; "algo"; "family"; "kind"; "name"; "expect"; "descr" ]
+           ob);
+      (match Option.bind (Json.member "expect" ob) Json.to_string_opt with
+      | Some "unsat" -> ()
+      | _ -> fail "%s: %s: obligation expects something besides unsat" path ctx);
+      match Option.bind (Json.member "file" ob) Json.to_string_opt with
+      | Some f -> f
+      | None -> fail "%s: %s: obligation file is not a string" path ctx)
+    obs
+
+(* On-disk mode: the manifest's sibling .smt2 files must exist, re-parse
+   through Smt's reader and lint clean. *)
+let check_smt ~path json =
+  let files = check_smt_manifest ~path ~ctx:"manifest" json in
+  let dir = Filename.dirname path in
+  List.iter
+    (fun f ->
+      let fpath = Filename.concat dir f in
+      if not (Sys.file_exists fpath) then
+        fail "%s: referenced file %s does not exist" path f;
+      match Ssreset_check.Smt.parse_file fpath with
+      | Error msg -> fail "%s: %s" fpath msg
+      | Ok cmds -> (
+          match Ssreset_check.Smt.lint_script cmds with
+          | [] -> ()
+          | findings ->
+              fail "%s: lint findings:\n  %s" fpath
+                (String.concat "\n  " findings)))
+    files;
+  Printf.printf "%s: %d obligation(s), all re-parse and lint clean\n" path
+    (List.length files)
+
 let check_report ~path json =
   let top =
     obj_keys ~path ~ctx:"report"
@@ -67,12 +129,12 @@ let check_report ~path json =
       json
   in
   (match Option.bind (Json.member "schema" json) Json.to_string_opt with
-  | Some "ssreset-check-v2" -> ()
+  | Some "ssreset-check-v3" -> ()
   | Some other -> fail "%s: unexpected schema %S" path other
   | None -> fail "%s: schema is not a string" path);
   (match Option.bind (Json.member "schema_version" json) Json.to_int_opt with
-  | Some v when v >= 2 -> ()
-  | Some v -> fail "%s: schema_version %d < 2" path v
+  | Some v when v >= 3 -> ()
+  | Some v -> fail "%s: schema_version %d < 3" path v
   | None -> fail "%s: schema_version is not an int" path);
   let entries =
     as_list ~path ~ctx:"entries" (List.assoc "entries" top)
@@ -87,7 +149,8 @@ let check_report ~path json =
       let ctx = "entry " ^ name in
       ignore
         (obj_keys ~path ~ctx
-           [ "name"; "description"; "lint"; "footprint"; "model"; "ok" ]
+           [ "name"; "description"; "lint"; "footprint"; "sym";
+             "obligations"; "model"; "ok" ]
            entry);
       (match Json.member "lint" entry with
       | Some lint ->
@@ -111,6 +174,26 @@ let check_report ~path json =
                    rule))
             (as_list ~path ~ctx:(ctx ^ " footprint rules")
                (List.assoc "rules" fields)));
+      (match Json.member "sym" entry with
+      | Some Json.Null | None -> ()
+      | Some sym ->
+          let fields =
+            obj_keys ~path ~ctx:(ctx ^ " sym")
+              [ "ok"; "views"; "steps"; "daemons"; "mismatches" ]
+              sym
+          in
+          List.iter
+            (fun m ->
+              ignore
+                (obj_keys ~path ~ctx:(ctx ^ " sym mismatch")
+                   [ "where"; "rules"; "detail"; "count" ]
+                   m))
+            (as_list ~path ~ctx:(ctx ^ " sym mismatches")
+               (List.assoc "mismatches" fields)));
+      (match Json.member "obligations" entry with
+      | Some Json.Null | None -> ()
+      | Some obs ->
+          ignore (check_smt_manifest ~path ~ctx:(ctx ^ " obligations") obs));
       match Json.member "model" entry with
       | None -> assert false
       | Some model ->
@@ -132,6 +215,7 @@ let check_report ~path json =
 let () =
   let jsonl = ref false in
   let report = ref false in
+  let smt = ref false in
   let trace = ref false in
   let prof = ref false in
   let require_keys = ref [] in
@@ -143,6 +227,7 @@ let () =
     (match Sys.argv.(!i) with
     | "--jsonl" -> jsonl := true
     | "--check-report" -> report := true
+    | "--check-smt" -> smt := true
     | "--check-trace" -> trace := true
     | "--check-prof" -> prof := true
     | "--require-keys" when !i + 1 < argc ->
@@ -154,8 +239,8 @@ let () =
     | "--help" | "-h" ->
         print_endline
           "usage: jsonlint [--jsonl] [--require-keys k,...] \
-           [--require-types t,...] [--check-report] [--check-trace] \
-           [--check-prof] FILE...";
+           [--require-types t,...] [--check-report] [--check-smt] \
+           [--check-trace] [--check-prof] FILE...";
         exit 0
     | arg when String.length arg > 0 && arg.[0] = '-' ->
         fail "unknown option %S" arg
@@ -200,5 +285,6 @@ let () =
         | Error msg -> fail "%s: %s" path msg
         | Ok json ->
             check_keys ~path !require_keys json;
-            if !report then check_report ~path json)
+            if !report then check_report ~path json;
+            if !smt then check_smt ~path json)
     (List.rev !files)
