@@ -700,6 +700,158 @@ let run_smt_bench ~quick =
             ("wall_s", Json.Float diff_wall);
             ("views_per_s", Json.Float views_per_s) ] ) ]
 
+(* ------------------------------------------------------------------ *)
+(* engine_flat: the IR-compiled flat data path against the incremental *)
+(* scheduler — same U∘SDR ring workload, same seed, same daemon, and a *)
+(* bit-identity cross-check (steps/moves/rounds and the final encoded  *)
+(* state of every process must agree), so the steps/s ratio isolates   *)
+(* the execution substrate.  A second block measures the scale-tier    *)
+(* workload the CI scale-smoke job pins: a streamed ring (CSR built    *)
+(* without ever materializing adjacency lists), legitimate ground      *)
+(* state with 5%% of the nodes perturbed, run to stabilization         *)
+(* sequentially and with partitioned domain-parallel stepping — whose  *)
+(* digests must be byte-identical for every domain count.              *)
+(* ------------------------------------------------------------------ *)
+
+module Flat = Ssreset_flat.Flat
+module FlatProgs = Ssreset_flat.Progs
+module Csr = Ssreset_graph.Csr
+
+let flat_value_lists_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (f1, v1) (f2, v2) ->
+         String.equal f1 f2 && CSym.value_equal v1 v2)
+       a b
+
+let run_flat_bench ~quick =
+  Printf.printf
+    "== engine_flat: IR-compiled flat engine vs incremental scheduler, \
+     U∘SDR ring, central-random daemon ==\n%!";
+  let sizes = [ 64; 256; 1024 ] in
+  let head_to_head =
+    List.map
+      (fun n ->
+        let graph = Ssreset_graph.Gen.ring n in
+        let inst = CRegistry.unison_sdr_composed_sym graph in
+        let module I = (val inst : CSym.INSTANCE) in
+        let seed_rng = Random.State.make [| 3; n |] in
+        (* The U∘SDR domain is node-independent (status × clock × distance,
+           ~3·K·n states at n = 1024) — materialize it once, not per node. *)
+        let dom = Array.of_list (I.domain 0) in
+        let cfg0 =
+          Array.init n (fun _ ->
+              dom.(Random.State.int seed_rng (Array.length dom)))
+        in
+        let max_steps = if quick then 2_000 else 20_000 in
+        let inc =
+          Ssreset_sim.Engine.run ~seed:5 ~max_steps ~scheduler:`Incremental
+            ~algorithm:I.algorithm ~graph
+            ~daemon:Ssreset_sim.Daemon.central_random (Array.copy cfg0)
+        in
+        let prog =
+          Flat.compile ~csr:(Csr.of_graph graph) ~params:I.param_values
+            I.spec
+        in
+        Array.iteri (fun u s -> Flat.load prog u (I.encode s)) cfg0;
+        let flat =
+          Flat.run ~seed:5 ~max_steps ~stop_on_legitimate:false
+            ~daemon:Flat.Central_random prog
+        in
+        (* Bit-identity cross-check — flat must replay the incremental
+           run exactly, not just end up somewhere legitimate. *)
+        if
+          inc.Ssreset_sim.Engine.steps <> flat.Flat.steps
+          || inc.Ssreset_sim.Engine.moves <> flat.Flat.moves
+          || inc.Ssreset_sim.Engine.rounds <> flat.Flat.rounds
+        then failwith "engine_flat bench: counters diverged";
+        Array.iteri
+          (fun u s ->
+            if not (flat_value_lists_equal (I.encode s) (Flat.read prog u))
+            then
+              failwith
+                (Printf.sprintf
+                   "engine_flat bench: final state diverged at process %d" u))
+          inc.Ssreset_sim.Engine.final;
+        let inc_rate =
+          if inc.Ssreset_sim.Engine.wall_s > 0. then
+            float_of_int inc.Ssreset_sim.Engine.steps
+            /. inc.Ssreset_sim.Engine.wall_s
+          else 0.
+        in
+        let flat_rate =
+          if flat.Flat.wall_s > 0. then
+            float_of_int flat.Flat.steps /. flat.Flat.wall_s
+          else 0.
+        in
+        let speedup = if inc_rate > 0. then flat_rate /. inc_rate else 0. in
+        Printf.printf
+          "  n=%-5d %7d steps   incremental %10.0f steps/s   flat %10.0f \
+           steps/s   speedup %5.1fx\n\
+           %!"
+          n inc.Ssreset_sim.Engine.steps inc_rate flat_rate speedup;
+        Json.Obj
+          [ ("n", Json.Int n);
+            ("daemon", Json.String "central-random");
+            ("steps", Json.Int flat.Flat.steps);
+            ("incremental_steps_per_s", Json.Float inc_rate);
+            ("flat_steps_per_s", Json.Float flat_rate);
+            ("speedup", Json.Float speedup) ])
+      sizes
+  in
+  let scale =
+    let n = if quick then 20_000 else 100_000 in
+    let k = n / 20 in
+    let entry = Option.get (FlatProgs.find "unison-sdr") in
+    let digest0 = ref None in
+    List.map
+      (fun parts ->
+        let prog = FlatProgs.build entry (Csr.ring n) in
+        FlatProgs.init_ground prog;
+        FlatProgs.perturb prog ~rng:(Random.State.make [| 0xF1A7; 1 |]) k;
+        let r =
+          if parts = 1 then Flat.run ~daemon:Flat.Synchronous prog
+          else Flat.run_partitioned ~parts prog
+        in
+        let digest = FlatProgs.digest prog r in
+        (match !digest0 with
+        | None -> digest0 := Some digest
+        | Some d ->
+            if not (String.equal d digest) then
+              failwith
+                (Printf.sprintf
+                   "engine_flat bench: digest diverged at parts=%d" parts));
+        let rate =
+          if r.Flat.wall_s > 0. then
+            float_of_int r.Flat.steps /. r.Flat.wall_s
+          else 0.
+        in
+        let moves_rate =
+          if r.Flat.wall_s > 0. then
+            float_of_int r.Flat.moves /. r.Flat.wall_s
+          else 0.
+        in
+        Printf.printf
+          "  scale n=%-7d perturb=%-6d parts=%d %6d steps %9d moves \
+           %6.2fs %8.0f steps/s %10.0f moves/s\n\
+           %!"
+          n k parts r.Flat.steps r.Flat.moves r.Flat.wall_s rate moves_rate;
+        Json.Obj
+          [ ("n", Json.Int n);
+            ("perturb", Json.Int k);
+            ("parts", Json.Int parts);
+            ("steps", Json.Int r.Flat.steps);
+            ("moves", Json.Int r.Flat.moves);
+            ("digest", Json.String digest);
+            ("steps_per_s", Json.Float rate);
+            ("moves_per_s", Json.Float moves_rate) ])
+      [ 1; 2 ]
+  in
+  print_newline ();
+  Json.Obj
+    [ ("head_to_head", Json.List head_to_head);
+      ("scale", Json.List scale) ]
+
 let () =
   let quick, timing, out, jobs, ids = parse_args () in
   let profile =
@@ -727,6 +879,12 @@ let () =
     else Json.Obj [ ("footprint", Json.List []); ("symmetry", Json.List []) ]
   in
   let engine = if ids = [] then run_engine_bench ~quick else [] in
+  let engine_flat =
+    if ids = [] then run_flat_bench ~quick
+    else
+      Json.Obj
+        [ ("head_to_head", Json.List []); ("scale", Json.List []) ]
+  in
   let trace_v1 = if ids = [] then run_trace_bench ~quick else [] in
   let prof_bench = if ids = [] then run_prof_bench ~quick else [] in
   let smt_bench =
@@ -746,6 +904,7 @@ let () =
         ("wall_s", Json.Float (Unix.gettimeofday () -. t0));
         ("experiments", Json.List experiments);
         ("engine", Json.List engine);
+        ("engine_flat", engine_flat);
         ("trace_v1", Json.List trace_v1);
         ("prof", Json.List prof_bench);
         ("check", Json.List check_records);

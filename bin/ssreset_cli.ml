@@ -23,6 +23,11 @@ module Tracefile = Ssreset_obs.Tracefile
 module Causality = Ssreset_obs.Causality
 module Registry = Ssreset_check.Registry
 module Report = Ssreset_check.Report
+module Csr = Ssreset_graph.Csr
+module Engine = Ssreset_sim.Engine
+module Stats = Ssreset_sim.Stats
+module Flat = Ssreset_flat.Flat
+module FlatProgs = Ssreset_flat.Progs
 
 (* ---------------------------- common options ---------------------------- *)
 
@@ -365,6 +370,92 @@ let run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec ~scheduler =
       end
       else measured ~output ~system ~title ~family ~n ~seed ~daemon_name run
 
+(* ------------------------------ flat engine ----------------------------- *)
+
+(* The flat data-path engine runs the systems whose symbolic IR is in the
+   catalogue (the three unisons).  It shares the report/JSON pipeline by
+   constructing a Runner.obs; per-process SDR attribution and segment
+   counting are classic-engine observers, so those fields stay unmeasured
+   here ([segments = None]). *)
+let obs_of_flat (r : Flat.result) : Runner.obs =
+  let per_proc =
+    List.map float_of_int (Array.to_list r.Flat.moves_per_process)
+  in
+  {
+    Runner.outcome_ok = r.Flat.outcome = Engine.Stabilized;
+    result_ok = r.Flat.legitimate;
+    rounds = r.Flat.rounds;
+    moves = r.Flat.moves;
+    steps = r.Flat.steps;
+    sdr_moves = Engine.moves_of_rules r.Flat.moves_per_rule ~prefixes:[ "SDR-" ];
+    max_proc_moves = Array.fold_left max 0 r.Flat.moves_per_process;
+    max_proc_sdr_moves = 0;
+    workload_p50 = Stats.percentile per_proc ~p:50.;
+    workload_p90 = Stats.percentile per_proc ~p:90.;
+    segments = None;
+    ar_monotone = None;
+    wall_s = r.Flat.wall_s;
+  }
+
+let run_flat ~output ~system ~family ~n ~seed ~daemon_name ~parts ~perturb
+    ~digest =
+  let catalogue_name =
+    match system with "unison" -> "unison-sdr" | s -> s
+  in
+  match FlatProgs.find catalogue_name with
+  | None ->
+      Fmt.epr
+        "engine flat runs %s (got %S); the other systems have no symbolic \
+         IR to compile yet@."
+        (String.concat ", "
+           (List.map (fun e -> e.FlatProgs.pname) FlatProgs.entries))
+        system;
+      2
+  | Some entry -> (
+      try
+        (* The ring family streams straight into CSR — no per-node adjacency
+           lists are ever materialized, which is what makes n = 10⁶ fit. *)
+        let csrg =
+          if String.equal family.Workload.family_name "ring" then Csr.ring n
+          else Csr.of_graph (build ~quiet:(output.json || digest) family n seed)
+        in
+        let prog = FlatProgs.build entry csrg in
+        let init_rng = Random.State.make [| 0xF1A7; seed |] in
+        (match perturb with
+        | Some k ->
+            FlatProgs.init_ground prog;
+            FlatProgs.perturb prog ~rng:init_rng k
+        | None -> FlatProgs.init_random prog ~rng:init_rng);
+        let result =
+          if parts > 1 then begin
+            if not (String.equal daemon_name "synchronous") then
+              invalid_arg
+                "--parts > 1 is the partitioned synchronous mode; pass -d \
+                 synchronous";
+            Flat.run_partitioned ~parts prog
+          end
+          else
+            match Flat.daemon_of_name daemon_name with
+            | Some d -> Flat.run ~seed ~daemon:d prog
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "unknown daemon %S (one of: %s)" daemon_name
+                     (String.concat ", " (Flat.daemon_names ())))
+        in
+        if digest then begin
+          print_endline (FlatProgs.digest prog result);
+          if result.Flat.outcome = Engine.Stabilized then 0 else 1
+        end
+        else
+          report ~json:output.json
+            (Printf.sprintf "%s (flat engine, n=%d%s)" entry.FlatProgs.pname
+               (Flat.n prog)
+               (if parts > 1 then Printf.sprintf ", %d domains" parts else ""))
+            (obs_of_flat result)
+      with Invalid_argument msg | Sys_error msg ->
+        Fmt.epr "ssreset: %s@." msg;
+        2)
+
 (* ------------------------------ subcommands ----------------------------- *)
 
 let system_cmd name ~doc cli_system =
@@ -427,9 +518,18 @@ let mis_cmd =
     "mis"
 
 let run_cmd =
-  let run system family n seed daemon_name spec sched output =
-    run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec
-      ~scheduler:sched
+  let run system family n seed daemon_name spec sched engine parts perturb
+      digest output =
+    match engine with
+    | "classic" ->
+        run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec
+          ~scheduler:sched
+    | "flat" ->
+        run_flat ~output ~system ~family ~n ~seed ~daemon_name ~parts ~perturb
+          ~digest
+    | e ->
+        Fmt.epr "unknown engine %S (classic or flat)@." e;
+        2
   in
   let system =
     Arg.(
@@ -441,6 +541,46 @@ let run_cmd =
              alliance, alliance-bare, coloring, mis, matching (default \
              unison).")
   in
+  let engine =
+    Arg.(
+      value & opt string "classic"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "$(b,classic) (per-process OCaml states, all systems, all \
+             telemetry) or $(b,flat) (IR-compiled unboxed data path: \
+             unison, tail-unison, min-unison; the ring family streams \
+             directly into CSR form, so n = 10⁶ is practical).")
+  in
+  let parts =
+    Arg.(
+      value & opt int 1
+      & info [ "parts" ] ~docv:"P"
+          ~doc:
+            "Flat engine only: with P > 1, step with P worker domains over \
+             1024-aligned node ranges (requires $(b,-d synchronous)).  \
+             Results are identical for every P.")
+  in
+  let perturb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "perturb" ] ~docv:"K"
+          ~doc:
+            "Flat engine only: start from the legitimate ground \
+             configuration with $(docv) random processes corrupted, instead \
+             of a fully arbitrary configuration — the scale workload (a \
+             10⁶-node run then stabilizes in seconds).")
+  in
+  let digest =
+    Arg.(
+      value & flag
+      & info [ "digest" ]
+          ~doc:
+            "Flat engine only: print one deterministic summary line \
+             (outcome, steps, moves, rounds, state checksum — no \
+             wall-clock) instead of the report; byte-comparable across \
+             $(b,--parts) values.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
@@ -449,7 +589,7 @@ let run_cmd =
           --trace-out.")
     Term.(
       const run $ system $ family $ size $ seed $ daemon_name $ spec
-      $ scheduler $ output_term)
+      $ scheduler $ engine $ parts $ perturb $ digest $ output_term)
 
 let graph_cmd =
   let run family n seed dot =

@@ -140,6 +140,11 @@ let rec c_term ctx ~node ~cur ~post = function
           c_term ctx ~node ~cur ~post a;
           c_term ctx ~node ~cur ~post b ]
   | Sym.Ctor c -> Smt.Atom c
+  | Sym.Min_nbr _ ->
+      (* A neighborhood minimum needs a Skolem witness plus attainment
+         axioms; no registered smt_spec uses it (the composed U∘SDR spec
+         drives the flat engine and the bounded differential only). *)
+      invalid_arg "Obligation: Min_nbr is not SMT-compilable yet"
 
 and c_form ctx ~node ~cur ~post = function
   | Sym.Const true -> Smt.Atom "true"
@@ -510,6 +515,7 @@ let rec nbrize_term = function
   | Sym.Sub (a, b) -> Sym.Sub (nbrize_term a, nbrize_term b)
   | Sym.Neg a -> Sym.Neg (nbrize_term a)
   | Sym.Ite (c, a, b) -> Sym.Ite (nbrize_form c, nbrize_term a, nbrize_term b)
+  | Sym.Min_nbr _ -> invalid_arg "Obligation: p_reset must be quantifier-free"
 
 and nbrize_form = function
   | Sym.Const _ as f -> f

@@ -255,6 +255,119 @@ let unison_sym g =
       Algorithm.for_all_views g cfg ~f:(fun _ v -> U.Input.p_icorrect v))
     ()
 
+(* --- the composed U∘SDR system as one symbolic IR ---------------------
+
+   Unlike {!unison_input_spec} (the bare input layer), this spec describes
+   the {e whole} transformed algorithm — SDR-RB/RF/C/R plus the lifted
+   U-inc — with the SDR variables as explicit fields (st as an enum, d as
+   an int).  It is the source of truth the flat data-path engine compiles
+   to closures over unboxed arrays, and the flat-vs-classic differential
+   validates it against [Sdr.Make]'s OCaml rules the same way {!Sym.check}
+   does here.  SDR-RB's distance update needs the neighborhood minimum,
+   hence {!Sym.Min_nbr}.  Not an [smt_spec]: [Min_nbr] has no SMT
+   compilation yet. *)
+
+let unison_sdr_composed_spec =
+  let st_s = Sym.Var (Sym.Self, "st") and st_b = Sym.Var (Sym.Nbr, "st") in
+  let d_s = Sym.Var (Sym.Self, "d") and d_b = Sym.Var (Sym.Nbr, "d") in
+  let c_C = Sym.Ctor "C" and c_RB = Sym.Ctor "RB" and c_RF = Sym.Ctor "RF" in
+  let reset_s = Sym.Eq (s_c, Sym.Num 0) in
+  let reset_b = Sym.Eq (s_b, Sym.Num 0) in
+  let p_rb = Sym.And [ Sym.Eq (st_s, c_C); Sym.Exists_nbr (Sym.Eq (st_b, c_RB)) ] in
+  let p_rf =
+    Sym.And
+      [ Sym.Eq (st_s, c_RB);
+        reset_s;
+        Sym.Forall_nbr
+          (Sym.Or
+             [ Sym.And [ Sym.Eq (st_b, c_RB); Sym.Le (d_b, d_s) ];
+               Sym.And [ Sym.Eq (st_b, c_RF); reset_b ] ]) ]
+  in
+  (* ok(s) of P_C, sited at self and at the bound neighbor. *)
+  let ok_self =
+    Sym.And
+      [ reset_s;
+        Sym.Or [ Sym.And [ Sym.Eq (st_s, c_RF); Sym.Le (d_s, d_s) ];
+                 Sym.Eq (st_s, c_C) ] ]
+  in
+  let ok_nbr =
+    Sym.And
+      [ reset_b;
+        Sym.Or [ Sym.And [ Sym.Eq (st_b, c_RF); Sym.Le (d_s, d_b) ];
+                 Sym.Eq (st_b, c_C) ] ]
+  in
+  let p_c = Sym.And [ Sym.Eq (st_s, c_RF); ok_self; Sym.Forall_nbr ok_nbr ] in
+  let p_r1 =
+    Sym.And
+      [ Sym.Eq (st_s, c_C); Sym.Not reset_s;
+        Sym.Exists_nbr (Sym.Eq (st_b, c_RF)) ]
+  in
+  let p_r2 = Sym.And [ Sym.Not (Sym.Eq (st_s, c_C)); Sym.Not reset_s ] in
+  let p_icorrect = Sym.Forall_nbr s_ring_ok in
+  let p_correct = Sym.Or [ Sym.Not (Sym.Eq (st_s, c_C)); p_icorrect ] in
+  let p_up = Sym.And [ Sym.Not p_rb; Sym.Or [ p_r1; p_r2; Sym.Not p_correct ] ] in
+  let p_clean =
+    Sym.And [ Sym.Eq (st_s, c_C); Sym.Forall_nbr (Sym.Eq (st_b, c_C)) ]
+  in
+  let ir =
+    { Sym.ir_name = "unison-sdr-composed";
+      fields =
+        [ ("st", Sym.TEnum ("Status", [ "C"; "RB"; "RF" ]));
+          ("d", Sym.TInt);
+          ("c", Sym.TInt) ];
+      params =
+        [ { Sym.pname = "K"; lower = Some 2 };
+          { Sym.pname = "MaxD"; lower = Some 0 } ];
+      ranges =
+        [ ("c", Sym.Num 0, Sym.Param "K");
+          ("d", Sym.Num 0, Sym.Add (Sym.Param "MaxD", Sym.Num 1)) ];
+      rules =
+        [ { Sym.rule = "SDR-RB";
+            guard = p_rb;
+            assigns =
+              [ ("st", c_RB);
+                (* default unreachable: P_RB guarantees an RB neighbor *)
+                ("d",
+                 Sym.Add
+                   ( Sym.Min_nbr (Sym.Eq (st_b, c_RB), d_b, Sym.Num 0),
+                     Sym.Num 1 ));
+                ("c", Sym.Num 0) ] };
+          { Sym.rule = "SDR-RF"; guard = p_rf; assigns = [ ("st", c_RF) ] };
+          { Sym.rule = "SDR-C"; guard = p_c; assigns = [ ("st", c_C) ] };
+          { Sym.rule = "SDR-R";
+            guard = p_up;
+            assigns = [ ("st", c_RB); ("d", Sym.Num 0); ("c", Sym.Num 0) ] };
+          { Sym.rule = Unison.rule_inc;
+            guard = Sym.And [ p_clean; Sym.Forall_nbr s_up ];
+            assigns = [ ("c", s_incmod s_c) ] } ] }
+  in
+  { (Sym.spec_of_ir ir) with
+    Sym.sp_legitimate = Some (Sym.And [ p_clean; p_icorrect ]) }
+
+let unison_sdr_params_of_n n = [ ("K", n + 2); ("MaxD", n) ]
+
+let tail_unison_params_of_n n =
+  [ ("K", max 4 ((2 * n) + 2)); ("alpha", max 1 n) ]
+
+let min_unison_params_of_n n =
+  [ ("K", max 4 ((n * n) + 1)); ("alpha", max 1 (n - 2)) ]
+
+let encode_composed (s : Unison.clock Sdr.state) =
+  [ ("st", Sym.VEnum (Sdr.status_to_string s.Sdr.st));
+    ("d", Sym.VInt s.Sdr.d);
+    ("c", Sym.VInt s.Sdr.inner) ]
+
+let unison_sdr_composed_sym g =
+  let k, domain = unison_params g in
+  let module U = Unison.Make (struct
+    let k = k
+  end) in
+  Sym.make_instance ~spec:unison_sdr_composed_spec
+    ~params:(unison_sdr_params_of_n (Graph.n g))
+    ~algorithm:U.Composed.algorithm ~graph:g ~domain
+    ~encode:encode_composed
+    ~is_legitimate:(U.Composed.is_normal g) ()
+
 let unison_sdr_footprint g =
   let k, domain = unison_params g in
   let module U = Unison.Make (struct

@@ -32,6 +32,30 @@ type entry = {
           sizes *)
 }
 
+val tail_unison_spec : Sym.spec
+val min_unison_spec : Sym.spec
+(** Topology-parametric symbolic specs of the two self-contained unisons
+    (shared by the entries below and by the flat data-path engine). *)
+
+val unison_sdr_composed_spec : Sym.spec
+(** The {e whole} composed U∘SDR system as one symbolic IR: fields
+    [st : Status], [d : Int], [c : Int]; rules SDR-RB/RF/C/R plus the
+    lifted U-inc, in the engine's rule order.  The source program of the
+    flat engine's closure compiler; validated against [Sdr.Make]'s OCaml
+    rules by {!unison_sdr_composed_sym}.  Uses {!Sym.Min_nbr} (SDR-RB's
+    distance update), so it carries no SMT obligations yet. *)
+
+val tail_unison_params_of_n : int -> (string * int) list
+val min_unison_params_of_n : int -> (string * int) list
+val unison_sdr_params_of_n : int -> (string * int) list
+(** Parameter valuations as a function of the process count, matching the
+    registry instances: tail [K = max 4 (2n+2), α = max 1 n]; min
+    [K = max 4 (n²+1), α = max 1 (n-2)]; composed [K = n+2, MaxD = n]. *)
+
+val unison_sdr_composed_sym : Ssreset_graph.Graph.t -> Sym.instance
+(** Differential instance for {!unison_sdr_composed_spec} on one graph
+    (the bounded oracle behind the flat engine's compiler). *)
+
 val entries : entry list
 (** min-unison, tail-unison, unison-sdr, coloring-sdr, mis-sdr,
     matching-sdr, fga-sdr.  The unison entries carry a ["climb-debt"]

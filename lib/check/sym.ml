@@ -14,6 +14,7 @@ type term =
   | Neg of term
   | Ite of form * term * term
   | Ctor of string
+  | Min_nbr of form * term * term
 
 and form =
   | Const of bool
@@ -111,6 +112,18 @@ let rec eval_term env = function
   | Ite (c, a, b) ->
       if eval_form_env env c then eval_term env a else eval_term env b
   | Ctor c -> VEnum c
+  | Min_nbr (filt, body, dflt) ->
+      let best = ref None in
+      for i = 0 to Array.length env.ve_nbrs - 1 do
+        let e = { env with ve_cur = Some i } in
+        if eval_form_env e filt then begin
+          let v = as_int (eval_term e body) in
+          match !best with
+          | Some b when b <= v -> ()
+          | _ -> best := Some v
+        end
+      done;
+      (match !best with Some v -> VInt v | None -> eval_term env dflt)
 
 and eval_form_env env = function
   | Const b -> b
@@ -163,6 +176,11 @@ let rec subst_self_term assigns = function
         ( subst_self_form assigns c,
           subst_self_term assigns a,
           subst_self_term assigns b )
+  | Min_nbr (filt, body, dflt) ->
+      Min_nbr
+        ( subst_self_form assigns filt,
+          subst_self_term assigns body,
+          subst_self_term assigns dflt )
 
 and subst_self_form assigns = function
   | Const _ as f -> f
@@ -201,6 +219,10 @@ let well_formed ir =
         walk_form ~ctx ~depth ~allow_fields c;
         walk_term ~ctx ~depth ~allow_fields a;
         walk_term ~ctx ~depth ~allow_fields b
+    | Min_nbr (filt, body, dflt) ->
+        walk_form ~ctx ~depth:(depth + 1) ~allow_fields filt;
+        walk_term ~ctx ~depth:(depth + 1) ~allow_fields body;
+        walk_term ~ctx ~depth ~allow_fields dflt
   and walk_form ~ctx ~depth ~allow_fields = function
     | Const _ -> ()
     | Not f -> walk_form ~ctx ~depth ~allow_fields f

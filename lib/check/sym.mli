@@ -45,6 +45,12 @@ type term =
   | Neg of term
   | Ite of form * term * term
   | Ctor of string  (** enum constructor *)
+  | Min_nbr of form * term * term
+      (** [Min_nbr (filter, body, default)]: the minimum of [body] over
+          the neighbors satisfying [filter] ([Var (Nbr, _)] is bound in
+          both), or [default] (evaluated outside the binder) when no
+          neighbor qualifies.  Needed for SDR-RB's
+          [d := 1 + min {d(v) | v ∈ N(u), status v = RB}]. *)
 
 and form =
   | Const of bool

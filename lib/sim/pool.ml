@@ -137,6 +137,106 @@ let map_array ?jobs ?prof f xs =
 let map_list ?jobs ?prof f xs =
   Array.to_list (map_array ?jobs ?prof f (Array.of_list xs))
 
+module Team = struct
+  type t = {
+    size : int;
+    mutex : Mutex.t;
+    cond : Condition.t;
+    mutable epoch : int;
+    mutable job : (int -> unit) option;
+    mutable finished : int;  (** helpers done with the current epoch *)
+    mutable stop : bool;
+    mutable errors : job_error list;
+    mutable helpers : unit Domain.t list;
+  }
+
+  let size t = t.size
+
+  (* Helpers sleep on the condition between phases; spawning them once per
+     run (not per phase) is what makes a 3-phase step affordable. *)
+  let rec helper_loop t w seen =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.epoch = seen do
+      Condition.wait t.cond t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      let epoch = t.epoch in
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      let err =
+        match job w with
+        | () -> None
+        | exception exn ->
+            Some { index = w; exn; backtrace = Printexc.get_raw_backtrace () }
+      in
+      Mutex.lock t.mutex;
+      (match err with Some e -> t.errors <- e :: t.errors | None -> ());
+      t.finished <- t.finished + 1;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      helper_loop t w epoch
+    end
+
+  let create ~size =
+    let size = max 1 size in
+    let t =
+      {
+        size;
+        mutex = Mutex.create ();
+        cond = Condition.create ();
+        epoch = 0;
+        job = None;
+        finished = 0;
+        stop = false;
+        errors = [];
+        helpers = [];
+      }
+    in
+    t.helpers <-
+      List.init (size - 1) (fun i ->
+          Domain.spawn (fun () -> helper_loop t (i + 1) 0));
+    t
+
+  let run t fn =
+    if t.size = 1 then fn 0
+    else begin
+      Mutex.lock t.mutex;
+      t.job <- Some fn;
+      t.finished <- 0;
+      t.errors <- [];
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      let own =
+        match fn 0 with
+        | () -> None
+        | exception exn ->
+            Some { index = 0; exn; backtrace = Printexc.get_raw_backtrace () }
+      in
+      Mutex.lock t.mutex;
+      while t.finished < t.size - 1 do
+        Condition.wait t.cond t.mutex
+      done;
+      let errs = t.errors in
+      Mutex.unlock t.mutex;
+      let all = match own with Some e -> e :: errs | None -> errs in
+      match List.sort (fun a b -> compare a.index b.index) all with
+      | [] -> ()
+      | e :: _ -> raise (Job_failed e)
+    end
+
+  let shutdown t =
+    if not t.stop then begin
+      Mutex.lock t.mutex;
+      t.stop <- true;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      List.iter Domain.join t.helpers;
+      t.helpers <- []
+    end
+end
+
 let () =
   Printexc.register_printer (function
     | Job_failed { index; exn; _ } ->

@@ -42,3 +42,35 @@ val map_array :
 val map_list :
   ?jobs:int -> ?prof:Ssreset_obs.Prof.t -> ('a -> 'b) -> 'a list -> 'b list
 (** List version of {!map_array}. *)
+
+(** Persistent worker team for phase-synchronous algorithms.
+
+    [map_array] spawns fresh domains per call — fine for coarse grid cells,
+    hopeless for the flat engine's partitioned stepping, which needs
+    several parallel phases {e per step}.  A team spawns its helper domains
+    once; each {!Team.run} call is one parallel phase ending in a barrier,
+    so a 3-phase step costs three broadcasts, not three spawns. *)
+module Team : sig
+  type t
+
+  val create : size:int -> t
+  (** Team of [max 1 size] workers: [size - 1] helper domains (spawned
+      now, parked on a condition variable) plus the calling domain. *)
+
+  val size : t -> int
+
+  val run : t -> (int -> unit) -> unit
+  (** [run t fn] executes [fn w] once for every worker index
+      [w ∈ 0 .. size-1] — the caller runs [fn 0] — and returns only after
+      {e all} of them finished (a full barrier).  If any worker raised,
+      {!Job_failed} with the smallest worker index is raised after the
+      barrier, like [map_array].  [fn] must confine writes to
+      worker-private data (the flat engine partitions all arrays by
+      1024-aligned node ranges; see {!Ssreset_flat.Bits.part_align}).
+      Not reentrant: one [run] at a time per team, from the creating
+      domain.  With [size = 1], [fn 0] runs inline with no
+      synchronization. *)
+
+  val shutdown : t -> unit
+  (** Join the helper domains.  Idempotent; the team is unusable after. *)
+end

@@ -1,0 +1,318 @@
+(* Flat data-path engine: bitset unit tests, streaming-generator vs
+   materialized-graph CSR equivalence, the flat-vs-classic differential
+   (same movers, same counters, same final states, under every registered
+   daemon) and partition-count invariance of the domain-parallel run. *)
+
+open Helpers
+module Bits = Ssreset_flat.Bits
+module Flat = Ssreset_flat.Flat
+module Progs = Ssreset_flat.Progs
+module Csr = Ssreset_graph.Csr
+module Sym = Ssreset_check.Sym
+module Registry = Ssreset_check.Registry
+
+(* ------------------------------- bitset -------------------------------- *)
+
+let bits_reference_tests =
+  [
+    test "bits agrees with a reference bool array under random churn"
+      (fun () ->
+        let n = 5000 in
+        let b = Bits.create n in
+        let r = Array.make n false in
+        let count = ref 0 in
+        let st = rng 42 in
+        for _ = 1 to 20_000 do
+          let u = Random.State.int st n in
+          if Random.State.bool st then begin
+            let changed = Bits.add b u in
+            check_bool "add changed" (not r.(u)) changed;
+            if changed then incr count;
+            r.(u) <- true
+          end
+          else begin
+            let changed = Bits.remove b u in
+            check_bool "remove changed" r.(u) changed;
+            if changed then decr count;
+            r.(u) <- false
+          end
+        done;
+        check_int "count_range full" !count (Bits.count_range b 0 n);
+        for u = 0 to n - 1 do
+          if Bits.mem b u <> r.(u) then
+            Alcotest.failf "mem mismatch at %d" u
+        done;
+        let members = ref [] in
+        Bits.iter b (fun u -> members := u :: !members);
+        let members = List.rev !members in
+        let expected =
+          List.filter (fun u -> r.(u)) (List.init n Fun.id)
+        in
+        check (Alcotest.list Alcotest.int) "iter ascending" expected members;
+        List.iteri
+          (fun i u -> check_int (Fmt.str "nth %d" i) u (Bits.nth b i))
+          expected;
+        let st2 = rng 43 in
+        for _ = 1 to 200 do
+          let lo = Random.State.int st2 n in
+          let hi = lo + Random.State.int st2 (n - lo + 1) in
+          let got = ref [] in
+          Bits.iter_range b lo hi (fun u -> got := u :: !got);
+          let want = List.filter (fun u -> u >= lo && u < hi) expected in
+          check (Alcotest.list Alcotest.int) "iter_range" want
+            (List.rev !got);
+          check_int "count_range" (List.length want)
+            (Bits.count_range b lo hi);
+          let q = Random.State.int st2 n in
+          let want_geq =
+            match List.filter (fun u -> u >= q) expected with
+            | [] -> -1
+            | u :: _ -> u
+          in
+          check_int "next_geq" want_geq (Bits.next_geq b q)
+        done);
+  ]
+
+(* ------------------------ streaming CSR generators ---------------------- *)
+
+let csr_equal name a b =
+  check (Alcotest.array Alcotest.int)
+    (name ^ " offsets")
+    a.Csr.offsets b.Csr.offsets;
+  check (Alcotest.array Alcotest.int) (name ^ " nbrs") a.Csr.nbrs b.Csr.nbrs
+
+let csr_generator_tests =
+  [
+    test "streamed ring = CSR of materialized ring" (fun () ->
+        List.iter
+          (fun n ->
+            csr_equal (Fmt.str "ring %d" n)
+              (Csr.of_graph (Gen.ring n))
+              (Csr.ring n))
+          [ 3; 4; 5; 32; 101 ]);
+    test "streamed torus = CSR of materialized torus" (fun () ->
+        List.iter
+          (fun (w, h) ->
+            csr_equal
+              (Fmt.str "torus %dx%d" w h)
+              (Csr.of_graph (Gen.torus w h))
+              (Csr.torus w h))
+          [ (3, 3); (4, 5); (6, 3) ]);
+    test "streamed random-regular-ish = CSR of materialized, same seed"
+      (fun () ->
+        List.iter
+          (fun (seed, n, k) ->
+            csr_equal
+              (Fmt.str "rr n=%d k=%d seed=%d" n k seed)
+              (Csr.of_graph (Gen.random_regular_ish (rng seed) n k))
+              (Csr.random_regular_ish (rng seed) n k))
+          [ (1, 16, 4); (2, 64, 4); (3, 200, 6); (9, 33, 3) ]);
+    test "to_graph round-trips the zoo" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            let g' = Csr.to_graph (Csr.of_graph g) in
+            check_int (name ^ " n") (Graph.n g) (Graph.n g');
+            for u = 0 to Graph.n g - 1 do
+              check (Alcotest.array Alcotest.int) (Fmt.str "%s nbrs %d" name u)
+                (Graph.neighbors g u) (Graph.neighbors g' u)
+            done)
+          (graph_zoo ()));
+  ]
+
+(* ------------------------- flat vs classic engine ----------------------- *)
+
+(* Instances whose IR is honest (fixtures excluded: toy-badsym's IR lies
+   about the OCaml rules on purpose, so the flat compilation of its IR
+   diverges from its classic run by design). *)
+let sym_instances g =
+  List.filter_map
+    (fun (e : Registry.entry) ->
+      Option.map (fun mk -> (e.Registry.name, mk g)) e.Registry.sym)
+    Registry.entries
+  @ [ ("unison-sdr-composed", Registry.unison_sdr_composed_sym g) ]
+
+let value_list_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (f1, v1) (f2, v2) -> String.equal f1 f2 && Sym.value_equal v1 v2)
+       a b
+
+let outcome_str (o : Engine.outcome) =
+  match o with
+  | Engine.Stabilized -> "stabilized"
+  | Engine.Terminal -> "terminal"
+  | Engine.Step_limit -> "step-limit"
+
+let differential_one ~label inst daemon_name seed =
+  let module I = (val inst : Sym.INSTANCE) in
+  let g = I.graph in
+  let n = Graph.n g in
+  let seed_rng = rng (0x5EED + seed) in
+  let cfg0 =
+    Array.init n (fun u ->
+        let d = I.domain u in
+        List.nth d (Random.State.int seed_rng (List.length d)))
+  in
+  let prog =
+    Flat.compile ~csr:(Csr.of_graph g) ~params:I.param_values I.spec
+  in
+  Array.iteri (fun u s -> Flat.load prog u (I.encode s)) cfg0;
+  let daemon = Option.get (Daemon.by_name daemon_name) in
+  let classic_moved = ref [] in
+  let res_c =
+    Engine.run ~rng:(rng seed) ~max_steps:60 ~algorithm:I.algorithm ~graph:g
+      ~daemon
+      ~observer:(fun ~step:_ ~moved _ -> classic_moved := moved :: !classic_moved)
+      cfg0
+  in
+  let flat_daemon = Option.get (Flat.daemon_of_name daemon_name) in
+  let flat_moved = ref [] in
+  let res_f =
+    Flat.run ~rng:(rng seed) ~max_steps:60 ~stop_on_legitimate:false
+      ~daemon:flat_daemon
+      ~on_step:(fun ~step:_ ~moved -> flat_moved := moved :: !flat_moved)
+      prog
+  in
+  check Alcotest.string (label ^ " outcome") (outcome_str res_c.Engine.outcome)
+    (outcome_str res_f.Flat.outcome);
+  check_int (label ^ " steps") res_c.Engine.steps res_f.Flat.steps;
+  check_int (label ^ " moves") res_c.Engine.moves res_f.Flat.moves;
+  check_int (label ^ " rounds") res_c.Engine.rounds res_f.Flat.rounds;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    (label ^ " moves_per_rule") res_c.Engine.moves_per_rule
+    res_f.Flat.moves_per_rule;
+  check (Alcotest.array Alcotest.int) (label ^ " moves_per_process")
+    res_c.Engine.moves_per_process res_f.Flat.moves_per_process;
+  check
+    (Alcotest.list (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string)))
+    (label ^ " per-step movers")
+    (List.rev !classic_moved) (List.rev !flat_moved);
+  Array.iteri
+    (fun u s ->
+      if not (value_list_equal (I.encode s) (Flat.read prog u)) then
+        Alcotest.failf "%s: final state differs at process %d" label u)
+    res_c.Engine.final;
+  match I.is_legitimate with
+  | Some legit ->
+      check_bool
+        (label ^ " legitimacy tracking")
+        (legit res_c.Engine.final) res_f.Flat.legitimate
+  | None -> ()
+
+let differential_tests =
+  [
+    test "flat = classic on the zoo, every daemon, 20 seeds" (fun () ->
+        List.iter
+          (fun (gname, g) ->
+            List.iter
+              (fun (iname, inst) ->
+                List.iter
+                  (fun dname ->
+                    for seed = 1 to 20 do
+                      differential_one
+                        ~label:(Fmt.str "%s/%s/%s/#%d" gname iname dname seed)
+                        inst dname seed
+                    done)
+                  (Daemon.names ()))
+              (sym_instances g))
+          (graph_zoo ()));
+  ]
+
+(* ------------------------- partition invariance ------------------------- *)
+
+let scale_prog ?(n = 8192) ?(faults = 40) ?(seed = 77) () =
+  let e = Option.get (Progs.find "unison-sdr") in
+  let p = Progs.build e (Csr.ring n) in
+  Progs.init_ground p;
+  Progs.perturb p ~rng:(rng seed) faults;
+  p
+
+let partition_tests =
+  [
+    test "partitioned run is invariant in the partition count" (fun () ->
+        let reference = ref None in
+        List.iter
+          (fun parts ->
+            let p = scale_prog () in
+            let r = Flat.run_partitioned ~parts p in
+            check Alcotest.string
+              (Fmt.str "outcome parts=%d" parts)
+              "stabilized" (outcome_str r.Flat.outcome);
+            let summary =
+              ( Progs.digest p r,
+                r.Flat.moves_per_rule,
+                Array.to_list r.Flat.moves_per_process )
+            in
+            match !reference with
+            | None -> reference := Some summary
+            | Some s ->
+                let d0, mr0, mp0 = s and d1, mr1, mp1 = summary in
+                check Alcotest.string (Fmt.str "digest parts=%d" parts) d0 d1;
+                check
+                  (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+                  (Fmt.str "rules parts=%d" parts)
+                  mr0 mr1;
+                check (Alcotest.list Alcotest.int)
+                  (Fmt.str "per-process parts=%d" parts)
+                  mp0 mp1)
+          [ 1; 2; 4; 8 ]);
+    test "partitioned = sequential synchronous" (fun () ->
+        let p_seq = scale_prog () in
+        let r_seq = Flat.run ~daemon:Flat.Synchronous p_seq in
+        let p_par = scale_prog () in
+        let r_par = Flat.run_partitioned ~parts:4 p_par in
+        check Alcotest.string "digest" (Progs.digest p_seq r_seq)
+          (Progs.digest p_par r_par);
+        check_int "rounds" r_seq.Flat.rounds r_par.Flat.rounds);
+    test "tiny graphs tolerate more parts than alignment blocks" (fun () ->
+        List.iter
+          (fun parts ->
+            let p = scale_prog ~n:100 ~faults:7 () in
+            let r = Flat.run_partitioned ~parts p in
+            check Alcotest.string
+              (Fmt.str "outcome n=100 parts=%d" parts)
+              "stabilized" (outcome_str r.Flat.outcome))
+          [ 1; 2; 4 ]);
+  ]
+
+(* ----------------------- composed IR stays honest ----------------------- *)
+
+let composed_ir_tests =
+  [
+    test "composed U-SDR IR passes the symbolic differential" (fun () ->
+        List.iter
+          (fun g ->
+            let diff =
+              Sym.check ~max_views_per_process:400 ~max_steps:150
+                (Registry.unison_sdr_composed_sym g)
+            in
+            if not (Sym.diff_ok diff) then
+              Alcotest.failf "composed IR mismatch: %a"
+                Fmt.(list ~sep:(any "; ") Sym.pp_mismatch)
+                diff.Sym.mismatches)
+          [ Gen.ring 5; Gen.path 4; Gen.star 4 ]);
+  ]
+
+(* ----------------------------- scale smoke ------------------------------ *)
+
+let scale_tests =
+  [
+    test "streamed ring n=20000 stabilizes from 50 faults" (fun () ->
+        let p = scale_prog ~n:20_000 ~faults:50 ~seed:5 () in
+        let r = Flat.run ~daemon:Flat.Synchronous p in
+        check Alcotest.string "outcome" "stabilized"
+          (outcome_str r.Flat.outcome);
+        check_true "made progress" (r.Flat.moves > 0));
+  ]
+
+let () =
+  Alcotest.run "flat"
+    [
+      ("bits", bits_reference_tests);
+      ("csr-generators", csr_generator_tests);
+      ("differential", differential_tests);
+      ("partitioned", partition_tests);
+      ("composed-ir", composed_ir_tests);
+      ("scale", scale_tests);
+    ]

@@ -141,6 +141,8 @@ let () =
      is stricter. *)
   let trace_tolerance = Float.max 0.05 tolerance in
   let fresh_trace = list_field "trace_v1" fresh in
+  if fresh_trace <> [] && list_field "trace_v1" baseline = [] then
+    info "new-section trace_v1: no baseline section, learned at next refresh";
   List.iter
     (fun base_record ->
       match Option.bind (Json.member "n" base_record) Json.to_int_opt with
@@ -180,6 +182,8 @@ let () =
      the trace gate: never tighter than 5%. *)
   let prof_tolerance = Float.max 0.05 tolerance in
   let fresh_prof = list_field "prof" fresh in
+  if fresh_prof <> [] && list_field "prof" baseline = [] then
+    info "new-section prof: no baseline section, learned at next refresh";
   List.iter
     (fun base_record ->
       match Option.bind (Json.member "n" base_record) Json.to_int_opt with
@@ -266,6 +270,79 @@ let () =
       | Some n, Some s -> info "engine n=%d: incremental speedup %.1fx" n s
       | _ -> ())
     (list_field "engine" fresh);
+
+  (* 7. engine_flat: the IR-compiled flat data path.  Digest agreement
+     across domain counts is correctness (never negotiable).  Throughput
+     holds to the baseline only when the baseline knows the section: a
+     section present in the fresh results but absent from the committed
+     baseline is a newly added bench — noted explicitly as `new-section`
+     and learned at the next baseline refresh, never a failure (the old
+     behaviour forced every new bench section into a same-PR baseline
+     refresh). *)
+  let flat_tolerance = Float.max 0.05 tolerance in
+  (match Json.member "engine_flat" fresh with
+  | None -> ()
+  | Some fresh_flat -> (
+      let digest_of r =
+        Option.bind (Json.member "digest" r) Json.to_string_opt
+      in
+      (match List.filter_map digest_of (list_field "scale" fresh_flat) with
+      | d :: rest when List.exists (fun d' -> not (String.equal d d')) rest ->
+          fail "engine_flat: scale digests diverge across domain counts"
+      | _ :: _ -> info "engine_flat: scale digests agree across domain counts"
+      | [] -> ());
+      List.iter
+        (fun r ->
+          match
+            ( Option.bind (Json.member "n" r) Json.to_int_opt,
+              float_field "speedup" r )
+          with
+          | Some n, Some s -> info "engine_flat n=%d: flat speedup %.1fx" n s
+          | _ -> ())
+        (list_field "head_to_head" fresh_flat);
+      match Json.member "engine_flat" baseline with
+      | None ->
+          info
+            "new-section engine_flat: no baseline section, learned at next \
+             refresh"
+      | Some base_flat ->
+          let gate_rate ~section ~key ~field ctx =
+            let find j r0 =
+              List.find_opt
+                (fun r ->
+                  List.for_all
+                    (fun k ->
+                      Option.bind (Json.member k r) Json.to_int_opt
+                      = Option.bind (Json.member k r0) Json.to_int_opt)
+                    key)
+                (list_field section j)
+            in
+            List.iter
+              (fun base_r ->
+                match find fresh_flat base_r with
+                | None -> ()
+                | Some fresh_r -> (
+                    match
+                      (float_field field base_r, float_field field fresh_r)
+                    with
+                    | Some b, Some f when b > 0. ->
+                        if f < b *. (1. -. flat_tolerance) then
+                          fail
+                            "engine_flat %s: %.0f %s vs baseline %.0f \
+                             (-%.0f%% > -%.0f%% tolerance)"
+                            ctx f field b
+                            (100. *. (1. -. (f /. b)))
+                            (flat_tolerance *. 100.)
+                        else
+                          info "engine_flat %s: %.0f %s vs baseline %.0f" ctx
+                            f field b
+                    | _ -> ()))
+              (list_field section base_flat)
+          in
+          gate_rate ~section:"head_to_head" ~key:[ "n" ]
+            ~field:"flat_steps_per_s" "head-to-head";
+          gate_rate ~section:"scale" ~key:[ "n"; "parts" ]
+            ~field:"steps_per_s" "scale"));
 
   if !failures > 0 then begin
     Printf.printf

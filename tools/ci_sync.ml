@@ -27,7 +27,22 @@ let required =
     ("conditional smt solving", "smt solve");
     ("trace artifacts on failure", "if: failure()");
     ("OCaml 5.1 in the matrix", "5.1");
-    ("OCaml 5.2 in the matrix", "5.2") ]
+    ("OCaml 5.2 in the matrix", "5.2");
+    ("OCaml 5.3 in the matrix", "5.3");
+    ("opam switch cache keyed on dune-project",
+     "opam-${{ runner.os }}-${{ matrix.ocaml-compiler }}-${{ \
+      hashFiles('dune-project') }}");
+    ( "flat scale smoke, sequential",
+      "run unison --engine flat -g ring -n 100000 --perturb 5000 -d \
+       synchronous --parts 1 --digest" );
+    ( "flat scale smoke, partitioned",
+      "run unison --engine flat -g ring -n 100000 --perturb 5000 -d \
+       synchronous --parts 2 --digest" );
+    ( "partitioned digest byte-comparison",
+      "cmp smoke-scale-p1.txt smoke-scale-p2.txt" );
+    ("pinned z3 install", "apt-get install -y --no-install-recommends z3=");
+    ("ring obligations solved", "smt solve --family ring");
+    ("unsat transcript artifact", "smt-ring-transcript.txt") ]
 
 let contains ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
