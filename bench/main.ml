@@ -607,12 +607,15 @@ let run_prof_bench ~quick =
           phases) ]
 
 (* ------------------------------------------------------------------ *)
-(* smt: check-v3 throughput.  Two rates the gate holds to baseline:    *)
+(* smt: check-v4 throughput.  Four rates the gate holds to baseline:   *)
 (* obligation compilation (symbolic spec → SMT-LIB scripts, all four   *)
 (* topology families, re-parsed and linted — the full emission         *)
-(* pipeline minus the disk) in obligations/s, and the symbolic-IR      *)
-(* differential (views + daemon steps cross-checked against the OCaml  *)
-(* rules) in views/s.                                                  *)
+(* pipeline minus the disk) in obligations/s; the ranking family alone *)
+(* (rank + comp.* composition obligations, the v4 global-convergence   *)
+(* measures) in obligations/s; the symbolic-IR differential (views +   *)
+(* daemon steps cross-checked against the OCaml rules) in views/s; and *)
+(* the same differential over the four SDR input-layer IRs added in v4 *)
+(* (coloring, MIS, matching, FGA), one views/s figure each.            *)
 (* ------------------------------------------------------------------ *)
 
 module CSym = Ssreset_check.Sym
@@ -620,7 +623,7 @@ module CObligation = Ssreset_check.Obligation
 module CSmt = Ssreset_check.Smt
 
 let run_smt_bench ~quick =
-  Printf.printf "== smt: check-v3 obligation compilation + symbolic \
+  Printf.printf "== smt: check-v4 obligation compilation + symbolic \
                  differential ==\n%!";
   let specs =
     List.filter_map
@@ -664,6 +667,48 @@ let run_smt_bench ~quick =
     "  compile   %3d specs ×%4d reps %8d obligations %6.2fs %10.0f \
      obligations/s\n%!"
     (List.length specs) reps total_obs compile_wall obs_per_s;
+  (* ranking family alone: rank obligations from every spec that carries a
+     sp_rank, plus the comp.* composition family from every comp_spec —
+     the v4 global-convergence measures the z3 CI job certifies. *)
+  let comp_specs =
+    List.filter_map
+      (fun (e : CRegistry.entry) ->
+        Option.map (fun s -> (e.CRegistry.name, s)) e.CRegistry.comp_spec)
+      CRegistry.entries
+  in
+  let t0 = Unix.gettimeofday () in
+  let rank_per_rep = ref 0 in
+  for _ = 1 to reps do
+    rank_per_rep := 0;
+    List.iter
+      (fun (name, spec) ->
+        let obs =
+          List.filter
+            (fun (ob : CObligation.t) ->
+              match ob.CObligation.ob_kind with
+              | CObligation.Rank _ -> true
+              | _ -> false)
+            (CObligation.compile_all ~algo:name spec)
+        in
+        rank_per_rep := !rank_per_rep + List.length obs)
+      specs;
+    List.iter
+      (fun (name, spec) ->
+        rank_per_rep :=
+          !rank_per_rep
+          + List.length (CObligation.compile_composition_all ~algo:name spec))
+      comp_specs
+  done;
+  let rank_wall = Unix.gettimeofday () -. t0 in
+  let total_rank = reps * !rank_per_rep in
+  let rank_per_s =
+    if rank_wall > 0. then float_of_int total_rank /. rank_wall else 0.
+  in
+  Printf.printf
+    "  ranking   %3d specs ×%4d reps %8d obligations %6.2fs %10.0f \
+     obligations/s\n%!"
+    (List.length specs + List.length comp_specs)
+    reps total_rank rank_wall rank_per_s;
   let diff_n = if quick then 4 else 5 in
   let e =
     List.find (fun e -> e.CRegistry.name = "tail-unison") CRegistry.entries
@@ -677,11 +722,40 @@ let run_smt_bench ~quick =
     if diff_wall > 0. then float_of_int probes /. diff_wall else 0.
   in
   Printf.printf
-    "  diff      tail-unison ring%-2d %8d views %6d steps %6.2fs %10.0f \
-     views/s  %s\n\n\
-     %!"
-    diff_n d.CSym.views d.CSym.steps diff_wall views_per_s
+    "  diff      %-16s ring%-2d %8d views %6d steps %6.2fs %10.0f \
+     views/s  %s\n%!"
+    "tail-unison" diff_n d.CSym.views d.CSym.steps diff_wall views_per_s
     (if CSym.diff_ok d then "agrees" else "MISMATCH");
+  (* the four SDR input-layer IRs added in v4, one differential each *)
+  let inputs =
+    List.map
+      (fun nm ->
+        let e =
+          List.find (fun e -> e.CRegistry.name = nm) CRegistry.entries
+        in
+        let inst =
+          Option.get e.CRegistry.sym (Ssreset_graph.Gen.ring diff_n)
+        in
+        let t0 = Unix.gettimeofday () in
+        let di = CSym.check inst in
+        let wall = Unix.gettimeofday () -. t0 in
+        let probes = di.CSym.views + di.CSym.steps in
+        let vps = if wall > 0. then float_of_int probes /. wall else 0. in
+        Printf.printf
+          "  diff      %-16s ring%-2d %8d views %6d steps %6.2fs %10.0f \
+           views/s  %s\n%!"
+          nm diff_n di.CSym.views di.CSym.steps wall vps
+          (if CSym.diff_ok di then "agrees" else "MISMATCH");
+        Json.Obj
+          [ ("algo", Json.String nm);
+            ("views", Json.Int di.CSym.views);
+            ("steps", Json.Int di.CSym.steps);
+            ("ok", Json.Bool (CSym.diff_ok di));
+            ("wall_s", Json.Float wall);
+            ("views_per_s", Json.Float vps) ])
+      [ "coloring-sdr"; "mis-sdr"; "matching-sdr"; "fga-sdr" ]
+  in
+  print_newline ();
   Json.Obj
     [ ( "compile",
         Json.Obj
@@ -698,7 +772,15 @@ let run_smt_bench ~quick =
             ("daemons", Json.Int d.CSym.daemons);
             ("ok", Json.Bool (CSym.diff_ok d));
             ("wall_s", Json.Float diff_wall);
-            ("views_per_s", Json.Float views_per_s) ] ) ]
+            ("views_per_s", Json.Float views_per_s) ] );
+      ( "ranking",
+        Json.Obj
+          [ ("specs", Json.Int (List.length specs + List.length comp_specs));
+            ("reps", Json.Int reps);
+            ("obligations", Json.Int total_rank);
+            ("wall_s", Json.Float rank_wall);
+            ("obligations_per_s", Json.Float rank_per_s) ] );
+      ("differential_inputs", Json.List inputs) ]
 
 (* ------------------------------------------------------------------ *)
 (* engine_flat: the IR-compiled flat data path against the incremental *)

@@ -633,16 +633,25 @@ let check_cmd =
       Option.is_some F.certificate
     in
     let mark b = if b then "yes" else "-" in
-    Printf.sprintf "%-5s %-10s %-7s %-4s" (mark cert)
+    let has_rank spec =
+      match spec with
+      | None -> false
+      | Some (s : Ssreset_check.Sym.spec) ->
+          Option.is_some s.Ssreset_check.Sym.sp_rank
+    in
+    Printf.sprintf "%-5s %-10s %-7s %-4s %-4s" (mark cert)
       (mark (Option.is_some e.Registry.footprint))
       (mark (Option.is_some e.Registry.sym))
-      (mark (Option.is_some e.Registry.smt_spec))
+      (mark
+         (Option.is_some e.Registry.smt_spec
+         || Option.is_some e.Registry.comp_spec))
+      (mark (has_rank e.Registry.smt_spec || has_rank e.Registry.comp_spec))
   in
   let run algo json quick max_n list_only symmetry footprint sym certs
       family smt_out =
     if list_only then begin
-      Fmt.pr "%-16s %-5s %-10s %-7s %-4s %s@." "NAME" "cert" "footprint"
-        "sym-IR" "smt" "DESCRIPTION";
+      Fmt.pr "%-16s %-5s %-10s %-7s %-4s %-4s %s@." "NAME" "cert" "footprint"
+        "sym-IR" "smt" "rank" "DESCRIPTION";
       List.iter
         (fun (e : Registry.entry) ->
           Fmt.pr "%-16s %s %s@." e.Registry.name (entry_caps e)
@@ -736,7 +745,8 @@ let check_cmd =
             "List registered algorithms and fixtures with their capability \
              columns: potential-function certificate, composed footprint \
              target, symbolic rule IR (differential pass), SMT obligation \
-             spec.")
+             spec (input-layer or composed), global ranking function \
+             (rank / comp.rank obligation families).")
   in
   let symmetry =
     Arg.(
@@ -823,25 +833,41 @@ let check_cmd =
 let smt_cmd =
   let module Obligation = Ssreset_check.Obligation in
   let module Smt = Ssreset_check.Smt in
-  (* Selected (entry, spec) pairs: every registry entry / fixture carrying
-     a symbolic spec, optionally filtered by a name pattern. *)
+  (* Selected entries: every registry entry / fixture carrying a symbolic
+     spec or a composed-system spec, optionally filtered by a name
+     pattern.  The composed spec contributes the comp.* rank family. *)
   let specs_of pattern =
     let pool =
       match pattern with
       | None -> Registry.entries @ Registry.fixtures
       | Some p -> Registry.find p
     in
-    List.filter_map
+    List.filter
       (fun (e : Registry.entry) ->
-        Option.map (fun s -> (e.Registry.name, s)) e.Registry.smt_spec)
+        Option.is_some e.Registry.smt_spec
+        || Option.is_some e.Registry.comp_spec)
       pool
   in
   let compile pattern family =
     List.concat_map
-      (fun (name, spec) ->
-        match family with
-        | None -> Obligation.compile_all ~algo:name spec
-        | Some fam -> Obligation.compile ~algo:name spec fam)
+      (fun (e : Registry.entry) ->
+        let name = e.Registry.name in
+        let base =
+          match e.Registry.smt_spec with
+          | None -> []
+          | Some spec -> (
+              match family with
+              | None -> Obligation.compile_all ~algo:name spec
+              | Some fam -> Obligation.compile ~algo:name spec fam)
+        and composed =
+          match e.Registry.comp_spec with
+          | None -> []
+          | Some spec -> (
+              match family with
+              | None -> Obligation.compile_composition_all ~algo:name spec
+              | Some fam -> Obligation.compile_composition ~algo:name spec fam)
+        in
+        base @ composed)
       (specs_of pattern)
   in
   let pattern_arg =
@@ -958,7 +984,7 @@ let smt_cmd =
       Term.(const run $ pattern_arg $ family_arg)
   in
   let solve_cmd =
-    let run pattern family solver =
+    let run pattern family solver kinds name_filter timeout =
       if not (Smt.solver_available solver) then begin
         Fmt.pr "solver %S not on PATH; skipping (obligations still \
                 lint-checkable via `smt lint`)@."
@@ -966,12 +992,35 @@ let smt_cmd =
         0
       end
       else
-        match compile pattern family with
+        let keep (ob : Obligation.t) =
+          (match kinds with
+          | [] -> true
+          | ks ->
+              let k = Obligation.kind_to_string ob.Obligation.ob_kind in
+              List.mem k ks)
+          &&
+          match name_filter with
+          | None -> true
+          | Some sub ->
+              let name = ob.Obligation.ob_name in
+              let nl = String.length name and sl = String.length sub in
+              let rec at i =
+                i + sl <= nl && (String.sub name i sl = sub || at (i + 1))
+              in
+              sl = 0 || at 0
+        in
+        match List.filter keep (compile pattern family) with
         | [] ->
-            Fmt.epr "no symbolic spec matches %S@."
+            Fmt.epr "no obligation matches %S (kind/name filters \
+                     included)@."
               (Option.value ~default:"" pattern);
             2
         | obs ->
+            let args =
+              match timeout with
+              | None -> []
+              | Some secs -> [ Printf.sprintf "-T:%d" secs ]
+            in
             let tmp =
               Filename.temp_file "ssreset-smt" ""
             in
@@ -981,7 +1030,7 @@ let smt_cmd =
               (fun (ob : Obligation.t) ->
                 let path = tmp ^ "." ^ Obligation.filename ob in
                 Smt.write_file path ob.Obligation.ob_script;
-                let verdict = Smt.solve ~solver path in
+                let verdict = Smt.solve ~solver ~args path in
                 Sys.remove path;
                 let name = Obligation.filename ob in
                 match verdict with
@@ -1003,6 +1052,36 @@ let smt_cmd =
         & info [ "solver" ] ~docv:"BIN"
             ~doc:"SMT solver binary to execute.  Default: $(b,z3).")
     in
+    let kinds =
+      Arg.(
+        value
+        & opt (list string) []
+        & info [ "kind" ] ~docv:"KIND,..."
+            ~doc:
+              "Only solve obligations of the listed kinds \
+               ($(b,closure), $(b,cert-decrease), $(b,range), \
+               $(b,requirement), $(b,rank), $(b,composition)).  Default: \
+               all kinds.")
+    in
+    let name_filter =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "name" ] ~docv:"SUBSTR"
+            ~doc:
+              "Only solve obligations whose name contains $(docv) (e.g. \
+               $(b,rank-decrease)).")
+    in
+    let timeout =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "timeout" ] ~docv:"SECS"
+            ~doc:
+              "Per-obligation soft timeout, passed to the solver as \
+               $(b,-T:SECS) (z3 syntax); a timed-out obligation reports \
+               $(b,unknown) and does not fail the run.")
+    in
     Cmd.v
       (Cmd.info "solve"
          ~doc:
@@ -1010,7 +1089,9 @@ let smt_cmd =
             on PATH (skips cleanly otherwise — nothing is linked).  Exits \
             1 on a $(b,sat) (violated obligation) or a solver error; \
             $(b,unknown) is reported but does not fail.")
-      Term.(const run $ pattern_arg $ family_arg $ solver)
+      Term.(
+        const run $ pattern_arg $ family_arg $ solver $ kinds $ name_filter
+        $ timeout)
   in
   Cmd.group
     (Cmd.info "smt"

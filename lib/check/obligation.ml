@@ -23,12 +23,16 @@ type kind =
   | Cert_decrease of string
   | Range of string * string
   | Requirement of string
+  | Rank of string
+  | Composition of string
 
 let kind_to_string = function
   | Closure -> "closure"
   | Cert_decrease _ -> "cert-decrease"
   | Range _ -> "range"
   | Requirement _ -> "requirement"
+  | Rank _ -> "rank"
+  | Composition _ -> "composition"
 
 type t = {
   ob_algo : string;
@@ -55,6 +59,9 @@ type ctx = {
   mutable c_enums : SS.t;
   mutable c_moved : bool;
   mutable c_fresh : int;
+  skolems : (Sym.term * bool, string) Hashtbl.t;
+      (* (neighborhood-aggregate term, post flag) -> auxiliary function *)
+  mutable c_sides : Smt.sexp list;  (* skolem decls + axioms, reversed *)
 }
 
 let new_ctx ir =
@@ -65,7 +72,9 @@ let new_ctx ir =
     c_edge = false;
     c_enums = SS.empty;
     c_moved = false;
-    c_fresh = 0 }
+    c_fresh = 0;
+    skolems = Hashtbl.create 8;
+    c_sides = [] }
 
 let fresh ctx =
   let v = Printf.sprintf "v%d" ctx.c_fresh in
@@ -98,6 +107,16 @@ let forall2 u v sort body =
           Smt.List [ Smt.Atom v; Smt.Atom sort ] ];
       body ]
 
+(* Mixed-sort binder list, e.g. [forall ((w Node) (k Int))]. *)
+let forall_b binds body =
+  Smt.List
+    [ Smt.Atom "forall";
+      Smt.List
+        (List.map
+           (fun (v, sort) -> Smt.List [ Smt.Atom v; Smt.Atom sort ])
+           binds);
+      body ]
+
 let field_ty ctx f = List.assoc f ctx.ir.Sym.fields
 
 let sort_of_ty = function
@@ -121,6 +140,7 @@ let field_app ctx ~post f node =
    step). *)
 let rec c_term ctx ~node ~cur ~post = function
   | Sym.Num i -> int_lit i
+  | Sym.Bool b -> Smt.Atom (if b then "true" else "false")
   | Sym.Param p ->
       ctx.c_params <- SS.add p ctx.c_params;
       Smt.Atom p
@@ -139,12 +159,20 @@ let rec c_term ctx ~node ~cur ~post = function
         [ c_form ctx ~node ~cur ~post c;
           c_term ctx ~node ~cur ~post a;
           c_term ctx ~node ~cur ~post b ]
-  | Sym.Ctor c -> Smt.Atom c
-  | Sym.Min_nbr _ ->
-      (* A neighborhood minimum needs a Skolem witness plus attainment
-         axioms; no registered smt_spec uses it (the composed U∘SDR spec
-         drives the flat engine and the bounded differential only). *)
-      invalid_arg "Obligation: Min_nbr is not SMT-compilable yet"
+  | Sym.Ctor c ->
+      (* A bare constructor can survive substitution even when every field
+         of its enum type cancels out (e.g. reset-lands after substituting
+         [m := Und] into [m = Und]), so register the sort here too. *)
+      List.iter
+        (fun (_, ty) ->
+          match ty with
+          | Sym.TEnum (s, ctors) when List.mem c ctors ->
+              ctx.c_enums <- SS.add s ctx.c_enums
+          | _ -> ())
+        ctx.ir.Sym.fields;
+      Smt.Atom c
+  | (Sym.Min_nbr _ | Sym.Mex_nbr _ | Sym.Count_nbr _) as t ->
+      Smt.app (skolem ctx ~post t) [ Smt.Atom node ]
 
 and c_form ctx ~node ~cur ~post = function
   | Sym.Const true -> Smt.Atom "true"
@@ -182,6 +210,117 @@ and c_form ctx ~node ~cur ~post = function
         (Smt.app "and"
            [ Smt.app "E" [ Smt.Atom node; Smt.Atom v ];
              c_form ctx ~node ~cur:(Some v) ~post f ])
+
+(* Neighborhood aggregates (min / mex / count) are not first-order per se;
+   each occurrence becomes a fresh Skolem function [Node -> Int] plus
+   universally quantified defining axioms.  The axioms are satisfied in
+   every finite model by the actual aggregate value, so the conservative
+   extension preserves the superset-of-concrete-families soundness
+   argument: an unsat verdict still covers every concrete instance.
+   (Pathological infinite models without attainable minima are excluded —
+   harmless for the same reason.)  Occurrences are deduplicated per
+   (term, state) so one aggregate used by several goal parts shares its
+   witness. *)
+and skolem ctx ~post t =
+  match Hashtbl.find_opt ctx.skolems (t, post) with
+  | Some name -> name
+  | None ->
+      ctx.c_edge <- true;
+      let tag =
+        match t with
+        | Sym.Min_nbr _ -> "min"
+        | Sym.Mex_nbr _ -> "mex"
+        | Sym.Count_nbr _ -> "cnt"
+        | _ -> assert false
+      in
+      let name =
+        Printf.sprintf "%s_aux%d%s" tag
+          (Hashtbl.length ctx.skolems)
+          (if post then "_post" else "")
+      in
+      Hashtbl.add ctx.skolems (t, post) name;
+      let side c = ctx.c_sides <- c :: ctx.c_sides in
+      side
+        (Smt.List
+           [ Smt.Atom "declare-fun";
+             Smt.Atom name;
+             Smt.List [ Smt.Atom "Node" ];
+             Smt.Atom "Int" ]);
+      let app x = Smt.app name [ Smt.Atom x ] in
+      let e u v = Smt.app "E" [ Smt.Atom u; Smt.Atom v ] in
+      let w = fresh ctx in
+      (match t with
+      | Sym.Min_nbr (filt, body, dflt) ->
+          let qual v =
+            Smt.app "and"
+              [ e w v; c_form ctx ~node:w ~cur:(Some v) ~post filt ]
+          in
+          let bod v = c_term ctx ~node:w ~cur:(Some v) ~post body in
+          let v1 = fresh ctx and v2 = fresh ctx and v3 = fresh ctx in
+          (* If a qualifying neighbor exists, the value is attained and is
+             a lower bound over qualifiers; otherwise it is the default. *)
+          side
+            (assert_
+               (forall1 w "Node"
+                  (Smt.app "ite"
+                     [ exists1 v1 "Node" (qual v1);
+                       Smt.app "and"
+                         [ exists1 v2 "Node"
+                             (Smt.app "and"
+                                [ qual v2; Smt.app "=" [ app w; bod v2 ] ]);
+                           forall1 v3 "Node"
+                             (Smt.app "=>"
+                                [ qual v3; Smt.app "<=" [ app w; bod v3 ] ])
+                         ];
+                       Smt.app "="
+                         [ app w; c_term ctx ~node:w ~cur:None ~post dflt ]
+                     ])))
+      | Sym.Mex_nbr (filt, body) ->
+          let qual v =
+            Smt.app "and"
+              [ e w v; c_form ctx ~node:w ~cur:(Some v) ~post filt ]
+          in
+          let bod v = c_term ctx ~node:w ~cur:(Some v) ~post body in
+          side
+            (assert_
+               (forall1 w "Node" (Smt.app "<=" [ iatom 0; app w ])));
+          let v1 = fresh ctx in
+          side
+            (assert_
+               (forall_b
+                  [ (w, "Node"); (v1, "Node") ]
+                  (Smt.app "=>"
+                     [ qual v1; Smt.app "distinct" [ bod v1; app w ] ])));
+          let k = fresh ctx and v2 = fresh ctx in
+          side
+            (assert_
+               (forall_b
+                  [ (w, "Node"); (k, "Int") ]
+                  (Smt.app "=>"
+                     [ Smt.app "and"
+                         [ Smt.app "<=" [ iatom 0; Smt.Atom k ];
+                           Smt.app "<" [ Smt.Atom k; app w ] ];
+                       exists1 v2 "Node"
+                         (Smt.app "and"
+                            [ qual v2; Smt.app "=" [ bod v2; Smt.Atom k ] ])
+                     ])))
+      | Sym.Count_nbr filt ->
+          let qual v =
+            Smt.app "and"
+              [ e w v; c_form ctx ~node:w ~cur:(Some v) ~post filt ]
+          in
+          side
+            (assert_
+               (forall1 w "Node" (Smt.app "<=" [ iatom 0; app w ])));
+          let v1 = fresh ctx in
+          side
+            (assert_
+               (forall1 w "Node"
+                  (Smt.app "="
+                     [ exists1 v1 "Node" (qual v1);
+                       Smt.app "<=" [ iatom 1; app w ] ])))
+      | _ -> assert false);
+      name
 
 let guard_at ctx node (r : Sym.rule) =
   c_form ctx ~node ~cur:None ~post:false r.Sym.guard
@@ -372,6 +511,7 @@ let prelude ctx family =
 
 let finish ~algo ~family ~kind ~name ~descr ctx core =
   let ranges = range_axioms ctx in
+  let sides = List.rev ctx.c_sides in
   let header =
     [ Printf.sprintf "obligation: %s" name;
       Printf.sprintf "algorithm: %s" algo;
@@ -388,10 +528,39 @@ let finish ~algo ~family ~kind ~name ~descr ctx core =
     ob_script =
       { Smt.header;
         body =
-          prelude ctx family @ ranges @ core
+          prelude ctx family @ sides @ ranges @ core
           @ [ Smt.List [ Smt.Atom "check-sat" ] ] } }
 
 (* --- obligation builders ----------------------------------------------- *)
+
+(* Post-state definitions under first-enabled-rule semantics, for every
+   field whose post function the (already compiled) goal mentioned.  The
+   ite chain mirrors the evaluation order of [Algorithm.enabled_rule]. *)
+let post_definitions ctx =
+  let moved u = Smt.app "moved" [ Smt.Atom u ] in
+  List.filter_map
+    (fun (f, _) ->
+      if not (SS.mem f ctx.c_posts) then None
+      else
+        let keep = field_app ctx ~post:false f "u" in
+        let chain =
+          List.fold_right
+            (fun (r : Sym.rule) acc ->
+              let value =
+                match List.assoc_opt f r.Sym.assigns with
+                | Some t -> c_term ctx ~node:"u" ~cur:None ~post:false t
+                | None -> keep
+              in
+              Smt.app "ite" [ guard_at ctx "u" r; value; acc ])
+            ctx.ir.Sym.rules keep
+        in
+        Some
+          (assert_
+             (forall1 "u" "Node"
+                (Smt.app "="
+                   [ field_app ctx ~post:true f "u";
+                     Smt.app "ite" [ moved "u"; chain; keep ] ]))))
+    ctx.ir.Sym.fields
 
 let closure ~algo (spec : Sym.spec) family legit =
   let ir = spec.Sym.sp_ir in
@@ -406,33 +575,7 @@ let closure ~algo (spec : Sym.spec) family legit =
   let enabled =
     match guards with [ g ] -> g | gs -> Smt.app "or" gs
   in
-  let post_defs =
-    List.filter_map
-      (fun (f, _) ->
-        if not (SS.mem f ctx.c_posts) then None
-        else
-          let keep = field_app ctx ~post:false f "u" in
-          (* First-enabled-rule semantics: the ite chain mirrors the
-             evaluation order of [Algorithm.enabled_rule]. *)
-          let chain =
-            List.fold_right
-              (fun (r : Sym.rule) acc ->
-                let value =
-                  match List.assoc_opt f r.Sym.assigns with
-                  | Some t -> c_term ctx ~node:"u" ~cur:None ~post:false t
-                  | None -> keep
-                in
-                Smt.app "ite" [ guard_at ctx "u" r; value; acc ])
-              ir.Sym.rules keep
-          in
-          Some
-            (assert_
-               (forall1 "u" "Node"
-                  (Smt.app "="
-                     [ field_app ctx ~post:true f "u";
-                       Smt.app "ite" [ moved "u"; chain; keep ] ]))))
-      ir.Sym.fields
-  in
+  let post_defs = post_definitions ctx in
   finish ~algo ~family ~kind:Closure ~name:"closure"
     ~descr:
       "legitimate configuration + one covered step (moved subset of \
@@ -507,7 +650,7 @@ let requirement ~algo (spec : Sym.spec) family ~id ~descr body =
 
 (* Re-site a Self-only quantifier-free form at the bound neighbor. *)
 let rec nbrize_term = function
-  | (Sym.Num _ | Sym.Param _ | Sym.Ctor _) as t -> t
+  | (Sym.Num _ | Sym.Bool _ | Sym.Param _ | Sym.Ctor _) as t -> t
   | Sym.Var (Sym.Self, f) -> Sym.Var (Sym.Nbr, f)
   | Sym.Var (Sym.Nbr, _) ->
       invalid_arg "Obligation: p_reset must read Self fields only"
@@ -515,7 +658,8 @@ let rec nbrize_term = function
   | Sym.Sub (a, b) -> Sym.Sub (nbrize_term a, nbrize_term b)
   | Sym.Neg a -> Sym.Neg (nbrize_term a)
   | Sym.Ite (c, a, b) -> Sym.Ite (nbrize_form c, nbrize_term a, nbrize_term b)
-  | Sym.Min_nbr _ -> invalid_arg "Obligation: p_reset must be quantifier-free"
+  | Sym.Min_nbr _ | Sym.Mex_nbr _ | Sym.Count_nbr _ ->
+      invalid_arg "Obligation: p_reset must be quantifier-free"
 
 and nbrize_form = function
   | Sym.Const _ as f -> f
@@ -603,6 +747,245 @@ let requirements ~algo (spec : Sym.spec) family =
   in
   lands @ idempotent @ guard_icorrect @ reset_icorrect @ icorrect_step
 
+(* --- global-ranking obligations ----------------------------------------
+
+   Implicit-rankings encoding of a global convergence measure: each
+   process carries a lexicographic tuple of nonnegative Self-only
+   components ({!Sym.rank_spec}), and the global rank is the multiset of
+   all tuples.  A step whose movers all fire covered rules strictly
+   decreases the multiset under the Dershowitz–Manna order: every tuple
+   is pointwise-dominated (movers strictly, non-movers unchanged), which
+   is first-order expressible over the symbolic node sort — no cardinality
+   or summation needed, so the same obligation covers every n. *)
+
+let lex_rel ~strict post pre =
+  let rec go post pre =
+    match (post, pre) with
+    | [], [] -> Smt.Atom (if strict then "false" else "true")
+    | [ q ], [ p ] -> Smt.app (if strict then "<" else "<=") [ q; p ]
+    | q :: qs, p :: ps ->
+        Smt.app "or"
+          [ Smt.app "<" [ q; p ];
+            Smt.app "and" [ Smt.app "=" [ q; p ]; go qs ps ] ]
+    | _ -> invalid_arg "Obligation: rank tuple arity mismatch"
+  in
+  go post pre
+
+let rec fields_of_term acc = function
+  | Sym.Num _ | Sym.Bool _ | Sym.Param _ | Sym.Ctor _ -> acc
+  | Sym.Var (_, f) -> SS.add f acc
+  | Sym.Add (a, b) | Sym.Sub (a, b) ->
+      fields_of_term (fields_of_term acc a) b
+  | Sym.Neg a -> fields_of_term acc a
+  | Sym.Ite (c, a, b) ->
+      fields_of_form (fields_of_term (fields_of_term acc a) b) c
+  | Sym.Min_nbr (f, b, d) ->
+      fields_of_form (fields_of_term (fields_of_term acc b) d) f
+  | Sym.Mex_nbr (f, b) -> fields_of_form (fields_of_term acc b) f
+  | Sym.Count_nbr f -> fields_of_form acc f
+
+and fields_of_form acc = function
+  | Sym.Const _ -> acc
+  | Sym.Not f | Sym.Forall_nbr f | Sym.Exists_nbr f -> fields_of_form acc f
+  | Sym.And fs | Sym.Or fs -> List.fold_left fields_of_form acc fs
+  | Sym.Imp (a, b) -> fields_of_form (fields_of_form acc a) b
+  | Sym.Eq (a, b) | Sym.Le (a, b) | Sym.Lt (a, b) ->
+      fields_of_term (fields_of_term acc a) b
+
+let rank_bounded ~algo ~prefix ~mk_kind (spec : Sym.spec) family
+    (rk : Sym.rank_spec) =
+  let ctx = new_ctx spec.Sym.sp_ir in
+  let tuple =
+    List.map
+      (c_term ctx ~node:"u" ~cur:None ~post:false)
+      rk.Sym.rk_components
+  in
+  let nonneg =
+    match List.map (fun t -> Smt.app "<=" [ iatom 0; t ]) tuple with
+    | [ c ] -> c
+    | cs -> Smt.app "and" cs
+  in
+  finish ~algo ~family
+    ~kind:(mk_kind "rank-bounded")
+    ~name:(prefix ^ "rank-bounded")
+    ~descr:
+      (Printf.sprintf
+         "rank %s: every component of every process's tuple is bounded \
+          below by 0 (well-foundedness of the global measure)"
+         rk.Sym.rk_name)
+    ctx
+    [ assert_ (exists1 "u" "Node" (Smt.app "not" [ nonneg ])) ]
+
+let rank_move ~algo ~prefix ~mk_kind ~strict (spec : Sym.spec) family
+    (rk : Sym.rank_spec) (r : Sym.rule) =
+  let ctx = new_ctx spec.Sym.sp_ir in
+  let guard = guard_at ctx "u" r in
+  let pre =
+    List.map
+      (c_term ctx ~node:"u" ~cur:None ~post:false)
+      rk.Sym.rk_components
+  in
+  let post =
+    List.map
+      (fun c ->
+        c_term ctx ~node:"u" ~cur:None ~post:false
+          (Sym.subst_self_term r.Sym.assigns c))
+      rk.Sym.rk_components
+  in
+  let nm = if strict then "rank-decrease" else "rank-no-increase" in
+  finish ~algo ~family
+    ~kind:(mk_kind (Printf.sprintf "%s.%s" nm r.Sym.rule))
+    ~name:(Printf.sprintf "%s%s.%s" prefix nm r.Sym.rule)
+    ~descr:
+      (Printf.sprintf
+         "rank %s: a %s mover's tuple lexicographically %s (neighbors \
+          unchanged)"
+         rk.Sym.rk_name r.Sym.rule
+         (if strict then "strictly decreases" else "does not increase"))
+    ctx
+    [ assert_
+        (exists1 "u" "Node"
+           (Smt.app "and"
+              [ guard; Smt.app "not" [ lex_rel ~strict post pre ] ])) ]
+
+(* An uncovered rule that does not write any field a component reads must
+   leave the tuple exactly unchanged — the interface piece that lets a
+   layered (PADEC-style) argument treat the other layer's moves as silent
+   with respect to this rank. *)
+let rank_frame ~algo ~prefix ~mk_kind (spec : Sym.spec) family
+    (rk : Sym.rank_spec) (r : Sym.rule) =
+  let ctx = new_ctx spec.Sym.sp_ir in
+  let guard = guard_at ctx "u" r in
+  let eqs =
+    List.map
+      (fun c ->
+        Smt.app "="
+          [ c_term ctx ~node:"u" ~cur:None ~post:false
+              (Sym.subst_self_term r.Sym.assigns c);
+            c_term ctx ~node:"u" ~cur:None ~post:false c ])
+      rk.Sym.rk_components
+  in
+  let same = match eqs with [ e ] -> e | es -> Smt.app "and" es in
+  finish ~algo ~family
+    ~kind:(mk_kind (Printf.sprintf "rank-frame.%s" r.Sym.rule))
+    ~name:(Printf.sprintf "%srank-frame.%s" prefix r.Sym.rule)
+    ~descr:
+      (Printf.sprintf
+         "rank %s: a %s move leaves the mover's rank tuple unchanged \
+          (the other layer is silent for this measure)"
+         rk.Sym.rk_name r.Sym.rule)
+    ctx
+    [ assert_
+        (exists1 "u" "Node"
+           (Smt.app "and" [ guard; Smt.app "not" [ same ] ])) ]
+
+(* The global step obligation: any nonempty step whose movers' first
+   enabled rule is covered pointwise-dominates the configuration's rank
+   tuples and strictly decreases at least one — multiset decrease of the
+   global rank, for any n. *)
+let rank_step ~algo ~prefix ~mk_kind (spec : Sym.spec) family
+    (rk : Sym.rank_spec) =
+  let ir = spec.Sym.sp_ir in
+  let ctx = new_ctx ir in
+  let moved u = Smt.app "moved" [ Smt.Atom u ] in
+  ctx.c_moved <- true;
+  (* Goal first, so [c_posts] records the fields the tuple reads. *)
+  let tuple_post =
+    List.map
+      (c_term ctx ~node:"u" ~cur:None ~post:true)
+      rk.Sym.rk_components
+  in
+  let tuple_pre =
+    List.map
+      (c_term ctx ~node:"u" ~cur:None ~post:false)
+      rk.Sym.rk_components
+  in
+  let fires =
+    let rec chains negs = function
+      | [] -> []
+      | (r : Sym.rule) :: rest ->
+          let g = guard_at ctx "u" r in
+          let fire =
+            match List.rev negs with
+            | [] -> g
+            | prior -> Smt.app "and" (prior @ [ g ])
+          in
+          (r.Sym.rule, fire) :: chains (Smt.app "not" [ g ] :: negs) rest
+    in
+    chains [] ir.Sym.rules
+  in
+  let covered_fire =
+    match
+      List.filter_map
+        (fun (n, f) -> if List.mem n rk.Sym.rk_rules then Some f else None)
+        fires
+    with
+    | [] -> Smt.Atom "false"
+    | [ f ] -> f
+    | fs -> Smt.app "or" fs
+  in
+  let post_defs = post_definitions ctx in
+  finish ~algo ~family
+    ~kind:(mk_kind "rank-step")
+    ~name:(prefix ^ "rank-step")
+    ~descr:
+      (Printf.sprintf
+         "rank %s: a step whose movers all fire covered rules \
+          pointwise-dominates every tuple and strictly decreases a \
+          mover's (global multiset decrease)"
+         rk.Sym.rk_name)
+    ctx
+    ([ assert_
+         (forall1 "u" "Node" (Smt.app "=>" [ moved "u"; covered_fire ]));
+       assert_ (exists1 "u" "Node" (moved "u")) ]
+    @ post_defs
+    @ [ assert_
+          (Smt.app "not"
+             [ Smt.app "and"
+                 [ forall1 "u" "Node"
+                     (lex_rel ~strict:false tuple_post tuple_pre);
+                   exists1 "u" "Node"
+                     (lex_rel ~strict:true tuple_post tuple_pre) ] ]) ])
+
+let rank_obligations ~algo ~prefix ~mk_kind (spec : Sym.spec) family =
+  match spec.Sym.sp_rank with
+  | None -> []
+  | Some rk ->
+      let ir = spec.Sym.sp_ir in
+      let covered =
+        List.filter
+          (fun (r : Sym.rule) -> List.mem r.Sym.rule rk.Sym.rk_rules)
+          ir.Sym.rules
+      in
+      let comp_fields =
+        List.fold_left fields_of_term SS.empty rk.Sym.rk_components
+      in
+      let frames =
+        List.filter
+          (fun (r : Sym.rule) ->
+            (not (List.mem r.Sym.rule rk.Sym.rk_rules))
+            && List.for_all
+                 (fun (f, _) -> not (SS.mem f comp_fields))
+                 r.Sym.assigns)
+          ir.Sym.rules
+      in
+      (rank_bounded ~algo ~prefix ~mk_kind spec family rk
+      :: List.map
+           (rank_move ~algo ~prefix ~mk_kind ~strict:false spec family rk)
+           covered)
+      @ List.map
+          (rank_move ~algo ~prefix ~mk_kind ~strict:true spec family rk)
+          covered
+      @ [ rank_step ~algo ~prefix ~mk_kind spec family rk ]
+      @ List.map (rank_frame ~algo ~prefix ~mk_kind spec family rk) frames
+
+let compile_composition ~algo (spec : Sym.spec) family =
+  rank_obligations ~algo ~prefix:"comp." ~mk_kind:(fun s -> Composition s)
+    spec family
+
+let compile_composition_all ~algo spec =
+  List.concat_map (compile_composition ~algo spec) families
+
 let compile ~algo (spec : Sym.spec) family =
   let ir = spec.Sym.sp_ir in
   let closure_obs =
@@ -632,7 +1015,9 @@ let compile ~algo (spec : Sym.spec) family =
           ir.Sym.ranges)
       ir.Sym.rules
   in
-  closure_obs @ cert_obs @ range_obs @ requirements ~algo spec family
+  closure_obs @ cert_obs @ range_obs
+  @ requirements ~algo spec family
+  @ rank_obligations ~algo ~prefix:"" ~mk_kind:(fun s -> Rank s) spec family
 
 let compile_all ~algo spec =
   List.concat_map (compile ~algo spec) families
@@ -644,8 +1029,8 @@ let filename ob =
 
 let to_json obs =
   Json.Obj
-    [ ("schema", Json.String "ssreset-smt-v1");
-      ("schema_version", Json.Int 1);
+    [ ("schema", Json.String "ssreset-smt-v2");
+      ("schema_version", Json.Int 2);
       ("count", Json.Int (List.length obs));
       ( "obligations",
         Json.List

@@ -24,6 +24,7 @@ type entry = {
   footprint : (Graph.t -> Footprint.target) option;
   sym : (Graph.t -> Sym.instance) option;
   smt_spec : Sym.spec option;
+  comp_spec : Sym.spec option;
 }
 
 (* --- instances ------------------------------------------------------- *)
@@ -162,7 +163,18 @@ let tail_core_spec ~ir_name ~reset ~climb ~tick =
         { Sym.cs_name = "climb-debt";
           cs_rules = [ climb ];
           cs_local = Sym.Ite (Sym.Lt (s_c, Sym.Num 0), Sym.Neg s_c, Sym.Num 0)
-        } }
+        };
+    (* Same measure as the certificate, replayed through the global
+       implicit-rankings pipeline: {!Obligation} additionally proves the
+       multiset/lex step argument ([rank-step]) the pointwise
+       cert-decrease obligations only sketch. *)
+    sp_rank =
+      Some
+        { Sym.rk_name = "climb-debt";
+          rk_rules = [ climb ];
+          rk_components =
+            [ Sym.Ite (Sym.Lt (s_c, Sym.Num 0), Sym.Neg s_c, Sym.Num 0) ] }
+  }
 
 let tail_unison_spec =
   tail_core_spec ~ir_name:"tail-unison" ~reset:Tail_unison.rule_reset
@@ -264,8 +276,11 @@ let unison_sym g =
    to closures over unboxed arrays, and the flat-vs-classic differential
    validates it against [Sdr.Make]'s OCaml rules the same way {!Sym.check}
    does here.  SDR-RB's distance update needs the neighborhood minimum,
-   hence {!Sym.Min_nbr}.  Not an [smt_spec]: [Min_nbr] has no SMT
-   compilation yet. *)
+   hence {!Sym.Min_nbr}.  Attached to the unison-sdr entry as its
+   [comp_spec]: {!Obligation.compile_composition} turns the wave rank
+   below into the PADEC-style [comp.*] obligations (reset-layer rank
+   decrease, input-layer rank silence), the solver-checkable half of the
+   composed convergence argument. *)
 
 let unison_sdr_composed_spec =
   let st_s = Sym.Var (Sym.Self, "st") and st_b = Sym.Var (Sym.Nbr, "st") in
@@ -342,7 +357,22 @@ let unison_sdr_composed_spec =
             assigns = [ ("c", s_incmod s_c) ] } ] }
   in
   { (Sym.spec_of_ir ir) with
-    Sym.sp_legitimate = Some (Sym.And [ p_clean; p_icorrect ]) }
+    Sym.sp_legitimate = Some (Sym.And [ p_clean; p_icorrect ]);
+    (* The symbolic twin of {!wave_completion}: RB = 2, RF = 1, C = 0 at
+       each process.  SDR-RF and SDR-C strictly decrease the mover's
+       component; U-inc writes only [c], so it is rank-silent and gets a
+       [comp.rank-frame] obligation.  SDR-RB and SDR-R restart waves (they
+       raise the rank by design) and stay uncovered. *)
+    sp_rank =
+      Some
+        { Sym.rk_name = "wave-completion";
+          rk_rules = [ "SDR-RF"; "SDR-C" ];
+          rk_components =
+            [ Sym.Ite
+                ( Sym.Eq (st_s, c_RB),
+                  Sym.Num 2,
+                  Sym.Ite (Sym.Eq (st_s, c_RF), Sym.Num 1, Sym.Num 0) ) ] }
+  }
 
 let unison_sdr_params_of_n n = [ ("K", n + 2); ("MaxD", n) ]
 
@@ -518,6 +548,401 @@ let fga_sdr_footprint g =
     ~name:"fga-sdr[dominating-set]" ~algorithm:A.Composed.algorithm ~graph:g
     ~domain:(Finite.sdr_domain ~inner:(fga_inner spec g) ~max_d:(Graph.n g))
 
+(* --- symbolic IRs of the four SDR input layers ------------------------
+
+   First-order executable specs of the {e bare} coloring / MIS / matching
+   / FGA algorithms (ids fixed to the process indices, [ids = None]), with
+   the full §3.5 reset interface so {!Obligation.compile} emits their
+   requirement obligations.  Option-typed pointers and colors are encoded
+   as integers with ⊥ = -1 (ids are >= 0, so the sentinel is unambiguous);
+   the neighborhood folds of the OCaml rules become {!Sym.Min_nbr},
+   {!Sym.Mex_nbr} and {!Sym.Count_nbr}, which the obligation compiler
+   turns into Skolem functions with defining axioms. *)
+
+let s_id = Sym.Var (Sym.Self, "id")
+let s_id_b = Sym.Var (Sym.Nbr, "id")
+let s_none = Sym.Num (-1)
+let max_id_range = ("id", Sym.Num 0, Sym.Add (Sym.Param "MaxId", Sym.Num 1))
+let max_id_param = { Sym.pname = "MaxId"; lower = Some 0 }
+
+let coloring_spec =
+  let col_s = Sym.Var (Sym.Self, "col")
+  and col_b = Sym.Var (Sym.Nbr, "col") in
+  let defined t = Sym.Not (Sym.Eq (t, s_none)) in
+  let ir =
+    { Sym.ir_name = "coloring";
+      fields = [ ("id", Sym.TInt); ("col", Sym.TInt) ];
+      params = [ max_id_param ];
+      (* No declared range for [col]: the OCaml invariant col <= deg is a
+         pigeonhole fact about the {e number} of neighbors, not expressible
+         over the uninterpreted node sort, so the IR leaves the color
+         unbounded above and the obligations never assume or re-prove it. *)
+      ranges = [ max_id_range ];
+      rules =
+        [ { Sym.rule = Coloring.rule_pick;
+            (* [p_icorrect] is omitted from the guard: it is trivially true
+               at an uncolored process, and [col = -1] is already the first
+               conjunct. *)
+            guard =
+              Sym.And
+                [ Sym.Eq (col_s, s_none);
+                  Sym.Forall_nbr
+                    (Sym.Or [ defined col_b; Sym.Lt (s_id_b, s_id) ]) ];
+            assigns = [ ("col", Sym.Mex_nbr (defined col_b, col_b)) ] } ] }
+  in
+  { (Sym.spec_of_ir ir) with
+    (* The first-order core of the OCaml [p_icorrect] — the col <= deg
+       conjunct is dropped (see the range note above), which only weakens
+       the interface obligations, never unsoundly strengthens them. *)
+    Sym.sp_p_icorrect =
+      Some
+        (Sym.Or
+           [ Sym.Eq (col_s, s_none);
+             Sym.And
+               [ Sym.Le (Sym.Num 0, col_s);
+                 Sym.Forall_nbr (Sym.Not (Sym.Eq (col_b, col_s))) ] ]);
+    sp_p_reset = Some (Sym.Eq (col_s, s_none));
+    sp_reset = Some [ ("col", s_none) ];
+    sp_rank =
+      Some
+        { Sym.rk_name = "undecided";
+          rk_rules = [ Coloring.rule_pick ];
+          rk_components =
+            [ Sym.Ite (Sym.Eq (col_s, s_none), Sym.Num 1, Sym.Num 0) ] } }
+
+let coloring_sym g =
+  let module C = Coloring.Make (struct
+    let graph = g
+    let ids = None
+  end) in
+  Sym.make_instance ~spec:coloring_spec
+    ~params:[ ("MaxId", Graph.n g - 1) ]
+    ~algorithm:C.bare ~graph:g
+    ~domain:(coloring_inner g)
+    ~encode:(fun (s : Coloring.state) ->
+      [ ("id", Sym.VInt s.Coloring.id);
+        ("col",
+         Sym.VInt (match s.Coloring.color with None -> -1 | Some c -> c)) ])
+    ()
+
+let mis_spec =
+  let m_s = Sym.Var (Sym.Self, "m") and m_b = Sym.Var (Sym.Nbr, "m") in
+  let und = Sym.Ctor "Und"
+  and c_in = Sym.Ctor "In"
+  and c_out = Sym.Ctor "Out" in
+  let p_ic =
+    Sym.Or
+      [ Sym.Eq (m_s, und);
+        Sym.And
+          [ Sym.Eq (m_s, c_in);
+            Sym.Forall_nbr (Sym.Not (Sym.Eq (m_b, c_in))) ];
+        Sym.And [ Sym.Eq (m_s, c_out); Sym.Exists_nbr (Sym.Eq (m_b, c_in)) ]
+      ]
+  in
+  let ir =
+    { Sym.ir_name = "mis";
+      fields =
+        [ ("id", Sym.TInt);
+          ("m", Sym.TEnum ("Membership", [ "Und"; "In"; "Out" ])) ];
+      params = [ max_id_param ];
+      ranges = [ max_id_range ];
+      rules =
+        [ { Sym.rule = Mis.rule_join;
+            guard =
+              Sym.And
+                [ p_ic;
+                  Sym.Eq (m_s, und);
+                  Sym.Forall_nbr
+                    (Sym.Or
+                       [ Sym.Eq (m_b, c_out);
+                         Sym.And
+                           [ Sym.Eq (m_b, und); Sym.Lt (s_id_b, s_id) ] ])
+                ];
+            assigns = [ ("m", c_in) ] };
+          { Sym.rule = Mis.rule_out;
+            guard =
+              Sym.And
+                [ p_ic;
+                  Sym.Eq (m_s, und);
+                  Sym.Exists_nbr (Sym.Eq (m_b, c_in)) ];
+            assigns = [ ("m", c_out) ] } ] }
+  in
+  { (Sym.spec_of_ir ir) with
+    Sym.sp_p_icorrect = Some p_ic;
+    sp_p_reset = Some (Sym.Eq (m_s, und));
+    sp_reset = Some [ ("m", und) ];
+    sp_rank =
+      Some
+        { Sym.rk_name = "undecided";
+          rk_rules = [ Mis.rule_join; Mis.rule_out ];
+          rk_components =
+            [ Sym.Ite (Sym.Eq (m_s, und), Sym.Num 1, Sym.Num 0) ] } }
+
+let mis_sym g =
+  let module M = Mis.Make (struct
+    let graph = g
+    let ids = None
+  end) in
+  Sym.make_instance ~spec:mis_spec
+    ~params:[ ("MaxId", Graph.n g - 1) ]
+    ~algorithm:M.bare ~graph:g ~domain:mis_inner
+    ~encode:(fun (s : Mis.state) ->
+      [ ("id", Sym.VInt s.Mis.id);
+        ("m",
+         Sym.VEnum
+           (match s.Mis.m with
+           | Mis.Undecided -> "Und"
+           | Mis.In -> "In"
+           | Mis.Out -> "Out")) ])
+    ()
+
+let matching_spec =
+  let ptr_s = Sym.Var (Sym.Self, "ptr")
+  and ptr_b = Sym.Var (Sym.Nbr, "ptr") in
+  (* Smallest-id neighbor pointing at self / smallest-id pointer-free
+     smaller-id neighbor; -1 when none qualifies (ids are >= 0). *)
+  let best_proposer = Sym.Min_nbr (Sym.Eq (ptr_b, s_id), s_id_b, s_none) in
+  let best_target =
+    Sym.Min_nbr
+      ( Sym.And [ Sym.Eq (ptr_b, s_none); Sym.Lt (s_id_b, s_id) ],
+        s_id_b,
+        s_none )
+  in
+  (* Any pointer must reach an actual neighbor and be a downward proposal
+     or reciprocated; ids are unique, so the existential witnesses the
+     OCaml [nbr_by_id] lookup. *)
+  let p_ic =
+    Sym.Or
+      [ Sym.Eq (ptr_s, s_none);
+        Sym.Exists_nbr
+          (Sym.And
+             [ Sym.Eq (s_id_b, ptr_s);
+               Sym.Or [ Sym.Lt (ptr_s, s_id); Sym.Eq (ptr_b, s_id) ] ]) ]
+  in
+  let ir =
+    { Sym.ir_name = "matching";
+      fields = [ ("id", Sym.TInt); ("ptr", Sym.TInt) ];
+      params = [ max_id_param ];
+      ranges =
+        [ max_id_range;
+          ("ptr", s_none, Sym.Add (Sym.Param "MaxId", Sym.Num 1)) ];
+      rules =
+        [ { Sym.rule = Matching.rule_accept;
+            guard =
+              Sym.And
+                [ p_ic;
+                  Sym.Eq (ptr_s, s_none);
+                  Sym.Not (Sym.Eq (best_proposer, s_none)) ];
+            assigns = [ ("ptr", best_proposer) ] };
+          { Sym.rule = Matching.rule_propose;
+            guard =
+              Sym.And
+                [ p_ic;
+                  Sym.Eq (ptr_s, s_none);
+                  Sym.Eq (best_proposer, s_none);
+                  Sym.Not (Sym.Eq (best_target, s_none)) ];
+            assigns = [ ("ptr", best_target) ] };
+          { Sym.rule = Matching.rule_withdraw;
+            guard =
+              Sym.And
+                [ p_ic;
+                  Sym.Not (Sym.Eq (ptr_s, s_none));
+                  Sym.Exists_nbr
+                    (Sym.And
+                       [ Sym.Eq (s_id_b, ptr_s);
+                         Sym.Not (Sym.Eq (ptr_b, s_none));
+                         Sym.Not (Sym.Eq (ptr_b, s_id)) ]) ];
+            assigns = [ ("ptr", s_none) ] } ] }
+  in
+  { (Sym.spec_of_ir ir) with
+    Sym.sp_p_icorrect = Some p_ic;
+    sp_p_reset = Some (Sym.Eq (ptr_s, s_none));
+    sp_reset = Some [ ("ptr", s_none) ] }
+
+let matching_sym g =
+  let module M = Matching.Make (struct
+    let graph = g
+    let ids = None
+  end) in
+  Sym.make_instance ~spec:matching_spec
+    ~params:[ ("MaxId", Graph.n g - 1) ]
+    ~algorithm:M.bare ~graph:g
+    ~domain:(matching_inner g)
+    ~encode:(fun (s : Matching.state) ->
+      [ ("id", Sym.VInt s.Matching.id);
+        ("ptr",
+         Sym.VInt (match s.Matching.ptr with None -> -1 | Some p -> p)) ])
+    ()
+
+(* FGA specialized to [Spec.dominating_set] (f = 1, g = 0), matching the
+   registry instance: the thresholds are the parameter [F] (lower bound 1)
+   and the literal 0, so [f_u]/[g_u] need not be fields.  The guards read
+   the {e stored} [scr]/[can_q]; the actions re-evaluate both ([cmpVar])
+   before recomputing the pointer, exactly like the OCaml macros. *)
+let fga_spec =
+  let col_s = Sym.Var (Sym.Self, "col")
+  and col_b = Sym.Var (Sym.Nbr, "col")
+  and scr_s = Sym.Var (Sym.Self, "scr")
+  and scr_b = Sym.Var (Sym.Nbr, "scr")
+  and canq_s = Sym.Var (Sym.Self, "can_q")
+  and canq_b = Sym.Var (Sym.Nbr, "can_q")
+  and ptr_s = Sym.Var (Sym.Self, "ptr")
+  and ptr_b = Sym.Var (Sym.Nbr, "ptr") in
+  let tt = Sym.Bool true and ff = Sym.Bool false in
+  let cnt = Sym.Count_nbr (Sym.Eq (col_b, tt)) in
+  (* realScr(u) as a term, threshold g = 0 inside the alliance, f = F
+     outside; and its value after col := false (rule Clr re-evaluates it
+     on the updated own state). *)
+  let real_scr_at th =
+    Sym.Ite
+      ( Sym.Lt (cnt, th),
+        Sym.Num (-1),
+        Sym.Ite (Sym.Eq (cnt, th), Sym.Num 0, Sym.Num 1) )
+  in
+  let rs = real_scr_at (Sym.Ite (Sym.Eq (col_s, tt), Sym.Num 0, Sym.Param "F"))
+  and rs_clr = real_scr_at (Sym.Param "F") in
+  let can_quit =
+    Sym.And
+      [ Sym.Eq (col_s, tt);
+        Sym.Le (Sym.Param "F", cnt);
+        Sym.Forall_nbr (Sym.Eq (scr_b, Sym.Num 1)) ]
+  in
+  let canq_term = Sym.Ite (can_quit, tt, ff) in
+  let to_quit =
+    Sym.And
+      [ can_quit;
+        Sym.Eq (ptr_s, s_id);
+        Sym.Forall_nbr (Sym.Eq (ptr_b, s_id)) ]
+  in
+  (* bestPtr(u) on stored scr/can_q (guards) — self-approval beats any
+     neighbor with a larger id, so the fold is a min over smaller-id
+     candidates defaulting to self. *)
+  let min_smaller_canq =
+    Sym.Min_nbr
+      (Sym.And [ Sym.Eq (canq_b, tt); Sym.Lt (s_id_b, s_id) ], s_id_b, s_id)
+  and min_canq = Sym.Min_nbr (Sym.Eq (canq_b, tt), s_id_b, s_none) in
+  let best_stored =
+    Sym.Ite
+      ( Sym.Eq (canq_s, tt),
+        Sym.Ite (Sym.Eq (scr_s, Sym.Num 1), min_smaller_canq, s_id),
+        Sym.Ite (Sym.Eq (scr_s, Sym.Num 1), min_canq, s_none) )
+  in
+  let upd_ptr =
+    Sym.And [ Sym.Not to_quit; Sym.Not (Sym.Eq (ptr_s, best_stored)) ]
+  in
+  (* bestPtr(u) on the re-evaluated scr/can_q (actions P2 and Clr). *)
+  let best_recomputed =
+    Sym.Ite
+      ( can_quit,
+        Sym.Ite (Sym.Eq (rs, Sym.Num 1), min_smaller_canq, s_id),
+        Sym.Ite (Sym.Eq (rs, Sym.Num 1), min_canq, s_none) )
+  and best_after_clr =
+    (* col' = false kills P_canQuit, so only the no-self branch remains. *)
+    Sym.Ite (Sym.Eq (rs_clr, Sym.Num 1), min_canq, s_none)
+  in
+  let p_ic =
+    Sym.And
+      [ Sym.Le (Sym.Num 0, rs);
+        Sym.Or
+          [ Sym.And [ Sym.Eq (scr_s, Sym.Num 1); Sym.Eq (rs, Sym.Num 1) ];
+            Sym.Eq (ptr_s, s_none);
+            Sym.And
+              [ Sym.Eq (ptr_s, s_id);
+                Sym.Eq (col_s, tt);
+                Sym.Eq (scr_s, rs) ];
+            Sym.And
+              [ Sym.Not (Sym.Eq (ptr_s, s_none));
+                Sym.Eq (scr_s, Sym.Num 1);
+                Sym.Or
+                  [ Sym.And [ Sym.Eq (ptr_s, s_id); Sym.Eq (col_s, ff) ];
+                    Sym.And
+                      [ Sym.Not (Sym.Eq (ptr_s, s_id));
+                        Sym.Exists_nbr
+                          (Sym.And
+                             [ Sym.Eq (s_id_b, ptr_s); Sym.Eq (col_b, ff) ])
+                      ] ] ] ] ]
+  in
+  let ir =
+    { Sym.ir_name = "fga-dominating-set";
+      fields =
+        [ ("id", Sym.TInt);
+          ("col", Sym.TBool);
+          ("scr", Sym.TInt);
+          ("can_q", Sym.TBool);
+          ("ptr", Sym.TInt) ];
+      params = [ max_id_param; { Sym.pname = "F"; lower = Some 1 } ];
+      ranges =
+        [ max_id_range;
+          ("scr", Sym.Num (-1), Sym.Num 2);
+          ("ptr", s_none, Sym.Add (Sym.Param "MaxId", Sym.Num 1)) ];
+      rules =
+        [ { Sym.rule = Fga.rule_clr;
+            guard = Sym.And [ p_ic; to_quit ];
+            assigns =
+              [ ("col", ff);
+                ("scr", rs_clr);
+                ("can_q", ff);
+                ("ptr", best_after_clr) ] };
+          { Sym.rule = Fga.rule_p1;
+            guard =
+              Sym.And [ p_ic; upd_ptr; Sym.Not (Sym.Eq (ptr_s, s_none)) ];
+            assigns =
+              [ ("scr", rs); ("can_q", canq_term); ("ptr", s_none) ] };
+          { Sym.rule = Fga.rule_p2;
+            guard = Sym.And [ p_ic; upd_ptr; Sym.Eq (ptr_s, s_none) ];
+            assigns =
+              [ ("scr", rs);
+                ("can_q", canq_term);
+                ("ptr", best_recomputed) ] };
+          { Sym.rule = Fga.rule_q;
+            guard =
+              Sym.And
+                [ p_ic;
+                  Sym.Not to_quit;
+                  Sym.Not upd_ptr;
+                  Sym.Or
+                    [ Sym.Not (Sym.Eq (scr_s, rs));
+                      Sym.Not (Sym.Eq (canq_s, canq_term)) ] ];
+            assigns =
+              [ ("scr", rs);
+                ("can_q", canq_term);
+                ("ptr", Sym.Ite (Sym.Le (rs, Sym.Num 0), s_none, ptr_s)) ]
+          } ] }
+  in
+  { (Sym.spec_of_ir ir) with
+    Sym.sp_p_icorrect = Some p_ic;
+    sp_p_reset =
+      Some
+        (Sym.And
+           [ Sym.Eq (col_s, tt);
+             Sym.Eq (ptr_s, s_none);
+             Sym.Eq (canq_s, tt);
+             Sym.Eq (scr_s, Sym.Num 1) ]);
+    sp_reset =
+      Some
+        [ ("col", tt); ("ptr", s_none); ("can_q", tt); ("scr", Sym.Num 1) ]
+  }
+
+let fga_sym g =
+  let spec = Spec.dominating_set in
+  let module A = Fga.Make (struct
+    let graph = g
+    let spec = spec
+    let ids = None
+  end) in
+  Sym.make_instance ~spec:fga_spec
+    ~params:[ ("MaxId", Graph.n g - 1); ("F", 1) ]
+    ~algorithm:A.bare ~graph:g
+    ~domain:(fga_inner spec g)
+    ~encode:(fun (s : Fga.state) ->
+      [ ("id", Sym.VInt s.Fga.id);
+        ("col", Sym.VBool s.Fga.col);
+        ("scr", Sym.VInt s.Fga.scr);
+        ("can_q", Sym.VBool s.Fga.can_q);
+        ("ptr", Sym.VInt (match s.Fga.ptr with None -> -1 | Some p -> p))
+      ])
+    ()
+
 (* --- registry -------------------------------------------------------- *)
 
 let entries =
@@ -531,7 +956,8 @@ let entries =
       instance = min_unison;
       footprint = None;
       sym = Some min_unison_sym;
-      smt_spec = Some min_unison_spec };
+      smt_spec = Some min_unison_spec;
+      comp_spec = None };
     { name = "tail-unison";
       description = "tail-reset unison, K = 2n + 2, alpha = n";
       expect_silent = false;
@@ -542,7 +968,8 @@ let entries =
       instance = tail_unison;
       footprint = None;
       sym = Some tail_unison_sym;
-      smt_spec = Some tail_unison_spec };
+      smt_spec = Some tail_unison_spec;
+      comp_spec = None };
     { name = "unison-sdr";
       description = "unison composed with SDR, K = n + 2 (3n-round recovery)";
       expect_silent = false;
@@ -553,7 +980,8 @@ let entries =
       instance = unison_sdr;
       footprint = Some unison_sdr_footprint;
       sym = Some unison_sym;
-      smt_spec = Some unison_input_spec };
+      smt_spec = Some unison_input_spec;
+      comp_spec = Some unison_sdr_composed_spec };
     { name = "coloring-sdr";
       description = "greedy (Δ+1)-coloring composed with SDR (silent)";
       expect_silent = true;
@@ -563,8 +991,9 @@ let entries =
       max_n_full = 3;
       instance = coloring_sdr;
       footprint = Some coloring_sdr_footprint;
-      sym = None;
-      smt_spec = None };
+      sym = Some coloring_sym;
+      smt_spec = Some coloring_spec;
+      comp_spec = None };
     { name = "mis-sdr";
       description = "maximal independent set composed with SDR (silent)";
       expect_silent = true;
@@ -574,8 +1003,9 @@ let entries =
       max_n_full = 3;
       instance = mis_sdr;
       footprint = Some mis_sdr_footprint;
-      sym = None;
-      smt_spec = None };
+      sym = Some mis_sym;
+      smt_spec = Some mis_spec;
+      comp_spec = None };
     { name = "matching-sdr";
       description = "maximal matching composed with SDR (silent)";
       expect_silent = true;
@@ -585,8 +1015,9 @@ let entries =
       max_n_full = 3;
       instance = matching_sdr;
       footprint = Some matching_sdr_footprint;
-      sym = None;
-      smt_spec = None };
+      sym = Some matching_sym;
+      smt_spec = Some matching_spec;
+      comp_spec = None };
     { name = "fga-sdr";
       description =
         "1-minimal (1,0)-alliance (FGA) composed with SDR (silent, 8n+4 \
@@ -598,8 +1029,9 @@ let entries =
       max_n_full = 2;
       instance = fga_sdr;
       footprint = Some fga_sdr_footprint;
-      sym = None;
-      smt_spec = None } ]
+      sym = Some fga_sym;
+      smt_spec = Some fga_spec;
+      comp_spec = None } ]
 
 let fixtures =
   [ { name = "toy-livelock";
@@ -612,7 +1044,8 @@ let fixtures =
       instance = Toy.livelock;
       footprint = None;
       sym = None;
-      smt_spec = None };
+      smt_spec = None;
+      comp_spec = None };
     { name = "toy-overlap";
       description = "fixture: overlapping guards and a silent move";
       expect_silent = false;
@@ -623,7 +1056,8 @@ let fixtures =
       instance = Toy.overlap;
       footprint = None;
       sym = None;
-      smt_spec = None };
+      smt_spec = None;
+      comp_spec = None };
     { name = "toy-interference";
       description =
         "fixture: composed input rule writes the SDR distance — footprint \
@@ -636,7 +1070,8 @@ let fixtures =
       instance = Toy.interference;
       footprint = Some Toy.interference_footprint;
       sym = None;
-      smt_spec = None };
+      smt_spec = None;
+      comp_spec = None };
     { name = "toy-badcert";
       description =
         "fixture: increasing potential registered as certificate — cert \
@@ -649,7 +1084,8 @@ let fixtures =
       instance = Toy.badcert;
       footprint = None;
       sym = None;
-      smt_spec = None };
+      smt_spec = None;
+      comp_spec = None };
     { name = "toy-badsym";
       description =
         "fixture: symbolic IR guard disagrees with the OCaml rule — the \
@@ -662,7 +1098,22 @@ let fixtures =
       instance = Toy.badsym;
       footprint = None;
       sym = Some Toy.badsym_sym;
-      smt_spec = None } ]
+      smt_spec = None;
+      comp_spec = None };
+    { name = "toy-badrank";
+      description =
+        "fixture: exact IR whose rank claim stutters on the 1 -> 0 move — \
+         the ranking differential must flag";
+      expect_silent = false;
+      round_bound = None;
+      min_n = 1;
+      max_n_quick = 2;
+      max_n_full = 3;
+      instance = Toy.badrank;
+      footprint = None;
+      sym = Some Toy.badrank_sym;
+      smt_spec = None;
+      comp_spec = None } ]
 
 let contains ~needle haystack =
   let h = String.lowercase_ascii haystack
@@ -767,5 +1218,8 @@ let run ?(mode = `Full) ?max_n ?max_views_per_process ?(footprint = true)
     obligations =
       (match entry.smt_spec with
       | None -> []
-      | Some spec -> Obligation.compile_all ~algo:entry.name spec);
+      | Some spec -> Obligation.compile_all ~algo:entry.name spec)
+      @ (match entry.comp_spec with
+        | None -> []
+        | Some spec -> Obligation.compile_composition_all ~algo:entry.name spec);
     models = List.rev !models }

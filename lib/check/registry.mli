@@ -30,6 +30,11 @@ type entry = {
       (** the topology-parametric symbolic spec {!Obligation} compiles to
           SMT-LIB; usually the spec underlying [sym], shared across graph
           sizes *)
+  comp_spec : Sym.spec option;
+      (** the {e composed}-system spec whose rank family
+          {!Obligation.compile_composition} turns into [comp.*]
+          obligations — only unison-sdr carries one
+          ({!unison_sdr_composed_spec}) *)
 }
 
 val tail_unison_spec : Sym.spec
@@ -42,8 +47,20 @@ val unison_sdr_composed_spec : Sym.spec
     [st : Status], [d : Int], [c : Int]; rules SDR-RB/RF/C/R plus the
     lifted U-inc, in the engine's rule order.  The source program of the
     flat engine's closure compiler; validated against [Sdr.Make]'s OCaml
-    rules by {!unison_sdr_composed_sym}.  Uses {!Sym.Min_nbr} (SDR-RB's
-    distance update), so it carries no SMT obligations yet. *)
+    rules by {!unison_sdr_composed_sym}.  Carries the ["wave-completion"]
+    rank (RB = 2, RF = 1, C = 0, covered by SDR-RF/SDR-C) that
+    {!Obligation.compile_composition} exports as the [comp.*] obligation
+    family of the unison-sdr entry. *)
+
+val coloring_spec : Sym.spec
+val mis_spec : Sym.spec
+val matching_spec : Sym.spec
+val fga_spec : Sym.spec
+(** Topology-parametric symbolic IRs of the four bare SDR input layers
+    (ids = process indices; options encoded as integers with ⊥ = -1;
+    [fga_spec] is specialized to [Spec.dominating_set]).  Each carries
+    the full §3.5 reset interface; coloring and MIS also carry an
+    ["undecided"] rank. *)
 
 val tail_unison_params_of_n : int -> (string * int) list
 val min_unison_params_of_n : int -> (string * int) list
@@ -60,12 +77,15 @@ val entries : entry list
 (** min-unison, tail-unison, unison-sdr, coloring-sdr, mis-sdr,
     matching-sdr, fga-sdr.  The unison entries carry a ["climb-debt"]
     certificate, unison-sdr a ["wave-completion"] one, and coloring-sdr /
-    mis-sdr an ["undecided"] one ({!Cert}). *)
+    mis-sdr an ["undecided"] one ({!Cert}).  Every entry now attaches a
+    symbolic IR, so [check smt emit] covers the whole registry. *)
 
 val fixtures : entry list
-(** toy-livelock, toy-overlap, toy-interference, toy-badsym, toy-badcert
-    ({!Toy}).  toy-badsym is clean under lint, footprint and the model
-    checker; only the symbolic differential flags it. *)
+(** toy-livelock, toy-overlap, toy-interference, toy-badsym, toy-badcert,
+    toy-badrank ({!Toy}).  toy-badsym is clean under lint, footprint and
+    the model checker; only the symbolic differential flags it.
+    toy-badrank is additionally clean under the guard/post differential;
+    only the ranking differential (["rank"] mismatches) flags it. *)
 
 val footprint_target : entry -> Ssreset_graph.Graph.t -> Footprint.target
 (** The target {!run} analyzes for this entry on one graph (declared or

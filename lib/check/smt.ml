@@ -315,5 +315,7 @@ let solve ~solver ?(args = []) path =
       | Some "sat" -> Sat
       | Some "unsat" -> Unsat
       | Some "unknown" -> Unknown
+      (* z3's -T: soft timeout prints "timeout" instead of "unknown". *)
+      | Some "timeout" -> Unknown
       | Some other -> Solver_error (Printf.sprintf "exit %d: %s" code other)
       | None -> Solver_error (Printf.sprintf "exit %d: no output" code))

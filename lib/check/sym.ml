@@ -7,6 +7,7 @@ type site = Self | Nbr
 
 type term =
   | Num of int
+  | Bool of bool
   | Param of string
   | Var of site * string
   | Add of term * term
@@ -15,6 +16,8 @@ type term =
   | Ite of form * term * term
   | Ctor of string
   | Min_nbr of form * term * term
+  | Mex_nbr of form * term
+  | Count_nbr of form
 
 and form =
   | Const of bool
@@ -42,6 +45,12 @@ type ir = {
 
 type cert_spec = { cs_name : string; cs_rules : string list; cs_local : term }
 
+type rank_spec = {
+  rk_name : string;
+  rk_rules : string list;
+  rk_components : term list;
+}
+
 type spec = {
   sp_ir : ir;
   sp_legitimate : form option;
@@ -49,6 +58,7 @@ type spec = {
   sp_p_reset : form option;
   sp_reset : assign list option;
   sp_cert : cert_spec option;
+  sp_rank : rank_spec option;
 }
 
 let spec_of_ir ir =
@@ -57,7 +67,8 @@ let spec_of_ir ir =
     sp_p_icorrect = None;
     sp_p_reset = None;
     sp_reset = None;
-    sp_cert = None }
+    sp_cert = None;
+    sp_rank = None }
 
 (* --- values and evaluation ------------------------------------------- *)
 
@@ -97,6 +108,7 @@ let as_int = function
 
 let rec eval_term env = function
   | Num i -> VInt i
+  | Bool b -> VBool b
   | Param p -> (
       match List.assoc_opt p env.ve_params with
       | Some v -> VInt v
@@ -124,6 +136,26 @@ let rec eval_term env = function
         end
       done;
       (match !best with Some v -> VInt v | None -> eval_term env dflt)
+  | Mex_nbr (filt, body) ->
+      (* Least c >= 0 such that no qualifying neighbor's body equals c.
+         At most [deg] neighbors qualify, so the answer is <= deg. *)
+      let used = ref [] in
+      for i = 0 to Array.length env.ve_nbrs - 1 do
+        let e = { env with ve_cur = Some i } in
+        if eval_form_env e filt then
+          used := as_int (eval_term e body) :: !used
+      done;
+      let c = ref 0 in
+      while List.mem !c !used do
+        incr c
+      done;
+      VInt !c
+  | Count_nbr filt ->
+      let k = ref 0 in
+      for i = 0 to Array.length env.ve_nbrs - 1 do
+        if eval_form_env { env with ve_cur = Some i } filt then incr k
+      done;
+      VInt !k
 
 and eval_form_env env = function
   | Const b -> b
@@ -165,7 +197,7 @@ let eval_rule_apply ~params ~fields ~self ~nbrs r =
     fields
 
 let rec subst_self_term assigns = function
-  | (Num _ | Param _ | Ctor _ | Var (Nbr, _)) as t -> t
+  | (Num _ | Bool _ | Param _ | Ctor _ | Var (Nbr, _)) as t -> t
   | Var (Self, f) as t -> (
       match List.assoc_opt f assigns with Some t' -> t' | None -> t)
   | Add (a, b) -> Add (subst_self_term assigns a, subst_self_term assigns b)
@@ -181,6 +213,9 @@ let rec subst_self_term assigns = function
         ( subst_self_form assigns filt,
           subst_self_term assigns body,
           subst_self_term assigns dflt )
+  | Mex_nbr (filt, body) ->
+      Mex_nbr (subst_self_form assigns filt, subst_self_term assigns body)
+  | Count_nbr filt -> Count_nbr (subst_self_form assigns filt)
 
 and subst_self_form assigns = function
   | Const _ as f -> f
@@ -204,7 +239,7 @@ let well_formed ir =
   let field_ok f = List.mem_assoc f ir.fields in
   let param_ok p = List.exists (fun q -> q.pname = p) ir.params in
   let rec walk_term ~ctx ~depth ~allow_fields = function
-    | Num _ | Ctor _ -> ()
+    | Num _ | Bool _ | Ctor _ -> ()
     | Param p -> if not (param_ok p) then err "%s: unknown parameter %s" ctx p
     | Var (site, f) ->
         if not allow_fields then err "%s: field %s in a closed term" ctx f
@@ -223,6 +258,10 @@ let well_formed ir =
         walk_form ~ctx ~depth:(depth + 1) ~allow_fields filt;
         walk_term ~ctx ~depth:(depth + 1) ~allow_fields body;
         walk_term ~ctx ~depth ~allow_fields dflt
+    | Mex_nbr (filt, body) ->
+        walk_form ~ctx ~depth:(depth + 1) ~allow_fields filt;
+        walk_term ~ctx ~depth:(depth + 1) ~allow_fields body
+    | Count_nbr filt -> walk_form ~ctx ~depth:(depth + 1) ~allow_fields filt
   and walk_form ~ctx ~depth ~allow_fields = function
     | Const _ -> ()
     | Not f -> walk_form ~ctx ~depth ~allow_fields f
@@ -482,7 +521,52 @@ let run_views (type s) ~max_views_per_process
               then
                 record ~where:"views" ~rules:[ sr.rule ] (fun () ->
                     Fmt.str "post-state disagrees (OCaml %a, IR %a) on %a"
-                      pp_valuation post pp_valuation sym_post pp_view view)
+                      pp_valuation post pp_valuation sym_post pp_view view);
+              (* Ranking differential: on every enabled view of a covered
+                 rule, the claimed lexicographic rank must be bounded below
+                 by 0 on both sides of the move and strictly decrease for
+                 the mover — the concrete shadow of the rank-decrease SMT
+                 obligations ({!Obligation}).  Components read [Self]
+                 fields only, so the mover's tuple is all that changes. *)
+              (match I.spec.sp_rank with
+              | Some rk when List.mem sr.rule rk.rk_rules ->
+                  let tuple st =
+                    List.map
+                      (fun c -> as_int (eval_term (range_env st) c))
+                      rk.rk_components
+                  in
+                  let pre_t = tuple self and post_t = tuple post in
+                  let rec lex_lt a b =
+                    match (a, b) with
+                    | [], [] -> false
+                    | x :: xs, y :: ys ->
+                        x < y || (x = y && lex_lt xs ys)
+                    | _ -> false
+                  in
+                  if
+                    List.exists (fun v -> v < 0) pre_t
+                    || List.exists (fun v -> v < 0) post_t
+                  then
+                    record ~where:"rank" ~rules:[ sr.rule ] (fun () ->
+                        Fmt.str
+                          "rank %s not bounded below (pre [%a], post [%a]) \
+                           on %a"
+                          rk.rk_name
+                          Fmt.(list ~sep:(any " ") int)
+                          pre_t
+                          Fmt.(list ~sep:(any " ") int)
+                          post_t pp_view view)
+                  else if not (lex_lt post_t pre_t) then
+                    record ~where:"rank" ~rules:[ sr.rule ] (fun () ->
+                        Fmt.str
+                          "rank %s does not strictly decrease (pre [%a], \
+                           post [%a]) on %a"
+                          rk.rk_name
+                          Fmt.(list ~sep:(any " ") int)
+                          pre_t
+                          Fmt.(list ~sep:(any " ") int)
+                          post_t pp_view view)
+              | _ -> ())
             end
           with
           | () -> ()

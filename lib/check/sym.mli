@@ -38,6 +38,7 @@ type site =
 
 type term =
   | Num of int
+  | Bool of bool  (** boolean literal, for [TBool] fields *)
   | Param of string  (** symbolic parameter, e.g. ["K"] *)
   | Var of site * string  (** field value at a site *)
   | Add of term * term
@@ -51,6 +52,15 @@ type term =
           both), or [default] (evaluated outside the binder) when no
           neighbor qualifies.  Needed for SDR-RB's
           [d := 1 + min {d(v) | v ∈ N(u), status v = RB}]. *)
+  | Mex_nbr of form * term
+      (** [Mex_nbr (filter, body)]: the least [c >= 0] such that no
+          neighbor satisfying [filter] has [body = c] — Grundy coloring's
+          minimum excludant.  Always [<= deg], since at most [deg]
+          neighbors qualify. *)
+  | Count_nbr of form
+      (** Number of neighbors satisfying the filter; [Count_nbr (Const
+          true)] is the degree.  Needed for the alliance score
+          thresholds. *)
 
 and form =
   | Const of bool
@@ -111,6 +121,19 @@ type cert_spec = {
           the mover's contribution. *)
 }
 
+type rank_spec = {
+  rk_name : string;
+  rk_rules : string list;
+      (** covered rules: every one must strictly decrease the rank *)
+  rk_components : term list;
+      (** per-process lexicographic rank tuple, most significant first.
+          Each component reads only [Self] fields, is bounded below by 0
+          on every reachable state, and a covered move strictly decreases
+          the mover's tuple while leaving every other process's tuple
+          untouched — the implicit-rankings recipe for a global
+          well-founded measure over an unbounded node sort. *)
+}
+
 type spec = {
   sp_ir : ir;
   sp_legitimate : form option;
@@ -120,6 +143,10 @@ type spec = {
   sp_p_reset : form option;  (** reads [Self] fields only *)
   sp_reset : assign list option;  (** the [reset] macro *)
   sp_cert : cert_spec option;
+  sp_rank : rank_spec option;
+      (** global-ranking convergence claim, validated concretely by the
+          differential (["rank"] mismatches) and exported as rank-*
+          obligations by {!Obligation}. *)
 }
 
 val spec_of_ir : ir -> spec

@@ -147,6 +147,58 @@ let badsym_sym graph =
     ~encode:(fun c -> [ ("c", Sym.VInt c) ])
     ~is_legitimate:(badsym_legitimate graph) ()
 
+(* A correct, strictly decreasing counter whose symbolic IR is exact but
+   whose attached rank_spec lies: the component max(c, 0)·[c > 1] claims
+   a strict decrease for every T-down move, yet the 1 → 0 move keeps the
+   tuple at [0] — a stutter only the ranking differential (and, symbolically,
+   the rank-decrease obligation) can flag.  Lint, model, footprint and the
+   guard/post differential are all clean by construction. *)
+
+let badrank_rule =
+  { Algorithm.rule_name = "T-down";
+    guard = (fun v -> v.Algorithm.state > 0);
+    action = (fun v -> v.Algorithm.state - 1) }
+
+let badrank_algorithm =
+  { Algorithm.name = "toy-badrank";
+    rules = [ badrank_rule ];
+    equal = Int.equal;
+    pp = Fmt.int }
+
+let badrank_legitimate _ cfg = Array.for_all (fun s -> s = 0) cfg
+
+let badrank graph =
+  Finite.make ~name:"toy-badrank" ~algorithm:badrank_algorithm ~graph
+    ~domain:(fun _ -> [ 0; 1; 2; 3 ])
+    ~legitimate:badrank_legitimate ()
+
+let badrank_spec =
+  let c = Sym.Var (Sym.Self, "c") in
+  { (Sym.spec_of_ir
+       { Sym.ir_name = "toy-badrank";
+         fields = [ ("c", Sym.TInt) ];
+         params = [];
+         ranges = [ ("c", Sym.Num 0, Sym.Num 4) ];
+         rules =
+           [ { Sym.rule = "T-down";
+               guard = Sym.Lt (Sym.Num 0, c);
+               assigns = [ ("c", Sym.Sub (c, Sym.Num 1)) ]
+             } ] })
+    with
+    Sym.sp_rank =
+      Some
+        { Sym.rk_name = "stutter";
+          rk_rules = [ "T-down" ];
+          rk_components = [ Sym.Ite (Sym.Lt (Sym.Num 1, c), c, Sym.Num 0) ]
+        } }
+
+let badrank_sym graph =
+  Sym.make_instance ~spec:badrank_spec ~params:[]
+    ~algorithm:badrank_algorithm ~graph
+    ~domain:(fun _ -> [ 0; 1; 2; 3 ])
+    ~encode:(fun c -> [ ("c", Sym.VInt c) ])
+    ~is_legitimate:(badrank_legitimate graph) ()
+
 (* A correct, trivially convergent counter registered with an increasing
    "potential": lint and the enumerated model verdicts are clean, so only
    the certificate pass can flag the bogus measure. *)

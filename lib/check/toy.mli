@@ -41,6 +41,18 @@ val badsym : Ssreset_graph.Graph.t -> Finite.t
 val badsym_sym : Ssreset_graph.Graph.t -> Sym.instance
 (** The lying symbolic instance for {!badsym}. *)
 
+val badrank : Ssreset_graph.Graph.t -> Finite.t
+(** A correct strictly-decreasing counter ([T-down]: fires while
+    state > 0; legitimate = all-0) whose symbolic IR is exact but whose
+    rank claim stutters: the component [if c > 1 then c else 0] stays at
+    0 across the 1 → 0 move.  Lint, model, footprint and the guard/post
+    differential are all clean, so only the ranking differential (a
+    ["rank"] mismatch) — or a solver on the exported [rank-decrease]
+    obligation — can flag it. *)
+
+val badrank_sym : Ssreset_graph.Graph.t -> Sym.instance
+(** The stuttering-rank symbolic instance for {!badrank}. *)
+
 val badcert : Ssreset_graph.Graph.t -> Finite.t
 (** A correct monotone counter ([T-up]: 0 → 1 → 2; legitimate = all-2)
     registered with a bogus {e increasing} potential [Σ state] — clean

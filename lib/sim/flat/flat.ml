@@ -171,6 +171,9 @@ let make_ev p =
   let rec cterm (t : Sym.term) : unit -> int =
     match t with
     | Sym.Num k -> fun () -> k
+    | Sym.Bool b ->
+        let k = if b then 1 else 0 in
+        fun () -> k
     | Sym.Param name ->
         let v = param_val name in
         fun () -> v
@@ -211,6 +214,41 @@ let make_ev p =
           done;
           cell.nbr <- saved;
           if !found then !best else cd ()
+    | Sym.Mex_nbr (filt, body) ->
+        let cf = cform filt and cb = cterm body in
+        fun () ->
+          let saved = cell.nbr in
+          let u = cell.u in
+          let lo = offsets.(u) and hi = offsets.(u + 1) in
+          (* mex <= deg, so a degree-sized seen-bitmap suffices; values
+             outside [0, deg] can never be the answer. *)
+          let deg = hi - lo in
+          let seen = Array.make (deg + 1) false in
+          for i = lo to hi - 1 do
+            cell.nbr <- nbrs.(i);
+            if cf () then begin
+              let v = cb () in
+              if v >= 0 && v <= deg then seen.(v) <- true
+            end
+          done;
+          cell.nbr <- saved;
+          let c = ref 0 in
+          while seen.(!c) do
+            incr c
+          done;
+          !c
+    | Sym.Count_nbr filt ->
+        let cf = cform filt in
+        fun () ->
+          let saved = cell.nbr in
+          let u = cell.u in
+          let k = ref 0 in
+          for i = offsets.(u) to offsets.(u + 1) - 1 do
+            cell.nbr <- nbrs.(i);
+            if cf () then incr k
+          done;
+          cell.nbr <- saved;
+          !k
   and cform (f : Sym.form) : unit -> bool =
     match f with
     | Sym.Const b -> fun () -> b

@@ -61,6 +61,7 @@ let init_ground p =
 let rec closed_term params (t : Sym.term) =
   match t with
   | Sym.Num k -> k
+  | Sym.Bool b -> if b then 1 else 0
   | Sym.Param s -> (
       match List.assoc_opt s params with
       | Some v -> v
@@ -71,7 +72,8 @@ let rec closed_term params (t : Sym.term) =
   | Sym.Ite (c, a, b) ->
       if closed_form params c then closed_term params a
       else closed_term params b
-  | Sym.Var _ | Sym.Ctor _ | Sym.Min_nbr _ ->
+  | Sym.Var _ | Sym.Ctor _ | Sym.Min_nbr _ | Sym.Mex_nbr _ | Sym.Count_nbr _
+    ->
       invalid_arg "Progs: range bound is not a closed term"
 
 and closed_form params (f : Sym.form) =

@@ -391,7 +391,7 @@ let footprint_tests =
 let registry_tests =
   [ test "find matches case-insensitive substrings" (fun () ->
         check_int "unison" 3 (List.length (Registry.find "UNISON"));
-        check_int "toy" 5 (List.length (Registry.find "toy"));
+        check_int "toy" 6 (List.length (Registry.find "toy"));
         check_int "none" 0 (List.length (Registry.find "zzz")));
     test "fixtures are reported dirty, entries clean (quick mode)" (fun () ->
         List.iter

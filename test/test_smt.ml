@@ -1,18 +1,24 @@
-(* check v3 — symbolic rule IR + SMT-LIB obligation export.
+(* check v4 — full-registry symbolic IRs + ranking/composition obligations.
 
    Four layers, no solver required for the first three:
-   - differential: every registry-attached symbolic IR must agree with its
-     OCaml rules (enabled set + post-state) on every connected graph up to
-     n = 5, over strided view sweeps and under every registered daemon;
-     the toy-badsym fixture's lying IR must be caught.
+   - differential: every registry-attached symbolic IR (all seven
+     algorithms as of v4) must agree with its OCaml rules (enabled set +
+     post-state, plus the rank differential where a spec carries one) on
+     every connected graph up to n = 5, over strided view sweeps and under
+     every registered daemon; the toy-badsym fixture's lying IR and the
+     toy-badrank fixture's stuttering rank claim must both be caught.
    - printer/parser: Smt.to_string ∘ Smt.parse_string is the identity on
      the command list (modulo formatting), on every compiled obligation.
-   - obligations: every compiled obligation for every spec × topology
-     family must lint clean — no free symbols, no dead declarations, a
-     check-sat — and the inventory must cover the acceptance floor
-     (closure, climb-debt decrease, ≥ 3 §3.5 requirements on the ring).
+   - obligations: every compiled obligation (base families plus the
+     comp.* composition family) for every spec × topology family must
+     lint clean — no free symbols, no dead declarations, a check-sat —
+     and the inventory must cover the acceptance floor (closure,
+     climb-debt decrease, ≥ 3 §3.5 requirements, ranking and composition
+     obligations on the ring; ≥ 100 obligations in total).
    - solving (skipped unless z3 is on PATH): the tail-unison climb-debt
-     decrease obligation on the ring must come back unsat. *)
+     decrease, the tail-unison rank-decrease.TU-climb ranking obligation
+     and the unison-sdr comp.rank-decrease.SDR-RF composition obligation
+     on the ring must all come back unsat. *)
 
 open Helpers
 module Sym = Ssreset_check.Sym
@@ -38,7 +44,8 @@ let sym_entries () =
 
 let spec_entries () =
   List.filter
-    (fun (e : Registry.entry) -> e.Registry.smt_spec <> None)
+    (fun (e : Registry.entry) ->
+      e.Registry.smt_spec <> None || e.Registry.comp_spec <> None)
     (Registry.entries @ Registry.fixtures)
 
 (* ----------------------------- differential ----------------------------- *)
@@ -47,7 +54,8 @@ let differential_tests =
   [ test "every registry IR agrees with its OCaml rules (all graphs n<=5)"
       (fun () ->
         let es = sym_entries () in
-        check_true "at least three entries carry an IR" (List.length es >= 3);
+        check_true "all seven registry entries carry an IR"
+          (List.length es >= 7);
         List.iter
           (fun (e : Registry.entry) ->
             let mk = Option.get e.Registry.sym in
@@ -86,6 +94,31 @@ let fixture_tests =
         match r.Report.sym with
         | None -> Alcotest.fail "sym pass did not run"
         | Some d -> check_false "sym dirty" (Sym.diff_ok d));
+    test "toy-badrank: the stuttering rank claim is caught" (fun () ->
+        let d = Sym.check (Toy.badrank_sym (Gen.path 2)) in
+        check_false "mismatch found" (Sym.diff_ok d);
+        check_true "a rank mismatch is reported"
+          (List.exists
+             (fun (m : Sym.mismatch) -> m.Sym.where = "rank")
+             d.Sym.mismatches));
+    test "toy-badrank fails Registry.run only via the rank differential"
+      (fun () ->
+        let r = Registry.run ~mode:`Quick (entry "toy-badrank") in
+        check_false "entry not ok" (Report.entry_ok r);
+        check_true "lint clean" (r.Report.lint = []);
+        check_true "model clean"
+          (List.for_all
+             (fun (m : Report.model_item) ->
+               m.Report.result.Ssreset_check.Model.violations = [])
+             r.Report.models);
+        match r.Report.sym with
+        | None -> Alcotest.fail "sym pass did not run"
+        | Some d ->
+            check_false "sym dirty" (Sym.diff_ok d);
+            check_true "every mismatch is a rank mismatch"
+              (List.for_all
+                 (fun (m : Sym.mismatch) -> m.Sym.where = "rank")
+                 d.Sym.mismatches));
     test "well_formed rejects scoping errors" (fun () ->
         let ir =
           { Sym.ir_name = "bad";
@@ -108,15 +141,20 @@ let fixture_tests =
 let all_obligations () =
   List.concat_map
     (fun (e : Registry.entry) ->
-      Obligation.compile_all ~algo:e.Registry.name
-        (Option.get e.Registry.smt_spec))
+      (match e.Registry.smt_spec with
+      | Some s -> Obligation.compile_all ~algo:e.Registry.name s
+      | None -> [])
+      @
+      match e.Registry.comp_spec with
+      | Some s -> Obligation.compile_composition_all ~algo:e.Registry.name s
+      | None -> [])
     (spec_entries ())
 
 let roundtrip_tests =
   [ test "print/parse round-trip is the identity on every obligation"
       (fun () ->
         let obs = all_obligations () in
-        check_true "at least 60 obligations" (List.length obs >= 60);
+        check_true "at least 100 obligations" (List.length obs >= 100);
         List.iter
           (fun (ob : Obligation.t) ->
             let printed = Smt.to_string ob.Obligation.ob_script in
@@ -188,7 +226,20 @@ let obligation_tests =
              (List.filter
                 (function Obligation.Requirement _ -> true | _ -> false)
                 uni)
-          >= 3));
+          >= 3);
+        check_true "tail-unison ring carries ranking obligations"
+          (List.mem (Obligation.Rank "rank-decrease.TU-climb") tail
+          && List.mem (Obligation.Rank "rank-bounded") tail
+          && List.mem (Obligation.Rank "rank-step") tail);
+        let comp =
+          kinds
+            (Obligation.compile_composition ~algo:"unison-sdr"
+               (Option.get (entry "unison-sdr").Registry.comp_spec)
+               Obligation.Ring)
+        in
+        check_true "unison-sdr ring carries composition obligations"
+          (List.mem (Obligation.Composition "rank-decrease.SDR-RF") comp
+          && List.mem (Obligation.Composition "rank-bounded") comp));
     test "filenames are unique across the full inventory" (fun () ->
         let names = List.map Obligation.filename (all_obligations ()) in
         check_int "no duplicates"
@@ -238,7 +289,39 @@ let solver_tests =
                 (Obligation.filename ob)
                 "unsat"
                 (Smt.verdict_to_string verdict))
-            obs) ]
+            obs);
+      test "ranking + composition obligations on the ring are unsat under z3"
+        (fun () ->
+          let solve_one ob =
+            let path = Filename.temp_file "ssreset-test" ".smt2" in
+            Smt.write_file path ob.Obligation.ob_script;
+            let verdict = Smt.solve ~solver path in
+            Sys.remove path;
+            check Alcotest.string
+              (Obligation.filename ob)
+              "unsat"
+              (Smt.verdict_to_string verdict)
+          in
+          let rank_ob =
+            List.find
+              (fun ob ->
+                ob.Obligation.ob_kind
+                = Obligation.Rank "rank-decrease.TU-climb")
+              (Obligation.compile ~algo:"tail-unison"
+                 (Option.get (entry "tail-unison").Registry.smt_spec)
+                 Obligation.Ring)
+          in
+          solve_one rank_ob;
+          let comp_ob =
+            List.find
+              (fun ob ->
+                ob.Obligation.ob_kind
+                = Obligation.Composition "rank-decrease.SDR-RF")
+              (Obligation.compile_composition ~algo:"unison-sdr"
+                 (Option.get (entry "unison-sdr").Registry.comp_spec)
+                 Obligation.Ring)
+          in
+          solve_one comp_ob) ]
 
 let () =
   Alcotest.run "smt"

@@ -257,7 +257,42 @@ let () =
                 | _ -> info "smt %s: no comparable throughput, skipped" ctx
               in
               rate "compile" "obligations_per_s" "compile";
-              rate "differential" "views_per_s" "differential")
+              rate "differential" "views_per_s" "differential";
+              rate "ranking" "obligations_per_s" "ranking";
+              (* v4 input-layer differentials: correctness always, rate
+                 only when the baseline knows the algo *)
+              let base_inputs = list_field "differential_inputs" base_smt in
+              List.iter
+                (fun fr ->
+                  let algo = str_field "algo" fr in
+                  (match bool_field "ok" fr with
+                  | Some false ->
+                      fail "smt differential %s: IR/rules mismatch" algo
+                  | _ -> ());
+                  let same b = str_field "algo" b = algo in
+                  match
+                    ( Option.bind (List.find_opt same base_inputs)
+                        (float_field "views_per_s"),
+                      float_field "views_per_s" fr )
+                  with
+                  | Some base_r, Some fresh_r ->
+                      if fresh_r < base_r *. (1. -. smt_tolerance) then
+                        fail
+                          "smt differential %s: %.0f views_per_s vs \
+                           baseline %.0f (-%.0f%% > -%.0f%% tolerance)"
+                          algo fresh_r base_r
+                          (100. *. (1. -. (fresh_r /. base_r)))
+                          (smt_tolerance *. 100.)
+                      else
+                        info "smt differential %s: %.0f views_per_s vs \
+                              baseline %.0f"
+                          algo fresh_r base_r
+                  | _ ->
+                      info
+                        "smt differential %s: no baseline rate, learned at \
+                         next refresh"
+                        algo)
+                (list_field "differential_inputs" fresh_smt))
       | _ -> ()));
 
   (* 6. Engine scheduler throughput — informational. *)

@@ -58,6 +58,23 @@ let () =
       in
       if r.Report.name = "toy-badsym" && not sym_dirty then
         fail "toy-badsym: symbolic differential did NOT flag the lying IR";
+      (* toy-badrank's IR is exact — only the ranking differential can see
+         the stutter, so require a mismatch specifically tagged "rank". *)
+      if r.Report.name = "toy-badrank" then begin
+        let rank_dirty =
+          match r.Report.sym with
+          | None -> false
+          | Some d ->
+              List.exists
+                (fun (m : Ssreset_check.Sym.mismatch) ->
+                  m.Ssreset_check.Sym.where = "rank")
+                d.Ssreset_check.Sym.mismatches
+        in
+        if not rank_dirty then
+          fail
+            "toy-badrank: ranking differential did NOT flag the stuttering \
+             rank"
+      end;
       if not dirty then
         fail "%s: fixture was NOT flagged (false negative)" r.Report.name
       else

@@ -42,7 +42,13 @@ let required =
       "cmp smoke-scale-p1.txt smoke-scale-p2.txt" );
     ("pinned z3 install", "apt-get install -y --no-install-recommends z3=");
     ("ring obligations solved", "smt solve --family ring");
-    ("unsat transcript artifact", "smt-ring-transcript.txt") ]
+    ("unsat transcript artifact", "smt-ring-transcript.txt");
+    ( "ranking + composition obligations solved",
+      "smt solve --family ring --kind rank,composition --name \
+       rank-decrease --timeout 120" );
+    ("ranking transcript artifact", "smt-rank-transcript.txt");
+    ("tail-unison ranking proved", "rank-decrease.TU-climb");
+    ("composition ranking proved", "comp.rank-decrease.SDR-RF") ]
 
 let contains ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in

@@ -1,0 +1,11 @@
+; obligation: rank-decrease.T-down
+; algorithm: toy
+; family: ring (axiomatized superset, any n)
+; a covered mover's rank tuple strictly decreases
+; expected: unsat
+(set-logic ALL)
+(declare-sort Node 0)
+(declare-fun c (Node) Int)
+(assert (forall ((u Node)) (and (<= 0 (c u)) (< (c u) 4))))
+(assert (exists ((u Node)) (and (< 0 (c u)) (not (< (- (c u) 1) (c u))))))
+(check-sat)

@@ -12,7 +12,7 @@
    report schema: schema_version >= 3, per-entry lint/footprint/sym/
    obligations/model sections, and per-graph model records carrying the
    automorphisms and certificate fields.  [--check-smt] validates an
-   ssreset-smt-v1 obligation manifest: every referenced .smt2 file (in
+   ssreset-smt-v2 obligation manifest: every referenced .smt2 file (in
    the manifest's directory) must re-parse through Ssreset_check.Smt's
    reader and lint clean.  [--check-trace] validates the ssreset-trace-v1
    schema (manifest first, strictly increasing step/round records,
@@ -63,7 +63,7 @@ let as_list ~path ~ctx = function
   | Json.List l -> l
   | _ -> fail "%s: %s: not a list" path ctx
 
-(* --- ssreset-smt-v1 obligation manifest ------------------------------- *)
+(* --- ssreset-smt-v2 obligation manifest ------------------------------- *)
 
 (* Shape-checks the manifest object (also embedded per-entry in check-v3
    reports, where the referenced files need not exist on disk).  Returns
@@ -75,7 +75,7 @@ let check_smt_manifest ~path ~ctx json =
       json
   in
   (match Option.bind (Json.member "schema" json) Json.to_string_opt with
-  | Some "ssreset-smt-v1" -> ()
+  | Some "ssreset-smt-v2" -> ()
   | Some other -> fail "%s: %s: unexpected schema %S" path ctx other
   | None -> fail "%s: %s: schema is not a string" path ctx);
   let obs = as_list ~path ~ctx:(ctx ^ " obligations")
