@@ -934,6 +934,67 @@ let run_flat_bench ~quick =
     [ ("head_to_head", Json.List head_to_head);
       ("scale", Json.List scale) ]
 
+(* ------------------------------------------------------------------ *)
+(* flat_obs: observability overhead on the flat data path.  The same  *)
+(* scale-tier workload as engine_flat.scale (streamed U∘SDR ring,     *)
+(* perturbed ground state, synchronous daemon) run once with no prof  *)
+(* and once with a windowless Prof attached.  The digests must be     *)
+(* byte-identical — instrumentation is pay-as-you-go — and the gate   *)
+(* holds the prof-off rate to baseline while capping the measured     *)
+(* prof-on overhead.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_flat_obs_bench ~quick =
+  Printf.printf
+    "== flat_obs: flat-engine profiling overhead, streamed U∘SDR ring, \
+     synchronous daemon ==\n%!";
+  let n = if quick then 20_000 else 100_000 in
+  let k = n / 20 in
+  let entry = Option.get (FlatProgs.find "unison-sdr") in
+  let run ?prof () =
+    let prog = FlatProgs.build entry (Csr.ring n) in
+    FlatProgs.init_ground prog;
+    FlatProgs.perturb prog ~rng:(Random.State.make [| 0xF1A7; 1 |]) k;
+    let r = Flat.run ~daemon:Flat.Synchronous ?prof prog in
+    (r, FlatProgs.digest prog r)
+  in
+  let rate (r : Flat.result) =
+    if r.Flat.wall_s > 0. then float_of_int r.Flat.steps /. r.Flat.wall_s
+    else 0.
+  in
+  let best_of f =
+    let best = ref 0. in
+    let digest = ref "" in
+    for _ = 1 to 3 do
+      let r, d = f () in
+      digest := d;
+      best := Float.max !best (rate r)
+    done;
+    (!best, !digest)
+  in
+  let steps = (fst (run ())).Flat.steps in
+  let off, digest_off = best_of (fun () -> run ()) in
+  let on, digest_on =
+    best_of (fun () -> run ~prof:(Ssreset_obs.Prof.create ()) ())
+  in
+  (* Pay-as-you-go means bit-identical, not just statistically close. *)
+  if not (String.equal digest_off digest_on) then
+    failwith "flat_obs bench: digest diverged between prof-off and prof-on";
+  let overhead = if off > 0. then 100. *. (1. -. (on /. off)) else 0. in
+  Printf.printf
+    "  n=%-7d %6d steps   prof-off %10.0f steps/s   prof-on %10.0f \
+     steps/s (%.1f%% overhead)\n\n\
+     %!"
+    n steps off on overhead;
+  [ Json.Obj
+      [ ("n", Json.Int n);
+        ("perturb", Json.Int k);
+        ("steps", Json.Int steps);
+        ("digest", Json.String digest_off);
+        ("prof_off_steps_per_s", Json.Float off);
+        ("prof_on_steps_per_s", Json.Float on);
+        ("prof_overhead_pct", Json.Float overhead) ] ]
+
 let () =
   let quick, timing, out, jobs, ids = parse_args () in
   let profile =
@@ -967,6 +1028,7 @@ let () =
       Json.Obj
         [ ("head_to_head", Json.List []); ("scale", Json.List []) ]
   in
+  let flat_obs = if ids = [] then run_flat_obs_bench ~quick else [] in
   let trace_v1 = if ids = [] then run_trace_bench ~quick else [] in
   let prof_bench = if ids = [] then run_prof_bench ~quick else [] in
   let smt_bench =
@@ -987,6 +1049,7 @@ let () =
         ("experiments", Json.List experiments);
         ("engine", Json.List engine);
         ("engine_flat", engine_flat);
+        ("flat_obs", Json.List flat_obs);
         ("trace_v1", Json.List trace_v1);
         ("prof", Json.List prof_bench);
         ("check", Json.List check_records);

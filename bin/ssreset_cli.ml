@@ -392,13 +392,26 @@ let obs_of_flat (r : Flat.result) : Runner.obs =
     max_proc_sdr_moves = 0;
     workload_p50 = Stats.percentile per_proc ~p:50.;
     workload_p90 = Stats.percentile per_proc ~p:90.;
+    moves_per_rule = r.Flat.moves_per_rule;
     segments = None;
     ar_monotone = None;
     wall_s = r.Flat.wall_s;
   }
 
+(* --heartbeat progress line, to stderr so --json/--digest stdout stays
+   machine-readable. *)
+let print_beat (b : Flat.beat) =
+  Fmt.epr "heartbeat: step %d  moves %d  %.0f moves/s  enabled %d%s%s@."
+    b.Flat.hb_steps b.Flat.hb_moves b.Flat.hb_moves_per_s b.Flat.hb_enabled
+    (if b.Flat.hb_legit >= 0 then
+       Printf.sprintf "  legit %d" b.Flat.hb_legit
+     else "")
+    (if b.Flat.hb_availability >= 0. then
+       Printf.sprintf "  avail %.3f" b.Flat.hb_availability
+     else "")
+
 let run_flat ~output ~system ~family ~n ~seed ~daemon_name ~parts ~perturb
-    ~digest =
+    ~digest ~monitors ~heartbeat =
   let catalogue_name =
     match system with "unison" -> "unison-sdr" | s -> s
   in
@@ -415,9 +428,14 @@ let run_flat ~output ~system ~family ~n ~seed ~daemon_name ~parts ~perturb
       try
         (* The ring family streams straight into CSR — no per-node adjacency
            lists are ever materialized, which is what makes n = 10⁶ fit. *)
+        let graph_opt =
+          if String.equal family.Workload.family_name "ring" then None
+          else Some (build ~quiet:(output.json || digest) family n seed)
+        in
         let csrg =
-          if String.equal family.Workload.family_name "ring" then Csr.ring n
-          else Csr.of_graph (build ~quiet:(output.json || digest) family n seed)
+          match graph_opt with
+          | None -> Csr.ring n
+          | Some g -> Csr.of_graph g
         in
         let prog = FlatProgs.build entry csrg in
         let init_rng = Random.State.make [| 0xF1A7; seed |] in
@@ -426,22 +444,75 @@ let run_flat ~output ~system ~family ~n ~seed ~daemon_name ~parts ~perturb
             FlatProgs.init_ground prog;
             FlatProgs.perturb prog ~rng:init_rng k
         | None -> FlatProgs.init_random prog ~rng:init_rng);
-        let result =
+        let nn = Flat.n prog in
+        (* The paper's convergence bounds, latched online: 3n rounds, D·n²
+           moves (ring diameter is ⌊n/2⌋; other families pay one BFS
+           sweep). *)
+        let monitor, rounds_bound, moves_bound =
+          if not monitors then (None, None, None)
+          else
+            let diameter =
+              match graph_opt with
+              | None -> max 1 (nn / 2)
+              | Some g -> Metrics.diameter g
+            in
+            (Some (Ssreset_obs.Monitor.create ()), Some (3 * nn),
+             Some (diameter * nn * nn))
+        in
+        let hb = Option.map (fun every -> (every, print_beat)) heartbeat in
+        let dispatch ~prof =
           if parts > 1 then begin
             if not (String.equal daemon_name "synchronous") then
               invalid_arg
                 "--parts > 1 is the partitioned synchronous mode; pass -d \
                  synchronous";
-            Flat.run_partitioned ~parts prog
+            Flat.run_partitioned ?prof ?monitor ?rounds_bound ?moves_bound
+              ?heartbeat:hb ~parts prog
           end
           else
             match Flat.daemon_of_name daemon_name with
-            | Some d -> Flat.run ~seed ~daemon:d prog
+            | Some d ->
+                Flat.run ~seed ?prof ?monitor ?rounds_bound ?moves_bound
+                  ?heartbeat:hb ~daemon:d prog
             | None ->
                 invalid_arg
                   (Printf.sprintf "unknown daemon %S (one of: %s)" daemon_name
                      (String.concat ", " (Flat.daemon_names ())))
         in
+        let result =
+          match output.prof_out with
+          | None -> dispatch ~prof:None
+          | Some path ->
+              let psink = Sink.create path in
+              Fun.protect
+                ~finally:(fun () -> Sink.close psink)
+                (fun () ->
+                  Sink.write psink
+                    (Prof.manifest
+                       ~extra:
+                         [ ("engine", Json.String "flat");
+                           ("parts", Json.Int (max 1 parts)) ]
+                       ~system:catalogue_name
+                       ~family:family.Workload.family_name ~n:nn
+                       ~m:(Csr.m csrg) ~seed ~daemon:daemon_name
+                       ~window_steps:output.prof_window ());
+                  let p =
+                    Prof.create ~window_steps:output.prof_window ~sink:psink ()
+                  in
+                  let result = dispatch ~prof:(Some p) in
+                  Prof.write_summary p;
+                  result)
+        in
+        (match monitor with
+        | Some m when Ssreset_obs.Monitor.anomaly_count m > 0 ->
+            List.iter
+              (fun (a : Ssreset_obs.Monitor.anomaly) ->
+                Fmt.epr
+                  "monitor: %s tripped at step %d (value %d > bound %d)@."
+                  a.Ssreset_obs.Monitor.monitor a.Ssreset_obs.Monitor.step
+                  a.Ssreset_obs.Monitor.value a.Ssreset_obs.Monitor.bound)
+              (Ssreset_obs.Monitor.anomalies m)
+        | _ -> ());
         if digest then begin
           print_endline (FlatProgs.digest prog result);
           if result.Flat.outcome = Engine.Stabilized then 0 else 1
@@ -449,7 +520,7 @@ let run_flat ~output ~system ~family ~n ~seed ~daemon_name ~parts ~perturb
         else
           report ~json:output.json
             (Printf.sprintf "%s (flat engine, n=%d%s)" entry.FlatProgs.pname
-               (Flat.n prog)
+               nn
                (if parts > 1 then Printf.sprintf ", %d domains" parts else ""))
             (obs_of_flat result)
       with Invalid_argument msg | Sys_error msg ->
@@ -519,14 +590,14 @@ let mis_cmd =
 
 let run_cmd =
   let run system family n seed daemon_name spec sched engine parts perturb
-      digest output =
+      digest monitors heartbeat output =
     match engine with
     | "classic" ->
         run_system ~output ~system ~family ~n ~seed ~daemon_name ~spec
           ~scheduler:sched
     | "flat" ->
         run_flat ~output ~system ~family ~n ~seed ~daemon_name ~parts ~perturb
-          ~digest
+          ~digest ~monitors ~heartbeat
     | e ->
         Fmt.epr "unknown engine %S (classic or flat)@." e;
         2
@@ -581,6 +652,29 @@ let run_cmd =
              wall-clock) instead of the report; byte-comparable across \
              $(b,--parts) values.")
   in
+  let monitors =
+    Arg.(
+      value & flag
+      & info [ "monitors" ]
+          ~doc:
+            "Flat engine only: latch the paper's convergence bounds online \
+             (3n rounds; D·n² moves, ring diameter ⌊n/2⌋) and report any \
+             violation on stderr.  Results are unchanged; each bound trips \
+             at most once.")
+  in
+  let heartbeat =
+    Arg.(
+      value
+      & opt ~vopt:(Some 100) (some int) None
+      & info [ "heartbeat" ] ~docv:"STEPS"
+          ~doc:
+            "Flat engine only: print a progress line to stderr every \
+             $(docv) engine steps (default 100): step and move counts, \
+             moves/s over the interval, enabled-set size, and — when the \
+             spec has a legitimacy predicate — the legitimate-node count \
+             and estimated availability (fraction of fully legitimate \
+             steps).")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
@@ -589,7 +683,8 @@ let run_cmd =
           --trace-out.")
     Term.(
       const run $ system $ family $ size $ seed $ daemon_name $ spec
-      $ scheduler $ engine $ parts $ perturb $ digest $ output_term)
+      $ scheduler $ engine $ parts $ perturb $ digest $ monitors $ heartbeat
+      $ output_term)
 
 let graph_cmd =
   let run family n seed dot =
@@ -1525,12 +1620,65 @@ let print_sections ~total sections =
    of) the run's wall clock. *)
 let coverage_band = (0.90, 1.10)
 
+let prof_gauge (s : Proffile.summary) name =
+  match List.assoc_opt name s.Proffile.gauges with Some v -> v | None -> 0.
+
+(* Per-worker attribution of a partitioned flat stream: the engine's
+   per-domain phase laps ([flat.workerN.*]) plus the Team's busy/barrier
+   split ([pool.workerN.*]). *)
+type worker_row = {
+  wr_id : int;
+  wr_compute_s : float;
+  wr_write_s : float;
+  wr_refresh_s : float;
+  wr_busy_s : float;
+  wr_barrier_s : float;
+  wr_gc_minor : float;
+  wr_gc_major : float;
+}
+
+let worker_rows (s : Proffile.summary) ~parts =
+  List.init parts (fun w ->
+      let g name = prof_gauge s (Printf.sprintf "%s%d.%s" "flat.worker" w name) in
+      let pg name =
+        prof_gauge s (Printf.sprintf "%s%d.%s" "pool.worker" w name)
+      in
+      { wr_id = w;
+        wr_compute_s = g "compute_s";
+        wr_write_s = g "write_s";
+        wr_refresh_s = g "refresh_s";
+        wr_busy_s = pg "busy_s";
+        wr_barrier_s = pg "barrier_s";
+        wr_gc_minor = g "gc_minor_words";
+        wr_gc_major = g "gc_major_words" })
+
+let worker_row_json r =
+  Json.Obj
+    [ ("worker", Json.Int r.wr_id);
+      ("compute_s", Json.Float r.wr_compute_s);
+      ("write_s", Json.Float r.wr_write_s);
+      ("refresh_s", Json.Float r.wr_refresh_s);
+      ("busy_s", Json.Float r.wr_busy_s);
+      ("barrier_s", Json.Float r.wr_barrier_s);
+      ("gc_minor_words", Json.Float r.wr_gc_minor);
+      ("gc_major_words", Json.Float r.wr_gc_major) ]
+
 let prof_report ~json ~check (p : Proffile.t) =
   let s = p.Proffile.summary in
   let attributed = Proffile.phase_total_ns p in
   let wall_ns = int_of_float (s.Proffile.wall_s *. 1e9) in
+  (* A partitioned flat stream records [flat.parts]; its per-worker phase
+     laps (plus barrier waits) tile parts × wall, so that is the coverage
+     denominator for multi-worker streams. *)
+  let parts =
+    let v = int_of_float (prof_gauge s "flat.parts") in
+    if v > 0 then v else 1
+  in
+  let wall_total_ns = wall_ns * parts in
   let coverage =
-    if wall_ns > 0 then float_of_int attributed /. float_of_int wall_ns else 0.
+    if wall_total_ns > 0 then
+      float_of_int attributed /. float_of_int wall_total_ns
+    else 0.
   in
   let touched = prof_counter s "sched.touched" in
   let dedup = prof_counter s "sched.dedup_hits" in
@@ -1553,6 +1701,11 @@ let prof_report ~json ~check (p : Proffile.t) =
               ("windows", Json.Int s.Proffile.window_count);
               ("attributed_ns", Json.Int attributed);
               ("coverage", Json.Float coverage);
+              ("parts", Json.Int parts);
+              ( "workers",
+                if parts > 1 then
+                  Json.List (List.map worker_row_json (worker_rows s ~parts))
+                else Json.List [] );
               ( "phases",
                 Json.Obj
                   (List.map (section_json ~total:attributed) s.Proffile.phases)
@@ -1579,8 +1732,33 @@ let prof_report ~json ~check (p : Proffile.t) =
       s.Proffile.window_count;
     Fmt.pr "phases (engine loop attribution):@.";
     print_sections ~total:attributed s.Proffile.phases;
-    Fmt.pr "  attributed %s = %.1f%% of wall clock@." (ns_str attributed)
-      (100. *. coverage);
+    if parts > 1 then
+      Fmt.pr "  attributed %s = %.1f%% of %d workers x wall clock@."
+        (ns_str attributed) (100. *. coverage) parts
+    else
+      Fmt.pr "  attributed %s = %.1f%% of wall clock@." (ns_str attributed)
+        (100. *. coverage);
+    if parts > 1 then begin
+      Fmt.pr "per-worker attribution (%d domains):@." parts;
+      Fmt.pr "  %-7s %10s %10s %10s %10s %10s %12s@." "worker" "compute"
+        "write" "refresh" "busy" "barrier" "gc minor w";
+      List.iter
+        (fun r ->
+          Fmt.pr "  %-7d %9.3fs %9.3fs %9.3fs %9.3fs %9.3fs %12.0f@." r.wr_id
+            r.wr_compute_s r.wr_write_s r.wr_refresh_s r.wr_busy_s
+            r.wr_barrier_s r.wr_gc_minor)
+        (worker_rows s ~parts);
+      match List.assoc_opt "barrier" s.Proffile.phases with
+      | Some (sec : Proffile.section) ->
+          Fmt.pr
+            "  barrier waits: %d spans, p50 %s  p90 %s  max %s (%s total)@."
+            sec.Proffile.count
+            (fns_str sec.Proffile.p50_ns)
+            (fns_str sec.Proffile.p90_ns)
+            (ns_str sec.Proffile.max_ns)
+            (ns_str sec.Proffile.ns)
+      | None -> ()
+    end;
     if touched > 0 || prof_counter s "sched.evals" > 0 then
       Fmt.pr
         "scheduler: touched %d  evals %d  dedup hits %d (%.1f%%)  table \
@@ -1605,14 +1783,19 @@ let prof_report ~json ~check (p : Proffile.t) =
     end
     else if coverage < lo || coverage > hi then begin
       Fmt.epr
-        "prof check FAIL: phase attribution covers %.1f%% of wall clock \
+        "prof check FAIL: phase attribution covers %.1f%% of %s \
          (expected %.0f%%..%.0f%%)@."
-        (100. *. coverage) (100. *. lo) (100. *. hi);
+        (100. *. coverage)
+        (if parts > 1 then Printf.sprintf "%d workers x wall clock" parts
+         else "wall clock")
+        (100. *. lo) (100. *. hi);
       1
     end
     else begin
-      Fmt.pr "prof check: OK (%.1f%% of wall clock attributed to phases)@."
-        (100. *. coverage);
+      Fmt.pr "prof check: OK (%.1f%% of %s attributed to phases)@."
+        (100. *. coverage)
+        (if parts > 1 then Printf.sprintf "%d workers x wall clock" parts
+         else "wall clock");
       0
     end
   end

@@ -20,6 +20,7 @@ type obs = {
   max_proc_sdr_moves : int;
   workload_p50 : float;
   workload_p90 : float;
+  moves_per_rule : (string * int) list;
   segments : int option;
   ar_monotone : bool option;
   wall_s : float;
@@ -56,6 +57,10 @@ let obs_json o =
       ("max_proc_sdr_moves", Json.Int o.max_proc_sdr_moves);
       ("workload_p50", Json.Float o.workload_p50);
       ("workload_p90", Json.Float o.workload_p90);
+      ( "moves_per_rule",
+        Json.Obj
+          (List.map (fun (rule, count) -> (rule, Json.Int count)) o.moves_per_rule)
+      );
       ("segments",
        match o.segments with Some s -> Json.Int s | None -> Json.Null);
       ("ar_monotone",
@@ -207,6 +212,7 @@ let composed_observers (type s) (module C : Sdr.S with type inner = s) ?sink
       max_proc_sdr_moves = max_int_array per_proc_sdr;
       workload_p50;
       workload_p90;
+      moves_per_rule = result.Engine.moves_per_rule;
       segments = Some (C.Segments.count segments);
       ar_monotone = Some !monotone;
       wall_s = result.Engine.wall_s }
@@ -253,6 +259,7 @@ let bare_obs (result : _ Engine.result) ~outcome_ok ~result_ok =
     max_proc_sdr_moves = 0;
     workload_p50;
     workload_p90;
+    moves_per_rule = result.Engine.moves_per_rule;
     segments = None;
     ar_monotone = None;
     wall_s = result.Engine.wall_s }

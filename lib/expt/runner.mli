@@ -44,6 +44,9 @@ type obs = {
       (** median of the per-process move counts (numpy-style linear
           interpolation, {!Ssreset_sim.Stats.percentile}) *)
   workload_p90 : float;  (** 90th percentile of per-process move counts *)
+  moves_per_rule : (string * int) list;
+      (** per-rule move counts in the engine's rule order — also in the JSON
+          observation, so classic and flat runs compare field-for-field *)
   segments : int option;  (** [None] for bare runs, where it is not measured *)
   ar_monotone : bool option;
       (** alive-root sets only ever shrink (Remark 4); [None] for bare runs,

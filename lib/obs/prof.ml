@@ -97,6 +97,14 @@ let timer_total_ns tm = tm.total_ns
 let timer_count tm = Histogram.count tm.hist
 let timer_hist tm = tm.hist
 
+(* Bulk-merge externally accumulated spans (a worker domain's private
+   histogram) into a timer — the partitioned engine's per-domain phase laps
+   land in one stream this way.  Lossless: bucket-wise sum plus the exact
+   total kept on the side. *)
+let merge_spans tm ~total_ns hist =
+  tm.total_ns <- tm.total_ns + (if total_ns < 0 then 0 else total_ns);
+  Histogram.merge_into ~dst:tm.hist hist
+
 let histogram t name =
   match Hashtbl.find_opt t.hist_index name with
   | Some h -> h

@@ -65,6 +65,13 @@ val timer_total_ns : timer -> int
 val timer_count : timer -> int
 val timer_hist : timer -> Histogram.t
 
+val merge_spans : timer -> total_ns:int -> Histogram.t -> unit
+(** Merge a batch of externally accumulated spans — a worker domain's
+    private histogram plus its exact nanosecond total — into the timer.
+    This is how per-domain phase laps from the partitioned flat engine are
+    folded into one [ssreset-prof-v1] stream ({!Histogram.merge_into} is
+    associative and lossless, so merge order does not matter). *)
+
 (** {2 Histograms} (of plain integers, not time) *)
 
 val histogram : t -> string -> Histogram.t

@@ -3,6 +3,10 @@ module Csr = Ssreset_graph.Csr
 module Engine = Ssreset_sim.Engine
 module Daemon = Ssreset_sim.Daemon
 module Pool = Ssreset_sim.Pool
+module Prof = Ssreset_obs.Prof
+module Metrics = Ssreset_obs.Metrics
+module Histogram = Ssreset_obs.Histogram
+module Monitor = Ssreset_obs.Monitor
 
 type kind = KInt | KBool | KEnum of string array
 
@@ -502,14 +506,125 @@ let movers_push b nf u r =
   b.mr.(b.len) <- r;
   b.len <- b.len + 1
 
+(* ----------------------------- profiling ------------------------------- *)
+
+(* Pre-resolved instruments for the flat hot loop, mirroring the classic
+   engine's lap discipline: [mark] is the last phase boundary; closing a
+   phase is one clock read, one histogram record and one mutation.  Rule
+   timers and move counters are dense arrays indexed by rule id — the flat
+   path never looks an instrument up by name.  The [moves.R] / [rule.R] /
+   [phase.X] naming matches the classic engine, so `prof report`, windows
+   and the Proffile validator work unchanged on flat streams. *)
+type prof_ctx = {
+  p : Prof.t;
+  scan : Prof.timer;  (* initial full scan + per-round pending refills *)
+  select : Prof.timer;  (* daemon selection + post-row buffering *)
+  apply : Prof.timer;  (* write-back (derived from the rule-span chain) *)
+  refresh : Prof.timer;  (* fused touch over the movers' neighborhoods *)
+  callbacks : Prof.timer;  (* on_step / heartbeat / window tick *)
+  rule_timers : Prof.timer array;
+  rule_counters : Metrics.counter array;
+  c_touched : Metrics.counter;  (* touch attempts *)
+  c_evals : Metrics.counter;  (* guard re-evaluations actually done *)
+  c_dedup : Metrics.counter;  (* touches skipped by the stamp *)
+  c_flips : Metrics.counter;  (* enabled-rule entries that changed *)
+  h_refresh : Histogram.t;  (* per-step refresh size (evals) *)
+  c_legit_steps : Metrics.counter;  (* steps spent legitimate (availability) *)
+  mutable mark : int;
+}
+
+let make_prof_ctx pr rule_names =
+  let m = Prof.metrics pr in
+  (* Bind every instrument before the record literal: registration order is
+     what the profile summary displays — it must follow the pipeline. *)
+  let scan = Prof.timer pr "phase.scan" in
+  let select = Prof.timer pr "phase.select" in
+  let apply = Prof.timer pr "phase.apply" in
+  let refresh = Prof.timer pr "phase.refresh" in
+  let callbacks = Prof.timer pr "phase.callbacks" in
+  let rule_timers =
+    Array.map (fun r -> Prof.timer pr ("rule." ^ r)) rule_names
+  in
+  let rule_counters =
+    Array.map (fun r -> Metrics.counter m ("moves." ^ r)) rule_names
+  in
+  let c_touched = Metrics.counter m "sched.touched" in
+  let c_evals = Metrics.counter m "sched.evals" in
+  let c_dedup = Metrics.counter m "sched.dedup_hits" in
+  let c_flips = Metrics.counter m "sched.table_flips" in
+  let h_refresh = Prof.histogram pr "sched.refresh_size" in
+  let c_legit_steps = Metrics.counter m "obs.legit_steps" in
+  {
+    p = pr;
+    scan;
+    select;
+    apply;
+    refresh;
+    callbacks;
+    rule_timers;
+    rule_counters;
+    c_touched;
+    c_evals;
+    c_dedup;
+    c_flips;
+    h_refresh;
+    c_legit_steps;
+    mark = Prof.now_ns ();
+  }
+
+let lap pc tm =
+  let now = Prof.now_ns () in
+  Prof.record_span tm (now - pc.mark);
+  pc.mark <- now
+
+let finish_prof pr wall_s =
+  Prof.gc_collect pr;
+  let g = Metrics.gauge (Prof.metrics pr) "engine.wall_s" in
+  Metrics.set g (Metrics.gauge_value g +. wall_s)
+
+(* Heartbeat: a cheap progress observation emitted every [interval] steps —
+   enough for a `--heartbeat` progress line on multi-minute runs without
+   touching the hot loop otherwise. *)
+type beat = {
+  hb_steps : int;
+  hb_moves : int;
+  hb_enabled : int;  (* enabled-set size after the step *)
+  hb_legit : int;  (* legitimate processes; -1 when not tracked *)
+  hb_availability : float;  (* fraction of steps legitimate; -1. untracked *)
+  hb_moves_per_s : float;  (* over the last heartbeat interval *)
+}
+
+(* Latch the paper's complexity bounds from the flat counters: the 3n round
+   bound and the D·n² move bound of U∘SDR trip a named anomaly at most once
+   per run, like the classic runners' monitors. *)
+let trip_moves monitor ~moves_bound ~steps ~moves =
+  match (monitor, moves_bound) with
+  | Some m, Some bound when moves > bound ->
+      Monitor.trip m ~monitor:"moves-bound" ~step:steps ~value:moves ~bound ()
+  | _ -> ()
+
+let trip_rounds monitor ~rounds_bound ~steps ~rounds =
+  match (monitor, rounds_bound) with
+  | Some m, Some bound when rounds > bound ->
+      Monitor.trip m ~monitor:"rounds-bound" ~step:steps ~value:rounds ~bound
+        ()
+  | _ -> ()
+
 (* ---------------------------- sequential run --------------------------- *)
 
 let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
-    ?on_step ~daemon p =
+    ?on_step ?prof ?monitor ?rounds_bound ?moves_bound ?heartbeat ~daemon p =
   let rng =
     match rng with Some r -> r | None -> Random.State.make [| seed |]
   in
   let t0 = Unix.gettimeofday () in
+  let prof_ctx =
+    Option.map
+      (fun pr ->
+        Prof.gc_mark pr;
+        make_prof_ctx pr p.rule_names)
+      prof
+  in
   let nn = Csr.n p.csr in
   let nf = p.nf in
   let ev = make_ev p in
@@ -561,7 +676,20 @@ let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
   let steps_in_round = ref 0 in
   let steps = ref 0 in
   let total_moves = ref 0 in
+  (* Availability sampling rides on the incremental legitimate-node count
+     the run already maintains; the per-step cost (one compare) is only
+     paid when someone is observing. *)
+  let count_legit =
+    legit_of <> None
+    && (prof_ctx <> None || heartbeat <> None || monitor <> None)
+  in
+  let legit_steps = ref 0 in
+  let hb_last_t = ref t0 in
+  let hb_last_moves = ref 0 in
   let outcome = ref Engine.Step_limit in
+  (* Everything since [run] began — evaluator compilation, the initial
+     enabled/legitimacy scan, the first pending refill — is scan work. *)
+  (match prof_ctx with Some pc -> lap pc pc.scan | None -> ());
   (try
      if stopping && !illegit = 0 then begin
        outcome := Engine.Stabilized;
@@ -603,12 +731,29 @@ let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
            let elist = ref [] in
            Bits.iter enabled (fun u -> elist := u :: !elist);
            List.iter push (select rng (List.rev !elist)));
-       for k = 0 to mv.len - 1 do
-         let u = mv.mu.(k) in
-         for f = 0 to nf - 1 do
-           p.state.(f).(u) <- mv.mp.((k * nf) + f)
-         done
-       done;
+       (match prof_ctx with
+       | None ->
+           for k = 0 to mv.len - 1 do
+             let u = mv.mu.(k) in
+             for f = 0 to nf - 1 do
+               p.state.(f).(u) <- mv.mp.((k * nf) + f)
+             done
+           done
+       | Some pc ->
+           lap pc pc.select;
+           (* Per-rule attribution without extra clock reads: movers chain
+              laps, so their spans tile the apply phase exactly; the phase
+              total is derived from the chain, not measured again. *)
+           let apply_start = pc.mark in
+           for k = 0 to mv.len - 1 do
+             let u = mv.mu.(k) in
+             for f = 0 to nf - 1 do
+               p.state.(f).(u) <- mv.mp.((k * nf) + f)
+             done;
+             lap pc pc.rule_timers.(mv.mr.(k));
+             Metrics.incr pc.rule_counters.(mv.mr.(k))
+           done;
+           Prof.record_span pc.apply (pc.mark - apply_start));
        incr steps;
        incr steps_in_round;
        for k = 0 to mv.len - 1 do
@@ -626,40 +771,87 @@ let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
           Stamp-dedup'd like the classic incremental scheduler. *)
        incr gen;
        let g = !gen in
-       let touch v =
-         if stamp.(v) <> g then begin
-           stamp.(v) <- g;
-           let r = first_enabled ev v in
-           rule_of.(v) <- r;
-           if r >= 0 then begin
-             if Bits.add enabled v then incr en_count
-           end
-           else begin
-             if Bits.remove enabled v then decr en_count;
-             if pend_stamp.(v) = !pend_gen then begin
-               pend_stamp.(v) <- 0;
-               decr pend_count
-             end
-           end;
-           match (ev.legit, legit_of) with
-           | Some clo, Some la ->
-               let lg = clo () in
-               if lg <> la.(v) then begin
-                 la.(v) <- lg;
-                 illegit := !illegit + if lg then -1 else 1
-               end
-           | _ -> ()
-         end
-       in
        let offsets = p.csr.Csr.offsets in
        let nbrs = p.csr.Csr.nbrs in
-       for k = 0 to mv.len - 1 do
-         let u = mv.mu.(k) in
-         touch u;
-         for i = offsets.(u) to offsets.(u + 1) - 1 do
-           touch nbrs.(i)
-         done
-       done;
+       (match prof_ctx with
+       | None ->
+           let touch v =
+             if stamp.(v) <> g then begin
+               stamp.(v) <- g;
+               let r = first_enabled ev v in
+               rule_of.(v) <- r;
+               if r >= 0 then begin
+                 if Bits.add enabled v then incr en_count
+               end
+               else begin
+                 if Bits.remove enabled v then decr en_count;
+                 if pend_stamp.(v) = !pend_gen then begin
+                   pend_stamp.(v) <- 0;
+                   decr pend_count
+                 end
+               end;
+               match (ev.legit, legit_of) with
+               | Some clo, Some la ->
+                   let lg = clo () in
+                   if lg <> la.(v) then begin
+                     la.(v) <- lg;
+                     illegit := !illegit + if lg then -1 else 1
+                   end
+               | _ -> ()
+             end
+           in
+           for k = 0 to mv.len - 1 do
+             let u = mv.mu.(k) in
+             touch u;
+             for i = offsets.(u) to offsets.(u + 1) - 1 do
+               touch nbrs.(i)
+             done
+           done
+       | Some pc ->
+           (* Instrumented twin: same table writes in the same order, plus
+              the scheduler counters the profile reports. *)
+           let evals = ref 0 in
+           let touch v =
+             Metrics.incr pc.c_touched;
+             if stamp.(v) <> g then begin
+               stamp.(v) <- g;
+               incr evals;
+               let r0 = rule_of.(v) in
+               let r = first_enabled ev v in
+               rule_of.(v) <- r;
+               if r <> r0 then Metrics.incr pc.c_flips;
+               if r >= 0 then begin
+                 if Bits.add enabled v then incr en_count
+               end
+               else begin
+                 if Bits.remove enabled v then decr en_count;
+                 if pend_stamp.(v) = !pend_gen then begin
+                   pend_stamp.(v) <- 0;
+                   decr pend_count
+                 end
+               end;
+               match (ev.legit, legit_of) with
+               | Some clo, Some la ->
+                   let lg = clo () in
+                   if lg <> la.(v) then begin
+                     la.(v) <- lg;
+                     illegit := !illegit + if lg then -1 else 1
+                   end
+               | _ -> ()
+             end
+             else Metrics.incr pc.c_dedup
+           in
+           for k = 0 to mv.len - 1 do
+             let u = mv.mu.(k) in
+             touch u;
+             for i = offsets.(u) to offsets.(u + 1) - 1 do
+               touch nbrs.(i)
+             done
+           done;
+           Metrics.add pc.c_evals !evals;
+           Histogram.record pc.h_refresh !evals;
+           lap pc pc.refresh);
+       if count_legit && !illegit = 0 then incr legit_steps;
        (match on_step with
        | Some f ->
            let moved = ref [] in
@@ -668,10 +860,45 @@ let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
            done;
            f ~step:(!steps - 1) ~moved:!moved
        | None -> ());
+       (match prof_ctx with
+       | Some pc ->
+           if count_legit && !illegit = 0 then
+             Metrics.incr pc.c_legit_steps;
+           Prof.tick pc.p ~moves:mv.len;
+           lap pc pc.callbacks
+       | None -> ());
+       (match heartbeat with
+       | Some (every, f) when every > 0 && !steps mod every = 0 ->
+           let now = Unix.gettimeofday () in
+           let dt = now -. !hb_last_t in
+           let dmoves = !total_moves - !hb_last_moves in
+           hb_last_t := now;
+           hb_last_moves := !total_moves;
+           f
+             {
+               hb_steps = !steps;
+               hb_moves = !total_moves;
+               hb_enabled = !en_count;
+               hb_legit =
+                 (match legit_of with None -> -1 | Some _ -> nn - !illegit);
+               hb_availability =
+                 (if count_legit && !steps > 0 then
+                    float_of_int !legit_steps /. float_of_int !steps
+                  else -1.);
+               hb_moves_per_s =
+                 (if dt > 0. then float_of_int dmoves /. dt else 0.);
+             }
+       | _ -> ());
+       trip_moves monitor ~moves_bound ~steps:!steps ~moves:!total_moves;
        if !pend_count = 0 then begin
          incr completed_rounds;
          steps_in_round := 0;
-         refill_pending ()
+         refill_pending ();
+         (* The refill walks the enabled set — scan work, like the initial
+            table build. *)
+         (match prof_ctx with Some pc -> lap pc pc.scan | None -> ());
+         trip_rounds monitor ~rounds_bound ~steps:!steps
+           ~rounds:!completed_rounds
        end;
        if stopping && !illegit = 0 then begin
          outcome := Engine.Stabilized;
@@ -679,6 +906,9 @@ let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
        end
      done
    with Exit -> ());
+  (match prof_ctx with
+  | Some pc -> finish_prof pc.p (Unix.gettimeofday () -. t0)
+  | None -> ());
   {
     outcome = !outcome;
     steps = !steps;
@@ -692,8 +922,121 @@ let run ?rng ?(seed = 0) ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
 
 (* --------------------------- partitioned run --------------------------- *)
 
+(* Worker-private instrumentation slots for the partitioned path: each
+   domain accumulates its own phase nanoseconds, duration histograms,
+   scheduler counts and GC baselines — separate heap blocks, no sharing —
+   and everything is merged into the single profiler on the calling domain
+   after the team shuts down ({!Prof.merge_spans} / {!Histogram.merge_into}
+   are lossless, so the merged stream is exact). *)
+type wslots = {
+  mutable ws_init_ns : int;
+  mutable ws_compute_ns : int;
+  mutable ws_write_ns : int;
+  mutable ws_refresh_ns : int;
+  h_init : Histogram.t;
+  h_compute : Histogram.t;
+  h_write : Histogram.t;
+  h_refresh : Histogram.t;
+  mutable ws_touched : int;
+  mutable ws_evals : int;
+  mutable ws_dedup : int;
+  mutable ws_minor0 : float;
+  mutable ws_major0 : float;
+  mutable ws_minor : float;
+  mutable ws_major : float;
+}
+
+(* Caller-side context for the partitioned profile: merged phase timers
+   (registered up front, so the summary displays them in pipeline order),
+   per-rule move counters, and the cross-boundary handoff counters. *)
+type part_prof = {
+  pp : Prof.t;
+  slots : wslots array;
+  t_init : Prof.timer;
+  t_compute : Prof.timer;
+  t_write : Prof.timer;
+  t_refresh : Prof.timer;
+  t_replay : Prof.timer;
+  t_callbacks : Prof.timer;
+  prc : Metrics.counter array;  (* moves.R *)
+  c_frontier : Metrics.counter;  (* nodes handed off across a boundary *)
+  c_replays : Metrics.counter;  (* handoffs actually recomputed *)
+  pc_legit : Metrics.counter;
+}
+
+let make_part_prof pr ~nparts rule_names =
+  Prof.gc_mark pr;
+  let m = Prof.metrics pr in
+  let t_init = Prof.timer pr "phase.init" in
+  let t_compute = Prof.timer pr "phase.compute" in
+  let t_write = Prof.timer pr "phase.write" in
+  let t_refresh = Prof.timer pr "phase.refresh" in
+  (* Registered here for display order; Pool.Team feeds it at shutdown. *)
+  ignore (Prof.timer pr "phase.barrier");
+  let t_replay = Prof.timer pr "phase.replay" in
+  let t_callbacks = Prof.timer pr "phase.callbacks" in
+  {
+    pp = pr;
+    slots =
+      Array.init nparts (fun _ ->
+          {
+            ws_init_ns = 0;
+            ws_compute_ns = 0;
+            ws_write_ns = 0;
+            ws_refresh_ns = 0;
+            h_init = Histogram.create ();
+            h_compute = Histogram.create ();
+            h_write = Histogram.create ();
+            h_refresh = Histogram.create ();
+            ws_touched = 0;
+            ws_evals = 0;
+            ws_dedup = 0;
+            ws_minor0 = 0.;
+            ws_major0 = 0.;
+            ws_minor = 0.;
+            ws_major = 0.;
+          });
+    t_init;
+    t_compute;
+    t_write;
+    t_refresh;
+    t_replay;
+    t_callbacks;
+    prc = Array.map (fun r -> Metrics.counter m ("moves." ^ r)) rule_names;
+    c_frontier = Metrics.counter m "flat.frontier_handoffs";
+    c_replays = Metrics.counter m "flat.frontier_replays";
+    pc_legit = Metrics.counter m "obs.legit_steps";
+  }
+
+(* Merge the per-domain slots into the stream: phase timers get every
+   worker's spans (sum ≈ parts × wall together with phase.barrier, which
+   is what the multi-worker coverage check validates), per-worker gauges
+   keep the split for the `prof report` worker table. *)
+let merge_part_prof o ~nparts =
+  let m = Prof.metrics o.pp in
+  Array.iteri
+    (fun d s ->
+      Prof.merge_spans o.t_init ~total_ns:s.ws_init_ns s.h_init;
+      Prof.merge_spans o.t_compute ~total_ns:s.ws_compute_ns s.h_compute;
+      Prof.merge_spans o.t_write ~total_ns:s.ws_write_ns s.h_write;
+      Prof.merge_spans o.t_refresh ~total_ns:s.ws_refresh_ns s.h_refresh;
+      let gset name v =
+        let g = Metrics.gauge m (Printf.sprintf "flat.worker%d.%s" d name) in
+        Metrics.set g (Metrics.gauge_value g +. v)
+      in
+      gset "compute_s" (float_of_int s.ws_compute_ns /. 1e9);
+      gset "write_s" (float_of_int s.ws_write_ns /. 1e9);
+      gset "refresh_s" (float_of_int s.ws_refresh_ns /. 1e9);
+      gset "gc_minor_words" (s.ws_minor -. s.ws_minor0);
+      gset "gc_major_words" (s.ws_major -. s.ws_major0);
+      Metrics.add (Metrics.counter m "sched.touched") s.ws_touched;
+      Metrics.add (Metrics.counter m "sched.evals") s.ws_evals;
+      Metrics.add (Metrics.counter m "sched.dedup_hits") s.ws_dedup)
+    o.slots;
+  Metrics.set (Metrics.gauge m "flat.parts") (float_of_int nparts)
+
 let run_partitioned ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
-    ~parts p =
+    ?prof ?monitor ?rounds_bound ?moves_bound ?heartbeat ~parts p =
   let t0 = Unix.gettimeofday () in
   let nn = Csr.n p.csr in
   let nf = p.nf in
@@ -744,15 +1087,32 @@ let run_partitioned ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
       end
     end
   in
-  let team = Pool.Team.create ~size:nparts in
+  let pobs = Option.map (fun pr -> make_part_prof pr ~nparts p.rule_names) prof in
+  let team = Pool.Team.create ?prof ~size:nparts () in
   let sum a = Array.fold_left ( + ) 0 a in
   let steps = ref 0 in
   let total_moves = ref 0 in
+  let count_legit =
+    track_legit && (pobs <> None || heartbeat <> None || monitor <> None)
+  in
+  let legit_steps = ref 0 in
+  let hb_last_t = ref t0 in
+  let hb_last_moves = ref 0 in
   let outcome = ref Engine.Step_limit in
   Fun.protect
     ~finally:(fun () -> Pool.Team.shutdown team)
     (fun () ->
       Pool.Team.run team (fun d ->
+          (match pobs with
+          | Some o ->
+              (* OCaml 5 GC counters are per-domain: the baseline must be
+                 sampled on the worker itself. *)
+              let q = Gc.quick_stat () in
+              let s = o.slots.(d) in
+              s.ws_minor0 <- q.Gc.minor_words;
+              s.ws_major0 <- q.Gc.major_words
+          | None -> ());
+          let tph = match pobs with Some _ -> Prof.now_ns () | None -> 0 in
           let ev = evs.(d) in
           for u = lo d to hi d - 1 do
             let r = first_enabled ev u in
@@ -766,13 +1126,20 @@ let run_partitioned ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
               legit_of.(u) <- lg;
               if not lg then illegit.(d) <- illegit.(d) + 1
             end
-          done);
-      try
-        if track_legit && sum illegit = 0 then begin
-          outcome := Engine.Stabilized;
-          raise Exit
-        end;
-        while !steps < max_steps do
+          done;
+          match pobs with
+          | Some o ->
+              let s = o.slots.(d) in
+              let dt = Prof.now_ns () - tph in
+              s.ws_init_ns <- s.ws_init_ns + dt;
+              Histogram.record s.h_init dt
+          | None -> ());
+      (try
+         if track_legit && sum illegit = 0 then begin
+           outcome := Engine.Stabilized;
+           raise Exit
+         end;
+         while !steps < max_steps do
           if sum en_count = 0 then begin
             outcome := Engine.Terminal;
             raise Exit
@@ -780,6 +1147,7 @@ let run_partitioned ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
           (* Phase A — every enabled node moves (synchronous daemon);
              buffer post rows from the shared pre-state, no writes. *)
           Pool.Team.run team (fun d ->
+              let tph = match pobs with Some _ -> Prof.now_ns () | None -> 0 in
               let ev = evs.(d) in
               let b = bufs.(d) in
               b.len <- 0;
@@ -787,9 +1155,17 @@ let run_partitioned ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
                   let r = rule_of.(u) in
                   movers_push b nf u r;
                   ev.cell.u <- u;
-                  compute_post p ev r ~dst:b.mp ~off:((b.len - 1) * nf)));
+                  compute_post p ev r ~dst:b.mp ~off:((b.len - 1) * nf));
+              match pobs with
+              | Some o ->
+                  let s = o.slots.(d) in
+                  let dt = Prof.now_ns () - tph in
+                  s.ws_compute_ns <- s.ws_compute_ns + dt;
+                  Histogram.record s.h_compute dt
+              | None -> ());
           (* Phase B — write back own-range movers and account them. *)
           Pool.Team.run team (fun d ->
+              let tph = match pobs with Some _ -> Prof.now_ns () | None -> 0 in
               let b = bufs.(d) in
               for k = 0 to b.len - 1 do
                 let u = b.mu.(k) in
@@ -798,7 +1174,14 @@ let run_partitioned ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
                 done;
                 moves_per_process.(u) <- moves_per_process.(u) + 1;
                 rule_moves.(d).(b.mr.(k)) <- rule_moves.(d).(b.mr.(k)) + 1
-              done);
+              done;
+              match pobs with
+              | Some o ->
+                  let s = o.slots.(d) in
+                  let dt = Prof.now_ns () - tph in
+                  s.ws_write_ns <- s.ws_write_ns + dt;
+                  Histogram.record s.h_write dt
+              | None -> ());
           (* Phase C — refresh the movers' closed neighborhoods.  Writes
              stay in the worker's own range; out-of-range neighbors are
              handed off and replayed sequentially below.  Recomputation is
@@ -808,45 +1191,182 @@ let run_partitioned ?(max_steps = 10_000_000) ?(stop_on_legitimate = true)
           incr gen;
           let g = !gen in
           Pool.Team.run team (fun d ->
-              let ev = evs.(d) in
-              let b = bufs.(d) in
-              frontier.(d) <- [];
-              let l = lo d and h = hi d in
-              for k = 0 to b.len - 1 do
-                let u = b.mu.(k) in
-                if stamp.(u) <> g then begin
-                  stamp.(u) <- g;
-                  recompute ev d u
-                end;
-                for i = offsets.(u) to offsets.(u + 1) - 1 do
-                  let v = nbrs.(i) in
-                  if v >= l && v < h then begin
-                    if stamp.(v) <> g then begin
-                      stamp.(v) <- g;
-                      recompute ev d v
+              match pobs with
+              | None ->
+                  let ev = evs.(d) in
+                  let b = bufs.(d) in
+                  frontier.(d) <- [];
+                  let l = lo d and h = hi d in
+                  for k = 0 to b.len - 1 do
+                    let u = b.mu.(k) in
+                    if stamp.(u) <> g then begin
+                      stamp.(u) <- g;
+                      recompute ev d u
+                    end;
+                    for i = offsets.(u) to offsets.(u + 1) - 1 do
+                      let v = nbrs.(i) in
+                      if v >= l && v < h then begin
+                        if stamp.(v) <> g then begin
+                          stamp.(v) <- g;
+                          recompute ev d v
+                        end
+                      end
+                      else frontier.(d) <- v :: frontier.(d)
+                    done
+                  done
+              | Some o ->
+                  (* Instrumented twin: same recomputation in the same
+                     order, plus per-domain touch/eval/dedup counts. *)
+                  let tph = Prof.now_ns () in
+                  let s = o.slots.(d) in
+                  let touched = ref 0 and evals = ref 0 and dedup = ref 0 in
+                  let ev = evs.(d) in
+                  let b = bufs.(d) in
+                  frontier.(d) <- [];
+                  let l = lo d and h = hi d in
+                  for k = 0 to b.len - 1 do
+                    let u = b.mu.(k) in
+                    incr touched;
+                    if stamp.(u) <> g then begin
+                      stamp.(u) <- g;
+                      incr evals;
+                      recompute ev d u
                     end
-                  end
-                  else frontier.(d) <- v :: frontier.(d)
-                done
-              done);
-          Array.iter
-            (fun fr ->
-              List.iter
-                (fun v ->
-                  if stamp.(v) <> g then begin
-                    stamp.(v) <- g;
-                    recompute evs.(0) (owner v) v
-                  end)
-                fr)
-            frontier;
+                    else incr dedup;
+                    for i = offsets.(u) to offsets.(u + 1) - 1 do
+                      let v = nbrs.(i) in
+                      if v >= l && v < h then begin
+                        incr touched;
+                        if stamp.(v) <> g then begin
+                          stamp.(v) <- g;
+                          incr evals;
+                          recompute ev d v
+                        end
+                        else incr dedup
+                      end
+                      else frontier.(d) <- v :: frontier.(d)
+                    done
+                  done;
+                  s.ws_touched <- s.ws_touched + !touched;
+                  s.ws_evals <- s.ws_evals + !evals;
+                  s.ws_dedup <- s.ws_dedup + !dedup;
+                  let dt = Prof.now_ns () - tph in
+                  s.ws_refresh_ns <- s.ws_refresh_ns + dt;
+                  Histogram.record s.h_refresh dt);
+          (match pobs with
+          | None ->
+              Array.iter
+                (fun fr ->
+                  List.iter
+                    (fun v ->
+                      if stamp.(v) <> g then begin
+                        stamp.(v) <- g;
+                        recompute evs.(0) (owner v) v
+                      end)
+                    fr)
+                frontier
+          | Some o ->
+              (* Sequential frontier replay, timed and counted on the
+                 caller: the cross-boundary cost ROADMAP item 1 asks
+                 about. *)
+              let t_r = Prof.now_ns () in
+              let handed = ref 0 and replayed = ref 0 in
+              Array.iter
+                (fun fr ->
+                  List.iter
+                    (fun v ->
+                      incr handed;
+                      if stamp.(v) <> g then begin
+                        stamp.(v) <- g;
+                        incr replayed;
+                        recompute evs.(0) (owner v) v
+                      end)
+                    fr)
+                frontier;
+              Metrics.add o.c_frontier !handed;
+              Metrics.add o.c_replays !replayed;
+              Prof.record_span o.t_replay (Prof.now_ns () - t_r));
           incr steps;
           Array.iter (fun b -> total_moves := !total_moves + b.len) bufs;
+          (match pobs with
+          | Some o ->
+              let t_c = Prof.now_ns () in
+              let sm = ref 0 in
+              Array.iter
+                (fun b ->
+                  for k = 0 to b.len - 1 do
+                    Metrics.incr o.prc.(b.mr.(k))
+                  done;
+                  sm := !sm + b.len)
+                bufs;
+              if count_legit && sum illegit = 0 then
+                Metrics.incr o.pc_legit;
+              Prof.tick o.pp ~moves:!sm;
+              Prof.record_span o.t_callbacks (Prof.now_ns () - t_c)
+          | None -> ());
+          if count_legit && sum illegit = 0 then incr legit_steps;
+          (match heartbeat with
+          | Some (every, f) when every > 0 && !steps mod every = 0 ->
+              let now = Unix.gettimeofday () in
+              let dt = now -. !hb_last_t in
+              let dmoves = !total_moves - !hb_last_moves in
+              hb_last_t := now;
+              hb_last_moves := !total_moves;
+              let legit_now =
+                if track_legit then nn - sum illegit
+                else
+                  match evs.(0).legit with
+                  | None -> -1
+                  | Some clo ->
+                      (* Legitimacy is not tracked incrementally on this
+                         run: full rescan at the observation boundary
+                         (amortized over the heartbeat interval). *)
+                      let ev = evs.(0) in
+                      let c = ref 0 in
+                      for u = 0 to nn - 1 do
+                        ev.cell.u <- u;
+                        if clo () then incr c
+                      done;
+                      !c
+              in
+              f
+                {
+                  hb_steps = !steps;
+                  hb_moves = !total_moves;
+                  hb_enabled = sum en_count;
+                  hb_legit = legit_now;
+                  hb_availability =
+                    (if count_legit && !steps > 0 then
+                       float_of_int !legit_steps /. float_of_int !steps
+                     else -1.);
+                  hb_moves_per_s =
+                    (if dt > 0. then float_of_int dmoves /. dt else 0.);
+                }
+          | _ -> ());
+          trip_moves monitor ~moves_bound ~steps:!steps ~moves:!total_moves;
+          (* Under the synchronous daemon each step completes one round. *)
+          trip_rounds monitor ~rounds_bound ~steps:!steps ~rounds:!steps;
           if track_legit && sum illegit = 0 then begin
             outcome := Engine.Stabilized;
             raise Exit
           end
         done
       with Exit -> ());
+      (* Final per-domain GC samples, on the worker domains themselves
+         (OCaml 5 keeps allocation counters per domain). *)
+      match pobs with
+      | Some o ->
+          Pool.Team.run team (fun d ->
+              let q = Gc.quick_stat () in
+              let s = o.slots.(d) in
+              s.ws_minor <- q.Gc.minor_words -. s.ws_minor0;
+              s.ws_major <- q.Gc.major_words -. s.ws_major0)
+      | None -> ());
+  (match pobs with
+  | Some o ->
+      merge_part_prof o ~nparts;
+      finish_prof o.pp (Unix.gettimeofday () -. t0)
+  | None -> ());
   let rule_totals = Array.make nr 0 in
   Array.iter
     (fun row -> Array.iteri (fun r c -> rule_totals.(r) <- rule_totals.(r) + c) row)

@@ -107,12 +107,32 @@ type result = {
   wall_s : float;
 }
 
+type beat = {
+  hb_steps : int;
+  hb_moves : int;
+  hb_enabled : int;  (** enabled-set size after the step *)
+  hb_legit : int;  (** legitimate-node count; [-1] when untracked *)
+  hb_availability : float;
+      (** fraction of completed steps whose configuration was fully
+          legitimate; [-1.] when untracked *)
+  hb_moves_per_s : float;  (** over the last heartbeat interval *)
+}
+(** One [--heartbeat] progress sample.  [hb_legit] is O(dirty) incremental
+    where the run already tracks legitimacy; otherwise a full rescan at
+    the heartbeat boundary (amortized over the interval), or [-1] when the
+    spec has no legitimacy predicate. *)
+
 val run :
   ?rng:Random.State.t ->
   ?seed:int ->
   ?max_steps:int ->
   ?stop_on_legitimate:bool ->
   ?on_step:(step:int -> moved:(int * string) list -> unit) ->
+  ?prof:Ssreset_obs.Prof.t ->
+  ?monitor:Ssreset_obs.Monitor.t ->
+  ?rounds_bound:int ->
+  ?moves_bound:int ->
+  ?heartbeat:int * (beat -> unit) ->
   daemon:daemon ->
   prog ->
   result
@@ -125,11 +145,31 @@ val run :
     without a legitimacy predicate) stops with [Stabilized] as soon as
     every node satisfies [sp_legitimate] — checked on the initial state
     too, like the classic engine's [stop].  [on_step] sees the movers of
-    each executed step in selection order. *)
+    each executed step in selection order.
+
+    Observability is pay-as-you-go: with [prof], [monitor] and [heartbeat]
+    all absent the step loop is the exact uninstrumented code (no clock
+    reads, no counter bumps) and the run is bit-identical to one without
+    these parameters.  [prof] attributes wall time to the flat phases
+    ([phase.scan]/[select]/[apply]/[refresh]/[callbacks] — the same
+    lap-timer discipline as the classic engine) plus per-rule [rule.R]
+    timers and [moves.R] counters, scheduler counters ([sched.touched],
+    [sched.evals], [sched.dedup_hits], [sched.table_flips]) and the
+    [sched.refresh_size] histogram; windows stream per the profiler's
+    sink.  [monitor] latches the paper's convergence bounds:
+    [moves_bound] (e.g. D·n²) trips anomaly [moves-bound], [rounds_bound]
+    (e.g. 3n) trips [rounds-bound], each at most once.  [heartbeat]
+    [(every, f)] calls [f] after every [every]-th step with a progress
+    {!beat}. *)
 
 val run_partitioned :
   ?max_steps:int ->
   ?stop_on_legitimate:bool ->
+  ?prof:Ssreset_obs.Prof.t ->
+  ?monitor:Ssreset_obs.Monitor.t ->
+  ?rounds_bound:int ->
+  ?moves_bound:int ->
+  ?heartbeat:int * (beat -> unit) ->
   parts:int ->
   prog ->
   result
@@ -138,4 +178,19 @@ val run_partitioned :
     and the final state are identical to [run ~daemon:Synchronous] for
     any [parts ≥ 1] — under the synchronous daemon every pending node
     moves or is neutralized each step, so rounds equal steps and the
-    pending machinery is unnecessary. *)
+    pending machinery is unnecessary.
+
+    [prof]/[monitor]/[heartbeat] behave as in {!run}, with per-worker
+    attribution instead of per-rule timers: each domain accumulates its
+    phase laps ([phase.init]/[compute]/[write]/[refresh]) and GC deltas in
+    private slots, merged into the one profiler stream after the barriers
+    ({!Ssreset_obs.Prof.merge_spans}); the {!Ssreset_sim.Pool.Team}
+    contributes [phase.barrier] wait spans and per-worker busy/barrier
+    gauges; the sequential cross-boundary replay is timed as
+    [phase.replay] and counted by [flat.frontier_handoffs] /
+    [flat.frontier_replays].  Per-worker gauges
+    [flat.workerN.compute_s]/[write_s]/[refresh_s]/[gc_minor_words]/
+    [gc_major_words] and the [flat.parts] gauge feed [prof report]'s
+    per-worker section and its multi-worker coverage check (phase laps
+    tile [parts × wall]).  With all three absent, the phase bodies are the
+    exact uninstrumented code. *)

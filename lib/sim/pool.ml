@@ -138,6 +138,19 @@ let map_list ?jobs ?prof f xs =
   Array.to_list (map_array ?jobs ?prof f (Array.of_list xs))
 
 module Team = struct
+  (* Worker-private instrumentation slots: each worker writes only its own
+     index (no sharing, no atomics on the hot path); everything is merged
+     into the profiler at {!shutdown}, on the calling domain, after the
+     joins — the same discipline as [map_array]. *)
+  type obs = {
+    p : Prof.t;
+    busy_ns : int array;  (** time inside phase bodies, per worker *)
+    wait_ns : int array;  (** barrier/park time, per worker *)
+    busy_hists : Histogram.t array;
+    wait_hists : Histogram.t array;
+    mutable phases : int;
+  }
+
   type t = {
     size : int;
     mutex : Mutex.t;
@@ -148,38 +161,79 @@ module Team = struct
     mutable stop : bool;
     mutable errors : job_error list;
     mutable helpers : unit Domain.t list;
+    obs : obs option;
   }
 
   let size t = t.size
 
+  let record_wait t w t0 =
+    match t.obs with
+    | None -> ()
+    | Some o ->
+        let dt = Prof.now_ns () - t0 in
+        o.wait_ns.(w) <- o.wait_ns.(w) + dt;
+        Histogram.record o.wait_hists.(w) dt
+
+  let record_busy t w t0 =
+    match t.obs with
+    | None -> ()
+    | Some o ->
+        let dt = Prof.now_ns () - t0 in
+        o.busy_ns.(w) <- o.busy_ns.(w) + dt;
+        Histogram.record o.busy_hists.(w) dt
+
   (* Helpers sleep on the condition between phases; spawning them once per
-     run (not per phase) is what makes a 3-phase step affordable. *)
-  let rec helper_loop t w seen =
+     run (not per phase) is what makes a 3-phase step affordable.  [seen_ns]
+     is when this worker last became idle — the park that follows (barrier
+     wait plus any sequential work the caller does between phases) is
+     attributed to it, so worker laps tile the team's whole lifetime. *)
+  let rec helper_loop t w seen seen_ns =
     Mutex.lock t.mutex;
     while (not t.stop) && t.epoch = seen do
       Condition.wait t.cond t.mutex
     done;
-    if t.stop then Mutex.unlock t.mutex
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      (* final park, so per-worker time covers up to shutdown *)
+      record_wait t w seen_ns
+    end
     else begin
       let epoch = t.epoch in
       let job = Option.get t.job in
       Mutex.unlock t.mutex;
+      record_wait t w seen_ns;
+      let tb = match t.obs with Some _ -> Prof.now_ns () | None -> 0 in
       let err =
         match job w with
         | () -> None
         | exception exn ->
             Some { index = w; exn; backtrace = Printexc.get_raw_backtrace () }
       in
+      record_busy t w tb;
+      let idle_ns = match t.obs with Some _ -> Prof.now_ns () | None -> 0 in
       Mutex.lock t.mutex;
       (match err with Some e -> t.errors <- e :: t.errors | None -> ());
       t.finished <- t.finished + 1;
       Condition.broadcast t.cond;
       Mutex.unlock t.mutex;
-      helper_loop t w epoch
+      helper_loop t w epoch idle_ns
     end
 
-  let create ~size =
+  let create ?prof ~size () =
     let size = max 1 size in
+    let obs =
+      Option.map
+        (fun p ->
+          {
+            p;
+            busy_ns = Array.make size 0;
+            wait_ns = Array.make size 0;
+            busy_hists = Array.init size (fun _ -> Histogram.create ());
+            wait_hists = Array.init size (fun _ -> Histogram.create ());
+            phases = 0;
+          })
+        prof
+    in
     let t =
       {
         size;
@@ -191,15 +245,25 @@ module Team = struct
         stop = false;
         errors = [];
         helpers = [];
+        obs;
       }
     in
+    let t0 = match obs with Some _ -> Prof.now_ns () | None -> 0 in
     t.helpers <-
       List.init (size - 1) (fun i ->
-          Domain.spawn (fun () -> helper_loop t (i + 1) 0));
+          Domain.spawn (fun () -> helper_loop t (i + 1) 0 t0));
     t
 
   let run t fn =
-    if t.size = 1 then fn 0
+    (match t.obs with Some o -> o.phases <- o.phases + 1 | None -> ());
+    if t.size = 1 then begin
+      let tb = match t.obs with Some _ -> Prof.now_ns () | None -> 0 in
+      match fn 0 with
+      | () -> record_busy t 0 tb
+      | exception exn ->
+          record_busy t 0 tb;
+          raise exn
+    end
     else begin
       Mutex.lock t.mutex;
       t.job <- Some fn;
@@ -208,23 +272,57 @@ module Team = struct
       t.epoch <- t.epoch + 1;
       Condition.broadcast t.cond;
       Mutex.unlock t.mutex;
+      let tb = match t.obs with Some _ -> Prof.now_ns () | None -> 0 in
       let own =
         match fn 0 with
         | () -> None
         | exception exn ->
             Some { index = 0; exn; backtrace = Printexc.get_raw_backtrace () }
       in
+      record_busy t 0 tb;
+      let tw = match t.obs with Some _ -> Prof.now_ns () | None -> 0 in
       Mutex.lock t.mutex;
       while t.finished < t.size - 1 do
         Condition.wait t.cond t.mutex
       done;
       let errs = t.errors in
       Mutex.unlock t.mutex;
+      record_wait t 0 tw;
       let all = match own with Some e -> e :: errs | None -> errs in
       match List.sort (fun a b -> compare a.index b.index) all with
       | [] -> ()
       | e :: _ -> raise (Job_failed e)
     end
+
+  (* Merge the worker-private slots into the profiler: per-worker busy and
+     barrier gauges (accumulating, [map_array]'s naming so reports cover
+     both pools), the barrier-wait spans as the [phase.barrier] timer
+     (percentiles in the prof summary, and the waits count toward the
+     multi-worker wall-clock coverage check), and the phase-body durations
+     as the [pool.team.job_ns] histogram. *)
+  let emit_obs t =
+    match t.obs with
+    | None -> ()
+    | Some o ->
+        let m = Prof.metrics o.p in
+        Metrics.add (Metrics.counter m "pool.team.phases") o.phases;
+        Metrics.set
+          (Metrics.gauge m "pool.team.workers")
+          (float_of_int t.size);
+        for w = 0 to t.size - 1 do
+          let acc name ns =
+            let g = Metrics.gauge m (Printf.sprintf "pool.worker%d.%s" w name) in
+            Metrics.set g (Metrics.gauge_value g +. (float_of_int ns /. 1e9))
+          in
+          acc "busy_s" o.busy_ns.(w);
+          acc "barrier_s" o.wait_ns.(w)
+        done;
+        let barrier = Prof.timer o.p "phase.barrier" in
+        Array.iteri
+          (fun w h -> Prof.merge_spans barrier ~total_ns:o.wait_ns.(w) h)
+          o.wait_hists;
+        let dst = Prof.histogram o.p "pool.team.job_ns" in
+        Array.iter (fun h -> Histogram.merge_into ~dst h) o.busy_hists
 
   let shutdown t =
     if not t.stop then begin
@@ -233,7 +331,8 @@ module Team = struct
       Condition.broadcast t.cond;
       Mutex.unlock t.mutex;
       List.iter Domain.join t.helpers;
-      t.helpers <- []
+      t.helpers <- [];
+      emit_obs t
     end
 end
 

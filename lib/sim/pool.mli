@@ -53,9 +53,21 @@ val map_list :
 module Team : sig
   type t
 
-  val create : size:int -> t
+  val create : ?prof:Ssreset_obs.Prof.t -> size:int -> unit -> t
   (** Team of [max 1 size] workers: [size - 1] helper domains (spawned
-      now, parked on a condition variable) plus the calling domain. *)
+      now, parked on a condition variable) plus the calling domain.
+
+      [prof] makes barrier wait and per-domain busy time attributable from
+      any Team user, pay-as-you-go (with no profiler the phase path takes
+      no clock reads).  Each worker accumulates two private slots — time
+      inside phase bodies, and park/barrier time between them — merged on
+      the calling domain at {!shutdown}: accumulating
+      [pool.workerN.busy_s]/[pool.workerN.barrier_s] gauges, the
+      [pool.team.phases] counter and [pool.team.workers] gauge, the
+      [pool.team.job_ns] phase-body histogram, and every wait span folded
+      into the [phase.barrier] timer so barrier percentiles appear in the
+      profile's phase section (and the waits count toward multi-worker
+      wall-clock coverage). *)
 
   val size : t -> int
 

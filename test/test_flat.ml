@@ -294,6 +294,192 @@ let composed_ir_tests =
           [ Gen.ring 5; Gen.path 4; Gen.star 4 ]);
   ]
 
+(* ----------------------- observability transparency --------------------- *)
+
+module Prof = Ssreset_obs.Prof
+module ObsMetrics = Ssreset_obs.Metrics
+module Monitor = Ssreset_obs.Monitor
+
+(* Run the same instance from the same configuration twice — bare, then
+   with a profiler attached — and require bit-identity: every counter and
+   the final state checksum.  Then cross-check the profiler against the
+   run: step/move tallies and the per-rule moves.R counters must equal the
+   result's totals. *)
+let prof_transparent_one ~label inst daemon_name seed =
+  let module I = (val inst : Sym.INSTANCE) in
+  let g = I.graph in
+  let n = Graph.n g in
+  let seed_rng = rng (0x5EED + seed) in
+  let cfg0 =
+    Array.init n (fun u ->
+        let d = I.domain u in
+        List.nth d (Random.State.int seed_rng (List.length d)))
+  in
+  let make () =
+    let prog =
+      Flat.compile ~csr:(Csr.of_graph g) ~params:I.param_values I.spec
+    in
+    Array.iteri (fun u s -> Flat.load prog u (I.encode s)) cfg0;
+    prog
+  in
+  let daemon = Option.get (Flat.daemon_of_name daemon_name) in
+  let p_bare = make () in
+  let r_bare =
+    Flat.run ~rng:(rng seed) ~max_steps:60 ~stop_on_legitimate:false ~daemon
+      p_bare
+  in
+  let p_prof = make () in
+  let prof = Prof.create () in
+  let r_prof =
+    Flat.run ~rng:(rng seed) ~max_steps:60 ~stop_on_legitimate:false ~prof
+      ~daemon p_prof
+  in
+  check Alcotest.string (label ^ " outcome") (outcome_str r_bare.Flat.outcome)
+    (outcome_str r_prof.Flat.outcome);
+  check_int (label ^ " steps") r_bare.Flat.steps r_prof.Flat.steps;
+  check_int (label ^ " moves") r_bare.Flat.moves r_prof.Flat.moves;
+  check_int (label ^ " rounds") r_bare.Flat.rounds r_prof.Flat.rounds;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    (label ^ " moves_per_rule") r_bare.Flat.moves_per_rule
+    r_prof.Flat.moves_per_rule;
+  check (Alcotest.array Alcotest.int)
+    (label ^ " moves_per_process")
+    r_bare.Flat.moves_per_process r_prof.Flat.moves_per_process;
+  check_int (label ^ " checksum") (Flat.checksum p_bare)
+    (Flat.checksum p_prof);
+  check_int (label ^ " prof steps") r_prof.Flat.steps (Prof.steps prof);
+  check_int (label ^ " prof moves") r_prof.Flat.moves (Prof.moves prof);
+  let m = Prof.metrics prof in
+  List.iter
+    (fun (rule, count) ->
+      check_int
+        (label ^ " moves." ^ rule)
+        count
+        (ObsMetrics.counter_value (ObsMetrics.counter m ("moves." ^ rule))))
+    r_prof.Flat.moves_per_rule
+
+let observability_tests =
+  [
+    test "prof-on = prof-off on the zoo, every daemon, 5 seeds" (fun () ->
+        List.iter
+          (fun (gname, g) ->
+            List.iter
+              (fun (iname, inst) ->
+                List.iter
+                  (fun dname ->
+                    for seed = 1 to 5 do
+                      prof_transparent_one
+                        ~label:(Fmt.str "%s/%s/%s/#%d" gname iname dname seed)
+                        inst dname seed
+                    done)
+                  (Daemon.names ()))
+              (sym_instances g))
+          (graph_zoo ()));
+    test "partitioned prof-on digest invariant, parts in {1,2,4,8}" (fun () ->
+        let p_ref = scale_prog () in
+        let r_ref = Flat.run_partitioned ~parts:2 p_ref in
+        let d_ref = Progs.digest p_ref r_ref in
+        List.iter
+          (fun parts ->
+            let p = scale_prog () in
+            let prof = Prof.create () in
+            let r = Flat.run_partitioned ~prof ~parts p in
+            check Alcotest.string
+              (Fmt.str "digest parts=%d prof-on" parts)
+              d_ref (Progs.digest p r);
+            check_int
+              (Fmt.str "prof steps parts=%d" parts)
+              r.Flat.steps (Prof.steps prof);
+            check_int
+              (Fmt.str "prof moves parts=%d" parts)
+              r.Flat.moves (Prof.moves prof);
+            let m = Prof.metrics prof in
+            List.iter
+              (fun (rule, count) ->
+                check_int
+                  (Fmt.str "moves.%s parts=%d" rule parts)
+                  count
+                  (ObsMetrics.counter_value
+                     (ObsMetrics.counter m ("moves." ^ rule))))
+              r.Flat.moves_per_rule;
+            check
+              (Alcotest.float 0.001)
+              (Fmt.str "flat.parts gauge parts=%d" parts)
+              (float_of_int parts)
+              (ObsMetrics.gauge_value (ObsMetrics.gauge m "flat.parts")))
+          [ 1; 2; 4; 8 ]);
+    test "monitor latches the move and round bounds once" (fun () ->
+        let p = scale_prog ~n:1024 ~faults:30 () in
+        let monitor = Monitor.create () in
+        let r =
+          Flat.run ~daemon:Flat.Synchronous ~monitor ~moves_bound:1
+            ~rounds_bound:1 p
+        in
+        check_true "run made enough moves to trip" (r.Flat.moves > 1);
+        check_int "both bounds latched exactly once" 2
+          (Monitor.anomaly_count monitor);
+        let names =
+          List.sort compare
+            (List.map
+               (fun (a : Monitor.anomaly) -> a.Monitor.monitor)
+               (Monitor.anomalies monitor))
+        in
+        check
+          (Alcotest.list Alcotest.string)
+          "anomaly names" [ "moves-bound"; "rounds-bound" ] names;
+        (* Results are unchanged by monitoring. *)
+        let p2 = scale_prog ~n:1024 ~faults:30 () in
+        let r2 = Flat.run ~daemon:Flat.Synchronous p2 in
+        check Alcotest.string "digest unchanged by monitors"
+          (Progs.digest p2 r2) (Progs.digest p r));
+    test "heartbeat fires every interval with live counters" (fun () ->
+        let p = scale_prog ~n:1024 ~faults:30 () in
+        let beats = ref [] in
+        let r =
+          Flat.run ~daemon:Flat.Synchronous
+            ~heartbeat:(2, fun b -> beats := b :: !beats)
+            p
+        in
+        let beats = List.rev !beats in
+        check_int "one beat per 2 steps" (r.Flat.steps / 2)
+          (List.length beats);
+        List.iteri
+          (fun i (b : Flat.beat) ->
+            check_int (Fmt.str "beat %d step" i) (2 * (i + 1)) b.Flat.hb_steps;
+            check_true
+              (Fmt.str "beat %d moves monotone" i)
+              (b.Flat.hb_moves > 0 && b.Flat.hb_moves <= r.Flat.moves);
+            check_true
+              (Fmt.str "beat %d legit tracked" i)
+              (b.Flat.hb_legit >= 0 && b.Flat.hb_legit <= 1024);
+            check_true
+              (Fmt.str "beat %d availability in range" i)
+              (b.Flat.hb_availability >= 0. && b.Flat.hb_availability <= 1.))
+          beats;
+        (* heartbeat leaves the run unchanged *)
+        let p2 = scale_prog ~n:1024 ~faults:30 () in
+        let r2 = Flat.run ~daemon:Flat.Synchronous p2 in
+        check Alcotest.string "digest unchanged by heartbeat"
+          (Progs.digest p2 r2) (Progs.digest p r));
+    test "partitioned heartbeat and monitors leave the run unchanged"
+      (fun () ->
+        let p = scale_prog ~n:2048 ~faults:40 () in
+        let monitor = Monitor.create () in
+        let beats = ref 0 in
+        let r =
+          Flat.run_partitioned ~parts:4 ~monitor ~moves_bound:1
+            ~heartbeat:(3, fun _ -> incr beats)
+            p
+        in
+        check_int "beats" (r.Flat.steps / 3) !beats;
+        check_int "moves bound latched" 1 (Monitor.anomaly_count monitor);
+        let p2 = scale_prog ~n:2048 ~faults:40 () in
+        let r2 = Flat.run_partitioned ~parts:4 p2 in
+        check Alcotest.string "digest unchanged" (Progs.digest p2 r2)
+          (Progs.digest p r));
+  ]
+
 (* ----------------------------- scale smoke ------------------------------ *)
 
 let scale_tests =
@@ -313,6 +499,7 @@ let () =
       ("csr-generators", csr_generator_tests);
       ("differential", differential_tests);
       ("partitioned", partition_tests);
+      ("observability", observability_tests);
       ("composed-ir", composed_ir_tests);
       ("scale", scale_tests);
     ]

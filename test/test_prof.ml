@@ -373,9 +373,69 @@ let pool_reports_utilization () =
   Alcotest.(check int) "job duration histogram saw every job" 64
     (Histogram.count (Prof.histogram p "pool.job_ns"))
 
+let team_attributes_barrier_and_busy () =
+  let p = Prof.create () in
+  let size = 2 in
+  let team = Pool.Team.create ~prof:p ~size () in
+  let phases = 5 in
+  let slots = Array.make size 0 in
+  for _ = 1 to phases do
+    Pool.Team.run team (fun w ->
+        let acc = ref w in
+        for i = 1 to 20_000 do
+          acc := (!acc * 31) + i
+        done;
+        slots.(w) <- slots.(w) + !acc)
+  done;
+  Pool.Team.shutdown team;
+  let m = Prof.metrics p in
+  Alcotest.(check int) "pool.team.phases counts every barrier" phases
+    (Metrics.counter_value (Metrics.counter m "pool.team.phases"));
+  Alcotest.(check (float 0.001)) "pool.team.workers" (float_of_int size)
+    (Metrics.gauge_value (Metrics.gauge m "pool.team.workers"));
+  Alcotest.(check int) "job histogram saw every phase body" (phases * size)
+    (Histogram.count (Prof.histogram p "pool.team.job_ns"));
+  for w = 0 to size - 1 do
+    let busy =
+      Metrics.gauge_value
+        (Metrics.gauge m (Printf.sprintf "pool.worker%d.busy_s" w))
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "worker %d busy_s > 0" w)
+      true (busy > 0.)
+  done;
+  (* Barrier waits land in the phase.barrier timer: the helper's park spans
+     tile the team lifetime, so there is at least one span per phase. *)
+  let barrier = Prof.timer p "phase.barrier" in
+  Alcotest.(check bool) "barrier wait spans recorded" true
+    (Prof.timer_count barrier >= phases);
+  Alcotest.(check bool) "barrier wait time non-negative" true
+    (Prof.timer_total_ns barrier >= 0)
+
+let team_unprofiled_unchanged () =
+  (* Without ?prof the team records nothing — and an unprofiled team must
+     produce the same results as a profiled one. *)
+  let run_team prof =
+    let team = Pool.Team.create ?prof ~size:3 () in
+    let out = Array.make 3 0 in
+    for round = 1 to 4 do
+      Pool.Team.run team (fun w -> out.(w) <- out.(w) + (round * (w + 1)))
+    done;
+    Pool.Team.shutdown team;
+    out
+  in
+  let bare = run_team None in
+  let p = Prof.create () in
+  let profiled = run_team (Some p) in
+  Alcotest.(check (array int)) "results unchanged by profiling" bare profiled
+
 let pool_tests =
   [ Alcotest.test_case "pool ?prof reports utilization, results unchanged"
-      `Quick pool_reports_utilization ]
+      `Quick pool_reports_utilization;
+    Alcotest.test_case "team ?prof attributes busy and barrier time" `Quick
+      team_attributes_barrier_and_busy;
+    Alcotest.test_case "team results identical with and without ?prof" `Quick
+      team_unprofiled_unchanged ]
 
 let () =
   Alcotest.run "prof"

@@ -379,6 +379,56 @@ let () =
           gate_rate ~section:"scale" ~key:[ "n"; "parts" ]
             ~field:"steps_per_s" "scale"));
 
+  (* 8. flat_obs: observability on the flat data path.  Same contract as
+     the prof gate, on the scale-tier workload: prof-off throughput holds
+     to the baseline (noise floor 5%), and the measured prof-on overhead
+     stays under a cap that never tightens below 10% — the flat hot loop
+     is fast enough that per-step lap clocks cost proportionally more
+     than on the classic engine.  Digest bit-identity between prof-off
+     and prof-on runs is asserted inside the bench itself (the section
+     would be absent, and the bench failed, had it diverged). *)
+  let obs_tolerance = Float.max 0.05 tolerance in
+  let obs_overhead_cap = Float.max 0.10 tolerance *. 100. in
+  let fresh_obs = list_field "flat_obs" fresh in
+  if fresh_obs <> [] && list_field "flat_obs" baseline = [] then
+    info "new-section flat_obs: no baseline section, learned at next refresh";
+  List.iter
+    (fun fresh_record ->
+      match Option.bind (Json.member "n" fresh_record) Json.to_int_opt with
+      | None -> ()
+      | Some n -> (
+          (let same r =
+             Option.bind (Json.member "n" r) Json.to_int_opt = Some n
+           in
+           match
+             ( Option.bind
+                 (List.find_opt same (list_field "flat_obs" baseline))
+                 (float_field "prof_off_steps_per_s"),
+               float_field "prof_off_steps_per_s" fresh_record )
+           with
+           | Some base_r, Some fresh_r when base_r > 0. ->
+               if fresh_r < base_r *. (1. -. obs_tolerance) then
+                 fail
+                   "flat_obs n=%d: prof-off throughput %.0f steps/s vs \
+                    baseline %.0f (-%.0f%% > -%.0f%% tolerance)"
+                   n fresh_r base_r
+                   ((1. -. (fresh_r /. base_r)) *. 100.)
+                   (obs_tolerance *. 100.)
+               else
+                 info
+                   "flat_obs n=%d: prof-off %.0f steps/s vs baseline %.0f \
+                    (%+.0f%%)"
+                   n fresh_r base_r
+                   (((fresh_r /. base_r) -. 1.) *. 100.)
+           | _ -> ());
+          match float_field "prof_overhead_pct" fresh_record with
+          | Some pct when pct > obs_overhead_cap ->
+              fail "flat_obs n=%d: prof-on overhead %.1f%% exceeds %.0f%% cap"
+                n pct obs_overhead_cap
+          | Some pct -> info "flat_obs n=%d: prof-on overhead %.1f%%" n pct
+          | None -> ()))
+    fresh_obs;
+
   if !failures > 0 then begin
     Printf.printf
       "bench_gate: %d failure(s) (tolerance +%.0f%%; override with \

@@ -40,6 +40,15 @@ let required =
        synchronous --parts 2 --digest" );
     ( "partitioned digest byte-comparison",
       "cmp smoke-scale-p1.txt smoke-scale-p2.txt" );
+    ( "flat scale smoke, observability attached",
+      "--parts 2 --prof-out smoke-scale-prof.jsonl --prof-window 50 \
+       --monitors --heartbeat 100 --digest" );
+    ( "observability digest byte-comparison",
+      "cmp smoke-scale-p1.txt smoke-scale-obs.txt" );
+    ( "scale profile schema validation",
+      "--check-prof smoke-scale-prof.jsonl" );
+    ( "scale profile attribution check",
+      "prof report --check smoke-scale-prof.jsonl" );
     ("pinned z3 install", "apt-get install -y --no-install-recommends z3=");
     ("ring obligations solved", "smt solve --family ring");
     ("unsat transcript artifact", "smt-ring-transcript.txt");
